@@ -1,0 +1,102 @@
+//! Criterion bench: cascade evaluation (the paper's hottest kernel).
+//!
+//! Measures (a) the host-side reference evaluator per window, (b) the
+//! simulated GPU cascade kernel over a full level, and (c) the effect of
+//! cascade size (compact GentleBoost-like vs 2x-stump AdaBoost-like) —
+//! the mechanism behind Table II's cascade-swap column.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use fd_gpu::{DeviceSpec, ExecMode, Gpu};
+use fd_haar::encode::{encode_cascade, quantize_cascade};
+use fd_haar::{Cascade, FeatureKind, HaarFeature, Stage, Stump};
+use fd_imgproc::{GrayImage, IntegralImage};
+
+/// Build a synthetic cascade with the requested stage sizes.
+fn cascade_with(stage_sizes: &[usize]) -> Cascade {
+    let feats = [
+        HaarFeature::from_params(FeatureKind::EdgeH, 6, 4, 6, 8),
+        HaarFeature::from_params(FeatureKind::EdgeV, 4, 6, 8, 6),
+        HaarFeature::from_params(FeatureKind::LineH, 3, 9, 5, 7),
+        HaarFeature::from_params(FeatureKind::CenterSurround, 5, 5, 4, 4),
+    ];
+    let mut c = Cascade::new("bench", 24);
+    for (si, &n) in stage_sizes.iter().enumerate() {
+        let stumps = (0..n)
+            .map(|i| Stump {
+                feature: feats[(si + i) % feats.len()],
+                threshold: 64 + (i as i32 % 7) * 96,
+                left: -0.4,
+                right: 0.6,
+            })
+            .collect();
+        c.stages.push(Stage { stumps, threshold: -0.1 * n as f32 });
+    }
+    quantize_cascade(&c)
+}
+
+fn test_frame(w: usize, h: usize) -> GrayImage {
+    GrayImage::from_fn(w, h, |x, y| ((x * 13 + y * 29) % 256) as f32)
+}
+
+fn bench_cpu_reference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cascade_cpu_reference");
+    let img = test_frame(320, 240);
+    let ii = IntegralImage::from_gray(&img);
+    for (name, sizes) in
+        [("compact", vec![2usize, 4, 8, 12]), ("double", vec![4usize, 8, 16, 24])]
+    {
+        let cascade = cascade_with(&sizes);
+        group.throughput(Throughput::Elements(((320 - 24) * (240 - 24)) as u64));
+        group.bench_with_input(BenchmarkId::new("full_sweep", name), &cascade, |b, cascade| {
+            b.iter(|| {
+                let mut acc = 0u32;
+                for oy in 0..240 - 24 {
+                    for ox in 0..320 - 24 {
+                        acc += cascade.eval_window(black_box(&ii), ox, oy).depth;
+                    }
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_gpu_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cascade_gpu_kernel");
+    group.sample_size(20);
+    let img = test_frame(480, 270);
+    let (w, h) = (img.width(), img.height());
+    let ii = IntegralImage::from_gray(&img);
+    let mut inclusive = vec![0u32; w * h];
+    for y in 0..h {
+        for x in 0..w {
+            inclusive[y * w + x] = ii.at(x + 1, y + 1);
+        }
+    }
+    for (name, sizes) in
+        [("compact", vec![2usize, 4, 8, 12]), ("double", vec![4usize, 8, 16, 24])]
+    {
+        let cascade = cascade_with(&sizes);
+        group.bench_function(BenchmarkId::new("level_480x270", name), |b| {
+            b.iter(|| {
+                let mut gpu = Gpu::new(DeviceSpec::gtx470(), ExecMode::Concurrent);
+                let integral = gpu.mem.upload(&inclusive);
+                let depth = gpu.mem.alloc::<u32>(w * h);
+                let score = gpu.mem.alloc::<f32>(w * h);
+                let cp = gpu.const_upload(&encode_cascade(&cascade));
+                let k = fd_detector::kernels::CascadeKernel::new(
+                    &cascade, integral, w, h, depth, score, cp,
+                );
+                gpu.launch_default(&k, k.config()).unwrap();
+                black_box(gpu.synchronize().span_us())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cpu_reference, bench_gpu_kernel);
+criterion_main!(benches);

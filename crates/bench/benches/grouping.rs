@@ -1,0 +1,54 @@
+//! Criterion bench: detection grouping and Hungarian assignment (the
+//! display/accuracy post-processing of §III-D and §VI-B).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use fd_detector::group::{group_detections, Detection};
+use fd_eval::hungarian::assign_min_cost;
+use fd_imgproc::Rect;
+
+fn synthetic_detections(n_clusters: usize, per_cluster: usize) -> Vec<Detection> {
+    let mut out = Vec::new();
+    for c in 0..n_clusters {
+        let cx = 50 + (c as i32 % 8) * 120;
+        let cy = 50 + (c as i32 / 8) * 120;
+        for k in 0..per_cluster {
+            let d = k as i32 % 3;
+            out.push(Detection {
+                rect: Rect::new(cx + d, cy + (k as i32 % 2), 48 + d as u32, 48 + d as u32),
+                score: 1.0 + k as f32 * 0.1,
+                scale: 0,
+            });
+        }
+    }
+    out
+}
+
+fn bench_grouping(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grouping");
+    for (clusters, per) in [(4usize, 8usize), (12, 12), (24, 16)] {
+        let dets = synthetic_detections(clusters, per);
+        group.bench_function(
+            BenchmarkId::new("s_eyes_iterative", format!("{}x{}", clusters, per)),
+            |b| b.iter(|| black_box(group_detections(black_box(&dets), 0.5, 2))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_hungarian(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hungarian");
+    for n in [8usize, 32, 64] {
+        let cost: Vec<Vec<f64>> = (0..n)
+            .map(|r| (0..n).map(|cc| ((r * 31 + cc * 17) % 97) as f64).collect())
+            .collect();
+        group.bench_function(BenchmarkId::new("assign", n), |b| {
+            b.iter(|| black_box(assign_min_cost(black_box(&cost))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_grouping, bench_hungarian);
+criterion_main!(benches);

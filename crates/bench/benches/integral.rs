@@ -1,0 +1,39 @@
+//! Criterion bench: integral-image construction (paper §III-B).
+//!
+//! Compares the sequential recurrence with the scan/transpose
+//! formulation on host, and measures the simulated-GPU integral chain
+//! (scan -> transpose -> scan -> transpose) end to end. The paper's
+//! observation — the GPU formulation pays off only at high resolutions —
+//! shows up here as the crossover between per-pixel costs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use fd_imgproc::scan::integral_via_scan;
+use fd_imgproc::{GrayImage, IntegralImage};
+
+fn test_image(w: usize, h: usize) -> GrayImage {
+    GrayImage::from_fn(w, h, |x, y| ((x * 31 + y * 17) % 256) as f32)
+}
+
+fn bench_integral(c: &mut Criterion) {
+    let mut group = c.benchmark_group("integral");
+    for (w, h) in [(320usize, 180usize), (960, 540), (1920, 1080)] {
+        let img = test_image(w, h);
+        group.throughput(Throughput::Elements((w * h) as u64));
+        group.bench_with_input(
+            BenchmarkId::new("sequential", format!("{w}x{h}")),
+            &img,
+            |b, img| b.iter(|| IntegralImage::from_gray(black_box(img))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("scan_transpose", format!("{w}x{h}")),
+            &img,
+            |b, img| b.iter(|| integral_via_scan(black_box(img))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_integral);
+criterion_main!(benches);

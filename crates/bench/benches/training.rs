@@ -1,0 +1,70 @@
+//! Criterion bench: one boosting round (the unit Fig. 8 measures) for
+//! both learners, and the feature-LUT sweep in isolation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use fd_boost::gentle::initial_weights;
+use fd_boost::synthdata::{synth_faces, NegativeSource};
+use fd_boost::{AdaBoost, FeatureLut, GentleBoost, TrainingSet, WeakLearner};
+use fd_haar::{enumerate_features, EnumerationRule};
+
+fn training_set(n: usize) -> TrainingSet {
+    let faces = synth_faces(n / 2, 11);
+    let negs = NegativeSource::new(13).initial(n / 2);
+    let samples: Vec<(&fd_imgproc::GrayImage, f32)> = faces
+        .iter()
+        .map(|f| (f, 1.0))
+        .chain(negs.iter().map(|g| (g, -1.0)))
+        .collect();
+    TrainingSet::from_samples(samples)
+}
+
+fn bench_round(c: &mut Criterion) {
+    let set = training_set(200);
+    let weights = initial_weights(&set);
+    let features: Vec<_> = enumerate_features(24, EnumerationRule::Icpp2012)
+        .into_iter()
+        .step_by(101)
+        .collect();
+    let n_feats = features.len();
+
+    let mut group = c.benchmark_group("boost_round");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements((n_feats * set.len()) as u64));
+    let gentle = GentleBoost::new(features.clone());
+    group.bench_function(BenchmarkId::new("gentleboost", n_feats), |b| {
+        b.iter(|| black_box(gentle.fit_round(black_box(&set), black_box(&weights))))
+    });
+    let ada = AdaBoost::new(features);
+    group.bench_function(BenchmarkId::new("adaboost", n_feats), |b| {
+        b.iter(|| black_box(ada.fit_round(black_box(&set), black_box(&weights))))
+    });
+    group.finish();
+}
+
+fn bench_lut_sweep(c: &mut Criterion) {
+    let set = training_set(400);
+    let features: Vec<_> = enumerate_features(24, EnumerationRule::Icpp2012)
+        .into_iter()
+        .step_by(997)
+        .collect();
+    let luts: Vec<FeatureLut> = features.iter().map(FeatureLut::from_feature).collect();
+    let mut group = c.benchmark_group("lut_sweep");
+    group.throughput(Throughput::Elements((luts.len() * set.len()) as u64));
+    group.bench_function("eval_all", |b| {
+        let mut out = vec![0i32; set.len()];
+        b.iter(|| {
+            let mut acc = 0i64;
+            for lut in &luts {
+                lut.eval_all(black_box(&set), &mut out);
+                acc += out[0] as i64;
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_round, bench_lut_sweep);
+criterion_main!(benches);

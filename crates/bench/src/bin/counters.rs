@@ -1,0 +1,50 @@
+//! §VI-A text figures, gathered from the simulated device's profiler:
+//!
+//! * branch efficiency of the cascade-evaluation kernel (paper: 98.9 %
+//!   non-divergent);
+//! * DRAM read throughput of the cascade kernels across scales (paper:
+//!   9.57-532 MB/s — low, because the integral image is staged into
+//!   shared memory once and reused);
+//! * share of frame time in the integral-image kernels (paper: ~20 %);
+//! * constant-memory footprint of the compressed cascades;
+//! * end-to-end fps with hardware H.264 decode overlapped (paper: ~70).
+//!
+//! Usage: `counters [--frames N]`.
+
+use fd_bench::cascades::{trained_cascade_pair, TrainingBudget};
+use fd_bench::harness::run_counters;
+use fd_bench::out::{arg_usize, write_text};
+use fd_video::movie_trailers;
+
+fn main() {
+    let frames = arg_usize("--frames", 6);
+    let pair = trained_cascade_pair(&TrainingBudget::default());
+    let info = &movie_trailers()[1]; // 50/50
+
+    let mut report = String::new();
+    for (name, cascade) in [("ours", &pair.ours), ("opencv-like", &pair.opencv_like)] {
+        let c = run_counters(cascade, info, frames);
+        report.push_str(&format!(
+            "=== cascade: {name} ({} stages, {} stumps) ===\n\
+             branch efficiency (cascade_eval): {:.2} %   [paper: 98.9 %]\n\
+             branch efficiency (all kernels):  {:.2} %\n\
+             cascade-eval DRAM read throughput: {:.2} .. {:.2} MB/s   [paper: 9.57 .. 532 MB/s]\n\
+             integral-image kernels' share of device time: {:.1} %   [paper: ~20 %]\n\
+             compressed cascade in constant memory: {} bytes ({:.1} % of 64 KiB)\n\
+             pipelined throughput with H.264 decode overlapped: {:.0} fps   [paper: ~70 fps]\n\n",
+            cascade.depth(),
+            cascade.total_stumps(),
+            100.0 * c.branch_efficiency_cascade,
+            100.0 * c.branch_efficiency_overall,
+            c.cascade_dram_mbps.0,
+            c.cascade_dram_mbps.1,
+            100.0 * c.integral_time_share,
+            c.const_bytes,
+            100.0 * c.const_bytes as f64 / (64.0 * 1024.0),
+            c.fps,
+        ));
+    }
+    print!("{report}");
+    let path = write_text("counters.txt", &report).unwrap();
+    println!("wrote {}", path.display());
+}

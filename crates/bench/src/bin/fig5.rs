@@ -1,0 +1,74 @@
+//! Fig. 5 — face-detection elapsed time per frame for the "50/50"
+//! trailer, for both cascades under serial and concurrent kernel
+//! execution. The paper's plot shows (a) strong per-frame variability
+//! driven by the number of faces in each scene and (b) the serial OpenCV
+//! configuration repeatedly violating the 40 ms display deadline.
+//!
+//! Usage: `fig5 [--frames N]` (default 96). Writes
+//! `results/fig5_series.csv` with one row per frame.
+
+use fd_bench::cascades::{trained_cascade_pair, TrainingBudget};
+use fd_bench::harness::detect_series;
+use fd_bench::out::{arg_usize, write_csv};
+use fd_gpu::ExecMode;
+use fd_video::movie_trailers;
+
+fn main() {
+    let frames = arg_usize("--frames", 96);
+    let pair = trained_cascade_pair(&TrainingBudget::default());
+    let info = movie_trailers().into_iter().find(|t| t.title == "50/50").unwrap();
+    println!("[fig5] {} frames of '{}' x 4 configurations", frames, info.title);
+
+    let (ours_c, _) = detect_series(&pair.ours, &info, ExecMode::Concurrent, frames);
+    let (ours_s, _) = detect_series(&pair.ours, &info, ExecMode::Serial, frames);
+    let (cv_c, _) = detect_series(&pair.opencv_like, &info, ExecMode::Concurrent, frames);
+    let (cv_s, _) = detect_series(&pair.opencv_like, &info, ExecMode::Serial, frames);
+
+    let rows: Vec<Vec<String>> = (0..frames)
+        .map(|i| {
+            vec![
+                i.to_string(),
+                format!("{:.4}", ours_c[i]),
+                format!("{:.4}", ours_s[i]),
+                format!("{:.4}", cv_c[i]),
+                format!("{:.4}", cv_s[i]),
+            ]
+        })
+        .collect();
+    let path = write_csv(
+        "fig5_series.csv",
+        &["frame", "ours_concurrent_ms", "ours_serial_ms", "cv_concurrent_ms", "cv_serial_ms"],
+        &rows,
+    )
+    .expect("write csv");
+
+    let stats = |v: &[f64], name: &str| {
+        let mean = v.iter().sum::<f64>() / v.len() as f64;
+        let max = v.iter().cloned().fold(0.0f64, f64::max);
+        let min = v.iter().cloned().fold(f64::INFINITY, f64::min);
+        let over = v.iter().filter(|&&x| x > 40.0).count();
+        println!(
+            "{name:<16} mean {mean:6.2} ms  min {min:6.2}  max {max:6.2}  >40ms deadline: {over}/{} frames",
+            v.len()
+        );
+        (mean, max)
+    };
+    println!();
+    stats(&ours_c, "ours/concurrent");
+    stats(&ours_s, "ours/serial");
+    stats(&cv_c, "cv/concurrent");
+    stats(&cv_s, "cv/serial");
+
+    // Variability check: the paper's series fluctuates with scene content.
+    let spread = |v: &[f64]| {
+        let mean = v.iter().sum::<f64>() / v.len() as f64;
+        let max = v.iter().cloned().fold(0.0f64, f64::max);
+        max / mean
+    };
+    println!(
+        "\nper-frame variability (max/mean): ours/concurrent {:.2}, cv/serial {:.2}",
+        spread(&ours_c),
+        spread(&cv_s)
+    );
+    println!("wrote {}", path.display());
+}

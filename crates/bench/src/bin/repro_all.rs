@@ -1,0 +1,47 @@
+//! Runs every table/figure reproduction in sequence with the default
+//! sizes by re-invoking the sibling binaries. Useful as the one-shot
+//! "regenerate EXPERIMENTS.md inputs" entry point:
+//!
+//! ```text
+//! cargo run -p fd-bench --release --bin repro_all
+//! ```
+
+use std::process::Command;
+
+fn main() {
+    let exe_dir = std::env::current_exe()
+        .expect("current_exe")
+        .parent()
+        .expect("bin dir")
+        .to_path_buf();
+    let targets = [
+        "table1",
+        "table2",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "counters",
+        "ablations",
+        "ablation_rearrange",
+        "ablation_softcascade",
+        "ablation_multigpu",
+    ];
+    let mut failures = Vec::new();
+    for t in targets {
+        println!("\n================= {t} =================\n");
+        let status = Command::new(exe_dir.join(t))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to spawn {t}: {e}"));
+        if !status.success() {
+            eprintln!("{t} exited with {status}");
+            failures.push(t);
+        }
+    }
+    if !failures.is_empty() {
+        eprintln!("\nFAILED targets: {failures:?}");
+        std::process::exit(1);
+    }
+    println!("\nall reproductions completed; CSVs in results/");
+}

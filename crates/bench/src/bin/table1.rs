@@ -1,0 +1,52 @@
+//! Table I — possible Haar-like feature combinations in a 24x24 window.
+//!
+//! Paper values: edge 55 660, line 31 878, center-surround 3 969,
+//! diagonal 12 100 (total 103 607). The enumeration rule reproducing them
+//! is `EnumerationRule::Icpp2012`; the textbook enumeration is printed
+//! alongside for reference.
+
+use fd_bench::out::{render_table, write_csv};
+use fd_haar::{table1_counts, EnumerationRule};
+
+fn main() {
+    let paper = [55_660usize, 31_878, 3_969, 12_100];
+    let icpp = table1_counts(24, EnumerationRule::Icpp2012);
+    let exhaustive = table1_counts(24, EnumerationRule::Exhaustive);
+    let names = ["Edge", "Line", "Center-surround", "Diagonal"];
+
+    let rows: Vec<Vec<String>> = names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| {
+            vec![
+                n.to_string(),
+                paper[i].to_string(),
+                icpp[i].to_string(),
+                exhaustive[i].to_string(),
+                if icpp[i] == paper[i] { "exact".into() } else { "MISMATCH".into() },
+            ]
+        })
+        .chain(std::iter::once(vec![
+            "TOTAL".into(),
+            paper.iter().sum::<usize>().to_string(),
+            icpp.iter().sum::<usize>().to_string(),
+            exhaustive.iter().sum::<usize>().to_string(),
+            String::new(),
+        ]))
+        .collect();
+
+    println!("Table I — Haar-like feature combinations (24x24 window)\n");
+    println!(
+        "{}",
+        render_table(&["feature", "paper", "reproduced", "exhaustive-rule", "status"], &rows)
+    );
+    let path = write_csv(
+        "table1.csv",
+        &["feature", "paper", "reproduced", "exhaustive_rule"],
+        &rows.iter().map(|r| r[..4].to_vec()).collect::<Vec<_>>(),
+    )
+    .expect("write csv");
+    println!("wrote {}", path.display());
+
+    assert_eq!(icpp, paper, "Table I must reproduce exactly");
+}

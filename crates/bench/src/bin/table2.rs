@@ -1,0 +1,89 @@
+//! Table II — average face-detection time per frame (milliseconds) for
+//! the ten 1080p trailers, under {our GentleBoost cascade, OpenCV-like
+//! AdaBoost cascade} x {concurrent, serial} kernel execution.
+//!
+//! Shape goals (paper §VI-A): concurrent ~ 2x serial for the same
+//! cascade; the compact cascade ~ 2.5x the large one; combined ~ 5x.
+//! Absolute milliseconds come from the simulated GTX470 and are not
+//! expected to match the authors' testbed exactly.
+//!
+//! Usage: `table2 [--frames N] [--trailers K]` (defaults 6 frames, all 10
+//! trailers; the paper averages over whole trailers, we average over N
+//! frames per title).
+
+use fd_bench::cascades::{trained_cascade_pair, TrainingBudget};
+use fd_bench::harness::{run_table2, table2_summary};
+use fd_bench::out::{arg_usize, render_table, write_csv};
+use fd_video::movie_trailers;
+
+fn main() {
+    let frames = arg_usize("--frames", 6);
+    let n_trailers = arg_usize("--trailers", 10).clamp(1, 10);
+    let pair = trained_cascade_pair(&TrainingBudget::default());
+    println!(
+        "cascades: ours = {} stages / {} stumps, opencv-like = {} stages / {} stumps\n",
+        pair.ours.depth(),
+        pair.ours.total_stumps(),
+        pair.opencv_like.depth(),
+        pair.opencv_like.total_stumps()
+    );
+
+    let trailers = &movie_trailers()[..n_trailers];
+    let rows = run_table2(&pair, trailers, frames);
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.title.clone(),
+                format!("{:.2}", r.ours_concurrent),
+                format!("{:.2}", r.ours_serial),
+                format!("{:.2}", r.cv_concurrent),
+                format!("{:.2}", r.cv_serial),
+                format!("{:.2}x", r.combined_speedup()),
+                format!("{:.0}", r.fps_ours_concurrent),
+            ]
+        })
+        .collect();
+    println!();
+    println!("Table II — average face detection time per frame (ms), {frames} frames/trailer\n");
+    println!(
+        "{}",
+        render_table(
+            &["movie trailer", "ours conc", "ours serial", "cv conc", "cv serial", "combined", "fps"],
+            &table
+        )
+    );
+
+    let (conc, casc, comb) = table2_summary(&rows);
+    println!("geomean speedups: concurrency {conc:.2}x (paper ~2x), cascade swap {casc:.2}x (paper ~2.5x), combined {comb:.2}x (paper ~5x)");
+
+    let path = write_csv(
+        "table2.csv",
+        &[
+            "trailer",
+            "ours_concurrent_ms",
+            "ours_serial_ms",
+            "cv_concurrent_ms",
+            "cv_serial_ms",
+            "combined_speedup",
+            "fps_ours_concurrent",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.title.clone(),
+                    format!("{:.4}", r.ours_concurrent),
+                    format!("{:.4}", r.ours_serial),
+                    format!("{:.4}", r.cv_concurrent),
+                    format!("{:.4}", r.cv_serial),
+                    format!("{:.4}", r.combined_speedup()),
+                    format!("{:.2}", r.fps_ours_concurrent),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    )
+    .expect("write csv");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,122 @@
+//! Result formatting: aligned text tables for stdout and CSVs under
+//! `results/`.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Directory CSV outputs are written to (created on demand).
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("FD_RESULTS_DIR").unwrap_or_else(|_| "results".into());
+    let p = PathBuf::from(dir);
+    std::fs::create_dir_all(&p).ok();
+    p
+}
+
+/// Write CSV rows (first row = header) to `results/<name>`.
+pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) -> std::io::Result<PathBuf> {
+    let path = results_dir().join(name);
+    let mut f = std::io::BufWriter::new(std::fs::File::create(&path)?);
+    writeln!(f, "{}", header.join(","))?;
+    for row in rows {
+        writeln!(f, "{}", row.join(","))?;
+    }
+    f.flush()?;
+    Ok(path)
+}
+
+/// Write plain text to `results/<name>`.
+pub fn write_text(name: &str, text: &str) -> std::io::Result<PathBuf> {
+    let path = results_dir().join(name);
+    std::fs::write(&path, text)?;
+    Ok(path)
+}
+
+/// Render an aligned text table.
+pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<w$}", c, w = widths.get(i).copied().unwrap_or(c.len())))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse a `--flag value` style argument from `std::env::args`.
+pub fn arg_usize(flag: &str, default: usize) -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Check for a boolean `--flag`.
+pub fn arg_flag(flag: &str) -> bool {
+    std::env::args().any(|a| a == flag)
+}
+
+/// Ensure a path's parent exists (for nested result names).
+pub fn ensure_parent(path: &Path) {
+    if let Some(p) = path.parent() {
+        std::fs::create_dir_all(p).ok();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_rendering_aligns_columns() {
+        let t = render_table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["long-name".into(), "2.5".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("a "));
+        // Columns align: "value" column starts at the same offset.
+        let col = lines[0].find("value").unwrap();
+        assert_eq!(&lines[3][col..col + 3], "2.5");
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        std::env::set_var("FD_RESULTS_DIR", std::env::temp_dir().join("fd_out_test"));
+        let p = write_csv(
+            "t.csv",
+            &["x", "y"],
+            &[vec!["1".into(), "2".into()]],
+        )
+        .unwrap();
+        let text = std::fs::read_to_string(p).unwrap();
+        assert_eq!(text, "x,y\n1,2\n");
+        std::env::remove_var("FD_RESULTS_DIR");
+    }
+}

@@ -1,0 +1,199 @@
+//! Training-set storage in the paper's column-packed layout (§IV).
+//!
+//! Every 24x24 sample becomes the 25x25 = 625 entries of its integral
+//! image, stored as one column of a row-major `625 x n` matrix. A Haar
+//! feature response is then a short linear combination of *rows* of this
+//! matrix, evaluated for all samples with contiguous slice arithmetic —
+//! the structure the paper exploits with Eigen + SSE4 and that Rust's
+//! auto-vectorizer handles natively.
+
+use fd_haar::WINDOW;
+use fd_imgproc::{GrayImage, IntegralImage};
+
+/// Integral-table side for the training window (`WINDOW + 1`).
+pub const TABLE_SIDE: usize = WINDOW as usize + 1;
+/// Rows of the packed dataset matrix (625 for a 24-px window).
+pub const TABLE_ROWS: usize = TABLE_SIDE * TABLE_SIDE;
+
+/// Column-packed training set: integral rows x samples, plus labels.
+#[derive(Debug, Clone)]
+pub struct TrainingSet {
+    n: usize,
+    /// Row-major `TABLE_ROWS x n`.
+    data: Vec<i32>,
+    /// `+1.0` for faces, `-1.0` for backgrounds.
+    labels: Vec<f32>,
+}
+
+impl TrainingSet {
+    /// Create an empty set.
+    pub fn new() -> Self {
+        Self { n: 0, data: Vec::new(), labels: Vec::new() }
+    }
+
+    /// Number of samples (columns).
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Labels, one per sample.
+    pub fn labels(&self) -> &[f32] {
+        &self.labels
+    }
+
+    /// One matrix row: integral entry `row` across all samples.
+    #[inline]
+    pub fn row(&self, row: usize) -> &[i32] {
+        &self.data[row * self.n..(row + 1) * self.n]
+    }
+
+    /// Build from (image, label) pairs. Images must be `WINDOW x WINDOW`.
+    pub fn from_samples<'a>(samples: impl IntoIterator<Item = (&'a GrayImage, f32)>) -> Self {
+        let mut tables: Vec<Vec<u32>> = Vec::new();
+        let mut labels = Vec::new();
+        for (img, label) in samples {
+            assert_eq!(
+                (img.width(), img.height()),
+                (WINDOW as usize, WINDOW as usize),
+                "training samples must be {WINDOW}x{WINDOW}"
+            );
+            let ii = IntegralImage::from_gray(img);
+            tables.push(ii.table().to_vec());
+            labels.push(label);
+        }
+        Self::from_tables(tables, labels)
+    }
+
+    /// Build from precomputed integral tables (each `TABLE_ROWS` long).
+    pub fn from_tables(tables: Vec<Vec<u32>>, labels: Vec<f32>) -> Self {
+        assert_eq!(tables.len(), labels.len());
+        let n = tables.len();
+        let mut data = vec![0i32; TABLE_ROWS * n];
+        for (col, t) in tables.iter().enumerate() {
+            assert_eq!(t.len(), TABLE_ROWS, "integral table has wrong shape");
+            for (row, &v) in t.iter().enumerate() {
+                data[row * n + col] = v as i32;
+            }
+        }
+        Self { n, data, labels }
+    }
+
+    /// Concatenate two sets (used when replacing bootstrapped negatives).
+    pub fn concat(&self, other: &TrainingSet) -> TrainingSet {
+        let n = self.n + other.n;
+        let mut data = vec![0i32; TABLE_ROWS * n];
+        for row in 0..TABLE_ROWS {
+            let dst = &mut data[row * n..(row + 1) * n];
+            dst[..self.n].copy_from_slice(self.row(row));
+            dst[self.n..].copy_from_slice(other.row(row));
+        }
+        let mut labels = self.labels.clone();
+        labels.extend_from_slice(&other.labels);
+        TrainingSet { n, data, labels }
+    }
+
+    /// Keep only the samples selected by `keep` (length `n`).
+    pub fn filter(&self, keep: &[bool]) -> TrainingSet {
+        assert_eq!(keep.len(), self.n);
+        let idx: Vec<usize> = (0..self.n).filter(|&i| keep[i]).collect();
+        let n = idx.len();
+        let mut data = vec![0i32; TABLE_ROWS * n];
+        for row in 0..TABLE_ROWS {
+            let src = self.row(row);
+            let dst = &mut data[row * n..(row + 1) * n];
+            for (j, &i) in idx.iter().enumerate() {
+                dst[j] = src[i];
+            }
+        }
+        let labels = idx.iter().map(|&i| self.labels[i]).collect();
+        TrainingSet { n, data, labels }
+    }
+
+    /// Reconstruct sample `col` as an [`IntegralImage`] (for cross-checks
+    /// against direct feature evaluation).
+    pub fn integral_of(&self, col: usize) -> IntegralImage {
+        assert!(col < self.n);
+        let mut table = vec![0u32; TABLE_ROWS];
+        for (row, t) in table.iter_mut().enumerate() {
+            *t = self.data[row * self.n + col] as u32;
+        }
+        IntegralImage::from_table(WINDOW as usize, WINDOW as usize, table)
+    }
+
+    /// Count of positive-labelled samples.
+    pub fn positives(&self) -> usize {
+        self.labels.iter().filter(|&&l| l > 0.0).count()
+    }
+
+    /// Count of negative-labelled samples.
+    pub fn negatives(&self) -> usize {
+        self.n - self.positives()
+    }
+}
+
+impl Default for TrainingSet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fd_imgproc::GrayImage;
+
+    fn img(fill: f32) -> GrayImage {
+        GrayImage::from_fn(24, 24, |x, y| (fill + (x + y) as f32) % 256.0)
+    }
+
+    #[test]
+    fn rows_are_transposed_integral_entries() {
+        let a = img(0.0);
+        let b = img(100.0);
+        let set = TrainingSet::from_samples([(&a, 1.0), (&b, -1.0)]);
+        assert_eq!(set.len(), 2);
+        let ia = IntegralImage::from_gray(&a);
+        let ib = IntegralImage::from_gray(&b);
+        // Row corresponding to table entry (y=24,x=24) = total sum.
+        let last_row = set.row(TABLE_ROWS - 1);
+        assert_eq!(last_row[0] as i64, ia.at(24, 24) as i64);
+        assert_eq!(last_row[1] as i64, ib.at(24, 24) as i64);
+    }
+
+    #[test]
+    fn integral_of_roundtrips() {
+        let a = img(37.0);
+        let set = TrainingSet::from_samples([(&a, 1.0)]);
+        let ii = set.integral_of(0);
+        assert_eq!(ii.table(), IntegralImage::from_gray(&a).table());
+    }
+
+    #[test]
+    fn concat_and_filter_compose() {
+        let a = img(0.0);
+        let b = img(50.0);
+        let c = img(200.0);
+        let s1 = TrainingSet::from_samples([(&a, 1.0), (&b, -1.0)]);
+        let s2 = TrainingSet::from_samples([(&c, -1.0)]);
+        let all = s1.concat(&s2);
+        assert_eq!(all.len(), 3);
+        assert_eq!(all.labels(), &[1.0, -1.0, -1.0]);
+        assert_eq!(all.positives(), 1);
+        assert_eq!(all.negatives(), 2);
+        let kept = all.filter(&[true, false, true]);
+        assert_eq!(kept.len(), 2);
+        assert_eq!(kept.labels(), &[1.0, -1.0]);
+        assert_eq!(kept.integral_of(1).table(), all.integral_of(2).table());
+    }
+
+    #[test]
+    #[should_panic(expected = "24x24")]
+    fn rejects_wrongly_sized_samples() {
+        let bad = GrayImage::new(23, 24);
+        let _ = TrainingSet::from_samples([(&bad, 1.0)]);
+    }
+}

@@ -1,0 +1,60 @@
+//! # fd-boost — boosted-cascade training (paper §IV)
+//!
+//! Reimplements the paper's offline training pipeline from scratch:
+//!
+//! * [`dataset`] — the paper's data layout: every 24x24 training image is
+//!   stored as one *column* of a big matrix whose rows are integral-image
+//!   entries, so a Haar feature evaluates as a handful of row
+//!   gathers/AXPYs over the whole training set at once (their Eigen/SSE4
+//!   vectorization; here the rows are contiguous slices the compiler
+//!   auto-vectorizes);
+//! * [`lut`] — features lowered to (row index, coefficient) terms with
+//!   shared corners collapsed (the paper's Fig. 4 evaluates an edge
+//!   feature with 8 row references; merging shared corners leaves 6);
+//! * [`regression`] — weighted regression-stump fitting on bucketed
+//!   responses (GentleBoost) and weighted-error stumps (discrete AdaBoost);
+//! * [`gentle`] / [`ada`] — the two boosting algorithms; GentleBoost is
+//!   the paper's choice, discrete AdaBoost trains the "OpenCV-like"
+//!   baseline cascade;
+//! * [`wald`] — WaldBoost (Sochman & Matas), the SPRT-based algorithm
+//!   behind the Herout et al. related-work detector of the paper's §II:
+//!   a monolithic classifier with per-position rejection thresholds;
+//! * [`trainer`] — the attentional-cascade builder: per-stage detection /
+//!   false-positive goals, stage-threshold calibration on the positive
+//!   set, and bootstrapping of hard negatives between stages (the paper's
+//!   "additional bootstrapping routine");
+//! * [`synthdata`] — synthetic training corpora built on
+//!   `fd_imgproc::synth` (see DESIGN.md substitutions);
+//! * [`smp`] — the SMP scaling model behind Fig. 8. The host may have any
+//!   number of cores (the reference machine for this reproduction has
+//!   one), so thread scaling is *modelled*: the iteration's parallel and
+//!   serial work are measured from the real implementation and replayed
+//!   through calibrated machine profiles (dual Xeon E5472, Core
+//!   i7-2600K).
+//!
+//! Task parallelism over feature combinations uses Rayon
+//! (`#pragma omp parallel for` of the paper's Fig. 4); the bootstrapping
+//! routine overlaps candidate generation with filtering through a
+//! crossbeam channel.
+
+pub mod ada;
+pub mod dataset;
+pub mod gentle;
+pub mod lut;
+pub mod regression;
+pub mod smp;
+pub mod synthdata;
+pub mod trainer;
+pub mod wald;
+
+#[cfg(test)]
+pub(crate) mod testsupport;
+
+pub use ada::AdaBoost;
+pub use dataset::TrainingSet;
+pub use gentle::{initial_weights, update_weights, FeaturePool, GentleBoost, WeakLearner};
+pub use lut::FeatureLut;
+pub use regression::{fit_discrete_stump, fit_regression_stump, StumpFit};
+pub use synthdata::{synth_faces, NegativeSource};
+pub use trainer::{train_cascade, StageGoals, TrainedCascade, TrainerConfig};
+pub use wald::{WaldBoostClassifier, WaldBoostConfig};

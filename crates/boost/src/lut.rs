@@ -1,0 +1,149 @@
+//! Features lowered to dataset-row lookup tables.
+//!
+//! A Haar rectangle's sum is `D - B - C + A` over four integral entries;
+//! with the dataset's column packing each entry is one matrix row. Summing
+//! over the feature's weighted rectangles and collapsing corners shared
+//! between adjacent rectangles gives a short list of `(row, coefficient)`
+//! terms. The paper's Fig. 4 evaluates an edge feature with 8 row
+//! references (its two shared corners kept separate);
+//! [`FeatureLut::from_feature`] additionally merges those shared corners,
+//! so an edge feature costs 6 row passes and a line feature 8.
+
+use std::collections::BTreeMap;
+
+use crate::dataset::{TrainingSet, TABLE_SIDE};
+use fd_haar::HaarFeature;
+
+/// A feature compiled to `(dataset row, coefficient)` terms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FeatureLut {
+    pub terms: Vec<(u32, i32)>,
+}
+
+impl FeatureLut {
+    /// Compile a feature, collapsing shared corners.
+    pub fn from_feature(f: &HaarFeature) -> Self {
+        let mut acc: BTreeMap<u32, i32> = BTreeMap::new();
+        for r in f.rects() {
+            let (x, y) = (r.x as usize, r.y as usize);
+            let (w, h) = (r.w as usize, r.h as usize);
+            let wgt = r.weight as i32;
+            let idx = |xx: usize, yy: usize| (yy * TABLE_SIDE + xx) as u32;
+            // D - B - C + A, each scaled by the rectangle weight.
+            *acc.entry(idx(x + w, y + h)).or_default() += wgt;
+            *acc.entry(idx(x + w, y)).or_default() -= wgt;
+            *acc.entry(idx(x, y + h)).or_default() -= wgt;
+            *acc.entry(idx(x, y)).or_default() += wgt;
+        }
+        acc.retain(|_, c| *c != 0);
+        Self { terms: acc.into_iter().collect() }
+    }
+
+    /// Evaluate the feature for *every* sample of the set, accumulating
+    /// into `out` (length = set size). This is the hot loop of training:
+    /// one contiguous row pass per term.
+    pub fn eval_all(&self, set: &TrainingSet, out: &mut [i32]) {
+        assert_eq!(out.len(), set.len());
+        out.fill(0);
+        for &(row, coeff) in &self.terms {
+            let src = set.row(row as usize);
+            match coeff {
+                1 => {
+                    for (o, &s) in out.iter_mut().zip(src) {
+                        *o += s;
+                    }
+                }
+                -1 => {
+                    for (o, &s) in out.iter_mut().zip(src) {
+                        *o -= s;
+                    }
+                }
+                c => {
+                    for (o, &s) in out.iter_mut().zip(src) {
+                        *o += c * s;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Number of row operations one [`FeatureLut::eval_all`] performs per
+    /// sample (used by the SMP work model).
+    pub fn ops_per_sample(&self) -> usize {
+        self.terms.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fd_haar::{enumerate_features, EnumerationRule, FeatureKind};
+    use fd_imgproc::GrayImage;
+
+    fn random_image(seed: u32) -> GrayImage {
+        GrayImage::from_fn(24, 24, |x, y| {
+            ((x as u32 * 73 + y as u32 * 151 + seed).wrapping_mul(2654435761) >> 24) as f32
+        })
+    }
+
+    #[test]
+    fn edge_feature_collapses_to_six_terms() {
+        // The paper's Fig. 4 edge evaluation touches 8 dataset rows; the
+        // two corners shared between the adjacent cells merge here,
+        // leaving 6 terms with coefficients (-1, +2, -1) / (+1, -2, +1).
+        let f = fd_haar::HaarFeature::from_params(FeatureKind::EdgeH, 4, 4, 5, 6);
+        let lut = FeatureLut::from_feature(&f);
+        assert_eq!(lut.terms.len(), 6);
+        let mut coeffs: Vec<i32> = lut.terms.iter().map(|&(_, c)| c).collect();
+        coeffs.sort_unstable();
+        assert_eq!(coeffs, vec![-2, -1, -1, 1, 1, 2]);
+    }
+
+    #[test]
+    fn line_feature_collapses_to_eight_terms() {
+        // 3 rects x 4 corners = 12, but 4 interior corners merge pairwise
+        // into coefficients of magnitude 3, matching Fig. 4's 8 rows.
+        let f = fd_haar::HaarFeature::from_params(FeatureKind::LineH, 2, 3, 4, 5);
+        let lut = FeatureLut::from_feature(&f);
+        assert_eq!(lut.terms.len(), 8);
+    }
+
+    #[test]
+    fn lut_matches_direct_evaluation_for_all_kinds() {
+        let imgs: Vec<GrayImage> = (0..3).map(random_image).collect();
+        let set = TrainingSet::from_samples(imgs.iter().map(|i| (i, 1.0)));
+        let mut out = vec![0i32; set.len()];
+        for kind in FeatureKind::ALL {
+            let f = fd_haar::HaarFeature::from_params(kind, 2, 2, 3, 4);
+            let lut = FeatureLut::from_feature(&f);
+            lut.eval_all(&set, &mut out);
+            for (col, img) in imgs.iter().enumerate() {
+                let ii = fd_imgproc::IntegralImage::from_gray(img);
+                assert_eq!(out[col], f.eval(&ii, 0, 0), "{kind:?} col {col}");
+            }
+        }
+    }
+
+    #[test]
+    fn lut_matches_direct_evaluation_for_entire_enumeration_sample() {
+        let img = random_image(99);
+        let ii = fd_imgproc::IntegralImage::from_gray(&img);
+        let set = TrainingSet::from_samples([(&img, 1.0)]);
+        let mut out = vec![0i32; 1];
+        // Spot-check a deterministic stride over the full 103k enumeration.
+        for f in enumerate_features(24, EnumerationRule::Icpp2012).iter().step_by(977) {
+            let lut = FeatureLut::from_feature(f);
+            lut.eval_all(&set, &mut out);
+            assert_eq!(out[0], f.eval(&ii, 0, 0), "{f:?}");
+        }
+    }
+
+    #[test]
+    fn zero_coefficients_are_dropped() {
+        for f in enumerate_features(24, EnumerationRule::Icpp2012).iter().step_by(2111) {
+            let lut = FeatureLut::from_feature(f);
+            assert!(lut.terms.iter().all(|&(_, c)| c != 0));
+            assert!(lut.terms.len() <= 16);
+        }
+    }
+}

@@ -1,0 +1,326 @@
+//! WaldBoost (Sochman & Matas, CVPR 2005) — the learning algorithm behind
+//! the related-work detector of Herout et al. that the paper's §II
+//! discusses ("a new GPU object detector based on WaldBoost and LRP
+//! features").
+//!
+//! WaldBoost combines AdaBoost with Wald's sequential probability ratio
+//! test: the strong classifier is a single monolithic sum (no stage
+//! structure), and after every weak classifier the running score is
+//! compared against a rejection threshold derived from the likelihood
+//! ratio of the two classes at that prefix. A window is rejected as soon
+//! as the evidence against "face" is strong enough, giving the same
+//! early-exit economics as a cascade without hand-tuned stage boundaries.
+//!
+//! This implementation trains the monolithic classifier with the crate's
+//! weak learners and calibrates the per-position rejection thresholds
+//! from training traces: position `t`'s threshold is the largest score
+//! below which the false-negative mass stays within the per-position
+//! miss budget `alpha / T` while the rejected mass is dominated by
+//! negatives — the empirical SPRT decision `A = (1 - beta) / alpha`
+//! evaluated on score histograms, as in the original paper's practical
+//! variant.
+
+use crate::dataset::TrainingSet;
+use crate::gentle::{initial_weights, update_weights, WeakLearner};
+use fd_haar::{CascadeEval, Stump, WINDOW};
+use fd_imgproc::IntegralImage;
+
+/// A WaldBoost strong classifier with per-position rejection thresholds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WaldBoostClassifier {
+    pub name: String,
+    pub window: u32,
+    pub stumps: Vec<Stump>,
+    /// `reject_below[t]`: reject when the running sum after stump `t`
+    /// falls strictly below this value. `NEG_INFINITY` disables the test
+    /// at that position.
+    pub reject_below: Vec<f32>,
+    /// Final acceptance threshold on the complete sum.
+    pub accept_threshold: f32,
+}
+
+/// Training configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct WaldBoostConfig {
+    /// Number of weak classifiers (boosting rounds).
+    pub rounds: usize,
+    /// Total false-negative budget spent by the early-exit tests
+    /// (Wald's `alpha`), spread uniformly over positions.
+    pub alpha: f64,
+    /// Fraction of positives that must pass the final threshold.
+    pub final_detection_rate: f64,
+}
+
+impl Default for WaldBoostConfig {
+    fn default() -> Self {
+        Self { rounds: 40, alpha: 0.05, final_detection_rate: 0.98 }
+    }
+}
+
+impl WaldBoostClassifier {
+    /// Train on a fixed positive/negative set with the given weak learner.
+    pub fn train(
+        learner: &dyn WeakLearner,
+        name: &str,
+        set: &TrainingSet,
+        config: &WaldBoostConfig,
+    ) -> Self {
+        assert!(config.rounds >= 1);
+        assert!(set.positives() > 0 && set.negatives() > 0, "need both classes");
+        assert!((0.0..1.0).contains(&config.alpha));
+
+        let n = set.len();
+        let labels = set.labels().to_vec();
+        let mut weights = initial_weights(set);
+        let mut stumps = Vec::with_capacity(config.rounds);
+        // Running scores per sample, per position (traces for calibration).
+        let mut scores = vec![0.0f32; n];
+        let mut traces: Vec<Vec<f32>> = Vec::with_capacity(config.rounds);
+
+        for _ in 0..config.rounds {
+            let stump = learner.fit_round(set, &weights);
+            let outputs = update_weights(&stump, set, &mut weights);
+            for (s, o) in scores.iter_mut().zip(&outputs) {
+                *s += o;
+            }
+            stumps.push(stump);
+            traces.push(scores.clone());
+        }
+
+        // Per-position miss budget.
+        let n_pos = set.positives();
+        let per_pos_misses =
+            ((config.alpha / config.rounds as f64) * n_pos as f64).floor() as usize;
+
+        // Calibrate rejection thresholds: at each position, the threshold
+        // is the highest value that (a) loses at most the per-position
+        // budget of *still-alive* positives and (b) rejects at least as
+        // many negatives as positives (empirical likelihood ratio < 1).
+        let mut alive = vec![true; n];
+        let mut reject_below = Vec::with_capacity(config.rounds);
+        for trace in &traces {
+            let mut pos_scores: Vec<f32> = (0..n)
+                .filter(|&i| alive[i] && labels[i] > 0.0)
+                .map(|i| trace[i])
+                .collect();
+            if pos_scores.is_empty() {
+                reject_below.push(f32::NEG_INFINITY);
+                continue;
+            }
+            pos_scores.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let candidate = pos_scores[per_pos_misses.min(pos_scores.len() - 1)] - 1e-4;
+
+            // Likelihood check: among alive samples below the candidate,
+            // negatives must dominate, otherwise disable the test here.
+            let mut pos_below = 0usize;
+            let mut neg_below = 0usize;
+            for i in 0..n {
+                if alive[i] && trace[i] < candidate {
+                    if labels[i] > 0.0 {
+                        pos_below += 1;
+                    } else {
+                        neg_below += 1;
+                    }
+                }
+            }
+            let threshold =
+                if neg_below > pos_below { candidate } else { f32::NEG_INFINITY };
+            reject_below.push(threshold);
+            if threshold.is_finite() {
+                for i in 0..n {
+                    if alive[i] && trace[i] < threshold {
+                        alive[i] = false;
+                    }
+                }
+            }
+        }
+
+        // Final acceptance threshold: keep `final_detection_rate` of the
+        // surviving positives.
+        let mut surviving_pos: Vec<f32> = (0..n)
+            .filter(|&i| alive[i] && labels[i] > 0.0)
+            .map(|i| traces[config.rounds - 1][i])
+            .collect();
+        surviving_pos.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let accept_threshold = if surviving_pos.is_empty() {
+            0.0
+        } else {
+            let drop = ((1.0 - config.final_detection_rate) * surviving_pos.len() as f64)
+                .floor() as usize;
+            surviving_pos[drop.min(surviving_pos.len() - 1)] - 1e-4
+        };
+
+        Self {
+            name: name.to_string(),
+            window: WINDOW,
+            stumps,
+            reject_below,
+            accept_threshold,
+        }
+    }
+
+    /// Number of weak classifiers.
+    pub fn len(&self) -> usize {
+        self.stumps.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.stumps.is_empty()
+    }
+
+    /// Evaluate one window with the SPRT early exit. `depth` is the
+    /// number of stumps evaluated; `score` the running sum at exit.
+    pub fn eval_window(&self, ii: &IntegralImage, ox: usize, oy: usize) -> CascadeEval {
+        let mut sum = 0.0f32;
+        for (t, stump) in self.stumps.iter().enumerate() {
+            sum += stump.eval(ii, ox, oy);
+            if sum < self.reject_below[t] {
+                return CascadeEval { depth: t as u32 + 1, score: sum };
+            }
+        }
+        CascadeEval { depth: self.stumps.len() as u32, score: sum }
+    }
+
+    /// Whether the window survives every test and the final threshold.
+    pub fn classify(&self, ii: &IntegralImage, ox: usize, oy: usize) -> bool {
+        let e = self.eval_window(ii, ox, oy);
+        e.depth as usize == self.stumps.len() && e.score >= self.accept_threshold
+    }
+
+    /// Mean stumps evaluated per window over an integral image.
+    pub fn mean_depth(&self, ii: &IntegralImage) -> f64 {
+        let w = self.window as usize;
+        if ii.width() < w || ii.height() < w {
+            return 0.0;
+        }
+        let mut total = 0u64;
+        let mut count = 0u64;
+        for oy in 0..=ii.height() - w {
+            for ox in 0..=ii.width() - w {
+                total += self.eval_window(ii, ox, oy).depth as u64;
+                count += 1;
+            }
+        }
+        total as f64 / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gentle::GentleBoost;
+    use crate::synthdata::{synth_faces, NegativeSource};
+    use fd_haar::{enumerate_features, EnumerationRule};
+    use fd_imgproc::GrayImage;
+
+    fn corpus() -> TrainingSet {
+        let faces = synth_faces(120, 31);
+        let negs = NegativeSource::new(32).initial(120);
+        let samples: Vec<(&GrayImage, f32)> = faces
+            .iter()
+            .map(|f| (f, 1.0))
+            .chain(negs.iter().map(|g| (g, -1.0)))
+            .collect();
+        TrainingSet::from_samples(samples)
+    }
+
+    fn pool() -> Vec<fd_haar::HaarFeature> {
+        enumerate_features(24, EnumerationRule::Icpp2012)
+            .into_iter()
+            .step_by(199)
+            .collect()
+    }
+
+    fn train_small() -> WaldBoostClassifier {
+        let set = corpus();
+        let learner = GentleBoost::new(pool());
+        WaldBoostClassifier::train(
+            &learner,
+            "wald-test",
+            &set,
+            &WaldBoostConfig { rounds: 25, alpha: 0.05, final_detection_rate: 0.97 },
+        )
+    }
+
+    #[test]
+    fn training_produces_monotone_usable_classifier() {
+        let wb = train_small();
+        assert_eq!(wb.len(), 25);
+        assert_eq!(wb.reject_below.len(), 25);
+        // At least one early-exit test must be active on separable-ish data.
+        assert!(
+            wb.reject_below.iter().any(|t| t.is_finite()),
+            "no SPRT test was ever enabled"
+        );
+    }
+
+    #[test]
+    fn keeps_most_held_out_faces_and_rejects_backgrounds() {
+        let wb = train_small();
+        let held_faces = synth_faces(60, 77);
+        let kept = held_faces
+            .iter()
+            .filter(|f| wb.classify(&IntegralImage::from_gray(f), 0, 0))
+            .count();
+        assert!(kept >= 40, "only {kept}/60 held-out faces kept");
+
+        let negs = NegativeSource::new(78).initial(60);
+        let fps = negs
+            .iter()
+            .filter(|g| wb.classify(&IntegralImage::from_gray(g), 0, 0))
+            .count();
+        assert!(fps <= 20, "{fps}/60 negatives accepted");
+    }
+
+    #[test]
+    fn early_exit_reduces_mean_depth_on_backgrounds() {
+        let wb = train_small();
+        let bg = {
+            use rand::SeedableRng;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+            fd_imgproc::synth::render_random_background(&mut rng, 96, 96)
+        };
+        let filtered = fd_imgproc::filter::antialias_3tap(&bg);
+        let ii = IntegralImage::from_gray(&filtered);
+        let depth = wb.mean_depth(&ii);
+        assert!(
+            depth < wb.len() as f64 * 0.8,
+            "mean depth {depth:.1} of {} shows no early exit",
+            wb.len()
+        );
+    }
+
+    #[test]
+    fn tighter_alpha_rejects_later() {
+        // A smaller miss budget forces more conservative (lower)
+        // rejection thresholds, so background windows survive longer.
+        let set = corpus();
+        let learner = GentleBoost::new(pool());
+        let tight = WaldBoostClassifier::train(
+            &learner,
+            "tight",
+            &set,
+            &WaldBoostConfig { rounds: 15, alpha: 0.01, final_detection_rate: 0.97 },
+        );
+        let loose = WaldBoostClassifier::train(
+            &learner,
+            "loose",
+            &set,
+            &WaldBoostConfig { rounds: 15, alpha: 0.30, final_detection_rate: 0.97 },
+        );
+        for (t, l) in tight.reject_below.iter().zip(&loose.reject_below) {
+            if t.is_finite() && l.is_finite() {
+                assert!(t <= l, "tight {t} must not exceed loose {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn depth_is_bounded_and_score_finite() {
+        let wb = train_small();
+        let img = GrayImage::from_fn(24, 24, |x, y| ((x * 37 + y * 59) % 255) as f32);
+        let e = wb.eval_window(&IntegralImage::from_gray(&img), 0, 0);
+        assert!(e.depth as usize <= wb.len());
+        assert!(e.score.is_finite());
+    }
+}

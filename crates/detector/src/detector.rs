@@ -1,0 +1,294 @@
+//! The public face-detector API.
+//!
+//! Wraps [`crate::FramePipeline`] with detection extraction, grouping and
+//! the per-frame statistics the paper's evaluation consumes (latency,
+//! per-stage rejection histograms, profiler counters).
+
+use fd_gpu::{DeviceSpec, ExecMode, Gpu, Timeline};
+use fd_haar::Cascade;
+use fd_imgproc::{GrayImage, Rect};
+
+use crate::group::{group_detections, Detection, GroupedDetection};
+use crate::pipeline::{FramePipeline, ScaleOutput};
+
+/// Detector configuration.
+#[derive(Debug, Clone)]
+pub struct DetectorConfig {
+    /// Device to simulate.
+    pub device: DeviceSpec,
+    /// Serial vs concurrent kernel execution (the paper's comparison).
+    pub exec_mode: ExecMode,
+    /// Pyramid ratio between consecutive levels.
+    pub scale_factor: f64,
+    /// `S_eyes` overlap threshold for grouping (paper: 0.5).
+    pub overlap_threshold: f64,
+    /// Minimum raw windows per reported detection.
+    pub min_neighbors: usize,
+    /// Collect per-stage/per-scale rejection histograms (Fig. 7).
+    pub collect_rejection_stats: bool,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        Self {
+            device: DeviceSpec::gtx470(),
+            exec_mode: ExecMode::Concurrent,
+            scale_factor: 1.25,
+            overlap_threshold: 0.5,
+            min_neighbors: 2,
+            collect_rejection_stats: false,
+        }
+    }
+}
+
+/// Histogram of the deepest stage reached, per pyramid level (the data
+/// behind the paper's Fig. 7).
+#[derive(Debug, Clone)]
+pub struct RejectionHistogram {
+    /// `counts[level][depth]` = windows whose evaluation ended at `depth`
+    /// (0 = rejected by the first stage).
+    pub counts: Vec<Vec<u64>>,
+    /// Valid windows per level.
+    pub windows_per_level: Vec<u64>,
+}
+
+impl RejectionHistogram {
+    /// Fraction of windows rejected exactly at `stage` (1-based, i.e.
+    /// stage 1 rejects windows with depth 0), aggregated over all levels.
+    pub fn rejection_rate_at_stage(&self, stage: usize) -> f64 {
+        assert!(stage >= 1);
+        let total: u64 = self.windows_per_level.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let rejected: u64 = self.counts.iter().map(|c| c.get(stage - 1).copied().unwrap_or(0)).sum();
+        rejected as f64 / total as f64
+    }
+
+    /// Per-level rejection fraction at a 1-based stage.
+    pub fn per_level_rate(&self, level: usize, stage: usize) -> f64 {
+        let n = self.windows_per_level[level];
+        if n == 0 {
+            return 0.0;
+        }
+        self.counts[level].get(stage - 1).copied().unwrap_or(0) as f64 / n as f64
+    }
+}
+
+/// Everything produced for one frame.
+#[derive(Debug, Clone)]
+pub struct FrameResult {
+    /// Grouped detections in frame coordinates.
+    pub detections: Vec<GroupedDetection>,
+    /// Raw per-window detections before grouping.
+    pub raw: Vec<Detection>,
+    /// Simulated detection latency (device span), milliseconds.
+    pub detect_ms: f64,
+    /// The frame's kernel timeline (Fig. 6 source).
+    pub timeline: Timeline,
+    /// Per-stage rejection histogram when enabled.
+    pub rejection: Option<RejectionHistogram>,
+}
+
+/// GPU face detector bound to a cascade and configuration.
+pub struct FaceDetector {
+    pipeline: FramePipeline,
+    config: DetectorConfig,
+}
+
+impl FaceDetector {
+    pub fn new(cascade: &Cascade, config: DetectorConfig) -> Self {
+        let gpu = Gpu::new(config.device.clone(), config.exec_mode);
+        let pipeline = FramePipeline::new(gpu, cascade, config.scale_factor);
+        Self { pipeline, config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &DetectorConfig {
+        &self.config
+    }
+
+    /// The quantized cascade in use.
+    pub fn cascade(&self) -> &Cascade {
+        self.pipeline.cascade()
+    }
+
+    /// Switch execution mode (takes effect next frame).
+    pub fn set_exec_mode(&mut self, mode: ExecMode) {
+        self.config.exec_mode = mode;
+        self.pipeline.gpu.set_mode(mode);
+    }
+
+    /// Accumulated profiler (all frames so far).
+    pub fn profiler(&self) -> &fd_gpu::Profiler {
+        self.pipeline.gpu.profiler()
+    }
+
+    /// Reset profiler statistics.
+    pub fn reset_profiler(&mut self) {
+        self.pipeline.gpu.reset_profiler();
+    }
+
+    /// Detect faces in one luma frame.
+    pub fn detect(&mut self, frame: &GrayImage) -> FrameResult {
+        let (outputs, timeline) = self.pipeline.run_frame(frame);
+        let raw = self.extract_raw(&outputs);
+        let detections =
+            group_detections(&raw, self.config.overlap_threshold, self.config.min_neighbors);
+        let rejection = if self.config.collect_rejection_stats {
+            Some(self.histogram(&outputs))
+        } else {
+            None
+        };
+        FrameResult {
+            detections,
+            raw,
+            detect_ms: timeline.span_us() / 1000.0,
+            timeline,
+            rejection,
+        }
+    }
+
+    fn extract_raw(&self, outputs: &[ScaleOutput]) -> Vec<Detection> {
+        let window = self.pipeline.cascade().window as usize;
+        let mut raw = Vec::new();
+        for out in outputs {
+            for oy in 0..out.height {
+                for ox in 0..out.width {
+                    if out.hits[oy * out.width + ox] != 0 {
+                        let size = (window as f64 * out.scale).round() as u32;
+                        raw.push(Detection {
+                            rect: Rect::new(
+                                (ox as f64 * out.scale).round() as i32,
+                                (oy as f64 * out.scale).round() as i32,
+                                size,
+                                size,
+                            ),
+                            score: out.score[oy * out.width + ox],
+                            scale: out.level,
+                        });
+                    }
+                }
+            }
+        }
+        raw
+    }
+
+    fn histogram(&self, outputs: &[ScaleOutput]) -> RejectionHistogram {
+        let n_stages = self.pipeline.cascade().depth() as usize;
+        let window = self.pipeline.cascade().window as usize;
+        let mut counts = Vec::with_capacity(outputs.len());
+        let mut windows = Vec::with_capacity(outputs.len());
+        for out in outputs {
+            let mut hist = vec![0u64; n_stages + 1];
+            let mut total = 0u64;
+            if out.width >= window && out.height >= window {
+                for oy in 0..=out.height - window {
+                    for ox in 0..=out.width - window {
+                        let d = out.depth[oy * out.width + ox] as usize;
+                        hist[d.min(n_stages)] += 1;
+                        total += 1;
+                    }
+                }
+            }
+            counts.push(hist);
+            windows.push(total);
+        }
+        RejectionHistogram { counts, windows_per_level: windows }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fd_haar::{FeatureKind, HaarFeature, Stage, Stump};
+
+    /// A cascade accepting strong left-dark/right-bright vertical edges.
+    fn edge_cascade(stages: usize) -> Cascade {
+        let f = HaarFeature::from_params(FeatureKind::EdgeH, 6, 4, 6, 8);
+        let mut c = Cascade::new("edge", 24);
+        for _ in 0..stages {
+            c.stages.push(Stage {
+                stumps: vec![Stump { feature: f, threshold: 8192, left: -1.0, right: 1.0 }],
+                threshold: 0.5,
+            });
+        }
+        c
+    }
+
+    /// A frame with an edge pattern sized for level-0 windows.
+    fn frame_with_pattern() -> GrayImage {
+        GrayImage::from_fn(80, 60, |x, y| {
+            if (20..30).contains(&x) && (14..34).contains(&y) {
+                5.0
+            } else if (30..40).contains(&x) && (14..34).contains(&y) {
+                250.0
+            } else {
+                120.0
+            }
+        })
+    }
+
+    #[test]
+    fn detects_and_groups_the_pattern() {
+        let mut det = FaceDetector::new(
+            &edge_cascade(2),
+            DetectorConfig { min_neighbors: 1, ..DetectorConfig::default() },
+        );
+        let r = det.detect(&frame_with_pattern());
+        assert!(!r.raw.is_empty(), "pattern must fire raw windows");
+        assert!(!r.detections.is_empty());
+        // The top detection's window contains the contrast edge (x=30).
+        let top = &r.detections[0];
+        assert!(top.rect.x <= 30 && top.rect.right() >= 30, "{:?}", top.rect);
+        assert!(r.detect_ms > 0.0);
+    }
+
+    #[test]
+    fn flat_frames_produce_nothing() {
+        let mut det = FaceDetector::new(&edge_cascade(2), DetectorConfig::default());
+        let r = det.detect(&GrayImage::from_fn(64, 64, |_, _| 128.0));
+        assert!(r.raw.is_empty());
+        assert!(r.detections.is_empty());
+    }
+
+    #[test]
+    fn rejection_histogram_accounts_every_window() {
+        let mut det = FaceDetector::new(
+            &edge_cascade(3),
+            DetectorConfig { collect_rejection_stats: true, ..DetectorConfig::default() },
+        );
+        let r = det.detect(&frame_with_pattern());
+        let hist = r.rejection.expect("enabled");
+        for (level, counts) in hist.counts.iter().enumerate() {
+            let sum: u64 = counts.iter().sum();
+            assert_eq!(sum, hist.windows_per_level[level], "level {level}");
+        }
+        // Flat regions die at stage 1: the aggregate stage-1 rejection
+        // rate must dominate.
+        assert!(hist.rejection_rate_at_stage(1) > 0.8);
+    }
+
+    #[test]
+    fn exec_mode_switch_changes_timing_not_results() {
+        let frame = frame_with_pattern();
+        let mut det = FaceDetector::new(
+            &edge_cascade(2),
+            DetectorConfig { min_neighbors: 1, ..DetectorConfig::default() },
+        );
+        let conc = det.detect(&frame);
+        det.set_exec_mode(ExecMode::Serial);
+        let serial = det.detect(&frame);
+        assert_eq!(conc.raw, serial.raw);
+        assert!(serial.detect_ms >= conc.detect_ms * 0.999);
+    }
+
+    #[test]
+    fn timeline_has_one_trace_row_per_launch() {
+        let mut det = FaceDetector::new(&edge_cascade(1), DetectorConfig::default());
+        let r = det.detect(&frame_with_pattern());
+        // 8 kernels per level.
+        assert_eq!(r.timeline.events.len() % 8, 0);
+        assert!(r.timeline.events.iter().any(|e| e.kernel_name == "cascade_eval"));
+    }
+}

@@ -1,0 +1,115 @@
+//! Display kernel (paper §III-D).
+//!
+//! "Each element (x, y) of these arrays is an integer that represents the
+//! deepest stage of the cascade reached during the evaluation process.
+//! Therefore, the image region enclosed in a sliding window starting at
+//! (x, y) would be considered as a face if the integer value stored there
+//! equals the maximum depth of the cascade."
+//!
+//! The device pass thresholds the depth array into a hit mask, one launch
+//! per scale, concurrently with the other scales' kernels. The host then
+//! maps hits back to frame coordinates (multiplying by the level's
+//! downscale factor, §III-D) and draws rectangles — see
+//! [`crate::group`] and `fd_imgproc::draw`.
+
+use fd_gpu::{BlockCtx, DevBuf, Kernel, LaunchConfig};
+
+pub struct DisplayKernel {
+    /// Deepest-stage array from the cascade kernel.
+    pub depth: DevBuf<u32>,
+    /// Hit mask output (1 where a face window was confirmed).
+    pub hits: DevBuf<u32>,
+    pub width: usize,
+    pub height: usize,
+    /// Cascade depth a window must reach to count as a face.
+    pub required_depth: u32,
+}
+
+impl DisplayKernel {
+    pub const THREADS: u32 = 256;
+
+    pub fn config(&self) -> LaunchConfig {
+        LaunchConfig::linear(self.width * self.height, Self::THREADS)
+    }
+}
+
+impl Kernel for DisplayKernel {
+    fn name(&self) -> &'static str {
+        "display"
+    }
+
+    fn run_block(&self, ctx: &mut BlockCtx<'_>) {
+        let n = self.width * self.height;
+        let tpb = Self::THREADS as usize;
+        let base = ctx.block_idx.x as usize * tpb;
+        let end = (base + tpb).min(n);
+        if base >= n {
+            return;
+        }
+        let mut hit_count = 0u64;
+        let mut warp_divergent = 0u64;
+        let mut warps = 0u64;
+        {
+            let depth = ctx.mem.read(self.depth);
+            let mut hits = ctx.mem.write(self.hits);
+            for ws in (base..end).step_by(ctx.warp_size() as usize) {
+                let we = (ws + ctx.warp_size() as usize).min(end);
+                let mut lane_hits = 0u64;
+                for i in ws..we {
+                    let hit = depth[i] >= self.required_depth;
+                    hits[i] = hit as u32;
+                    lane_hits += hit as u64;
+                }
+                warps += 1;
+                if lane_hits > 0 && lane_hits < (we - ws) as u64 {
+                    warp_divergent += 1;
+                }
+                hit_count += lane_hits;
+            }
+        }
+        let covered = (end - base) as u64;
+        ctx.meter.global_load(4 * covered);
+        ctx.meter.global_store(4 * covered);
+        ctx.meter.alu(2 * warps);
+        ctx.meter.branches(warps, warp_divergent);
+        let _ = hit_count;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fd_gpu::{DeviceSpec, ExecMode, Gpu};
+
+    fn run_display(depth: &[u32], w: usize, h: usize, req: u32) -> Vec<u32> {
+        let mut gpu = Gpu::new(DeviceSpec::gtx470(), ExecMode::Concurrent);
+        let d = gpu.mem.upload(depth);
+        let hits = gpu.mem.alloc::<u32>(w * h);
+        let k = DisplayKernel { depth: d, hits, width: w, height: h, required_depth: req };
+        gpu.launch_default(&k, k.config()).unwrap();
+        gpu.synchronize();
+        gpu.mem.download(hits)
+    }
+
+    #[test]
+    fn thresholds_at_required_depth() {
+        let depth = vec![0, 5, 24, 25, 25, 13];
+        let hits = run_display(&depth, 6, 1, 25);
+        assert_eq!(hits, vec![0, 0, 0, 1, 1, 0]);
+    }
+
+    #[test]
+    fn required_depth_zero_accepts_all() {
+        let depth = vec![0, 1, 2];
+        let hits = run_display(&depth, 3, 1, 0);
+        assert_eq!(hits, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn covers_non_multiple_of_block_sizes() {
+        let n = 300; // not a multiple of 256
+        let depth: Vec<u32> = (0..n as u32).collect();
+        let hits = run_display(&depth, n, 1, 150);
+        assert_eq!(hits.iter().sum::<u32>(), 150);
+    }
+}

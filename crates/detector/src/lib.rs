@@ -1,0 +1,43 @@
+//! # fd-detector — the paper's parallel face-detection pipeline
+//!
+//! The primary contribution of Oro et al. (ICPP 2012), reimplemented on
+//! the simulated GPU of `fd-gpu`:
+//!
+//! ```text
+//! input -> H.264 decode (fd-video, overlapped)
+//!       -> scaling (texture bilinear, one kernel per pyramid level)
+//!       -> filtering (anti-alias)
+//!       -> integral image (row scan -> transpose -> row scan -> transpose)
+//!       -> cascade evaluation (shared-memory tiling, constant-memory
+//!          features, warp-level early exit)
+//!       -> display (deepest-stage thresholding, rectangle grouping)
+//! ```
+//!
+//! Every pyramid level runs in its own CUDA stream; under
+//! [`fd_gpu::ExecMode::Concurrent`] the small levels' kernels co-schedule
+//! across SMs (the paper's headline optimization), while
+//! [`fd_gpu::ExecMode::Serial`] reproduces the baseline.
+//!
+//! * [`kernels`] — the six device kernels, each metering the SIMT work it
+//!   performs;
+//! * [`pipeline`] — per-frame orchestration: buffer management, stream
+//!   assignment, launches and readback;
+//! * [`group`] — detection grouping with the paper's `S_eyes` metric
+//!   (Eq. 6) and the iterative averaging procedure of §VI-B;
+//! * [`detector`] — the public [`FaceDetector`] API;
+//! * [`cpu_ref`] — a pure-CPU reference detector the GPU pipeline is
+//!   verified against, window for window.
+
+pub mod cpu_ref;
+pub mod detector;
+pub mod group;
+pub mod kernels;
+pub mod multi_gpu;
+pub mod pipeline;
+pub mod stream_detector;
+
+pub use detector::{DetectorConfig, FaceDetector, FrameResult, RejectionHistogram};
+pub use group::{group_detections, s_eyes, Detection, GroupedDetection};
+pub use multi_gpu::{detect_multi_gpu, MultiGpuFrame};
+pub use pipeline::{FramePipeline, ScaleOutput};
+pub use stream_detector::{StreamStats, VideoDetector};

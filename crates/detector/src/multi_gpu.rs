@@ -1,0 +1,172 @@
+//! Multi-GPU scale parallelism — the related-work baseline of Hefenbrock
+//! et al. (FCCM 2010), discussed in the paper's §II:
+//!
+//! "They proposed a multi-GPU solution where each detection window is
+//! evaluated in a different thread, and each window scale computed in
+//! parallel in a different GPU."
+//!
+//! Each pyramid level runs its full kernel chain on its *own* simulated
+//! device (round-robin across `n_gpus`), every device receiving a copy of
+//! the frame over PCIe. The frame latency is the slowest device's span
+//! plus the broadcast transfer — demonstrating why the paper's
+//! single-GPU concurrent-kernel approach wins at equal silicon: scale 0
+//! dominates one device while the others idle, and every extra GPU pays
+//! the raw-frame upload the on-die decoder avoids.
+
+use fd_gpu::pcie::PcieModel;
+use fd_gpu::{DeviceSpec, ExecMode, Gpu};
+use fd_haar::Cascade;
+use fd_imgproc::{GrayImage, Pyramid};
+
+use crate::pipeline::FramePipeline;
+
+/// Result of one multi-GPU frame.
+#[derive(Debug, Clone)]
+pub struct MultiGpuFrame {
+    /// Simulated span per device, milliseconds (compute only).
+    pub per_gpu_ms: Vec<f64>,
+    /// Raw-frame broadcast time per device, milliseconds.
+    pub upload_ms: f64,
+    /// End-to-end frame latency: upload + slowest device.
+    pub frame_ms: f64,
+    /// Total raw detections across devices.
+    pub raw_detections: usize,
+}
+
+/// Run one frame with levels distributed round-robin over `n_gpus`
+/// devices (Hefenbrock-style). Every device runs its levels' kernel
+/// chains concurrently within itself.
+pub fn detect_multi_gpu(
+    cascade: &Cascade,
+    frame: &GrayImage,
+    n_gpus: usize,
+    spec: &DeviceSpec,
+    pcie: &PcieModel,
+    scale_factor: f64,
+) -> MultiGpuFrame {
+    assert!(n_gpus >= 1);
+    let window = cascade.window as usize;
+    let plan = Pyramid::plan(frame.width(), frame.height(), scale_factor, window);
+
+    // Partition levels round-robin (level i -> GPU i % n).
+    let mut per_gpu_ms = Vec::with_capacity(n_gpus);
+    let mut raw_detections = 0usize;
+    for g in 0..n_gpus {
+        let levels: Vec<usize> = (0..plan.len()).filter(|l| l % n_gpus == g).collect();
+        if levels.is_empty() {
+            per_gpu_ms.push(0.0);
+            continue;
+        }
+        // Each device runs a pipeline restricted to its levels. The
+        // restriction is emulated by rescaling the frame to the largest
+        // assigned level and running a pyramid whose plan matches the
+        // assigned levels' dimensions; level spacing within a device is
+        // `factor^n_gpus`.
+        let device_factor = scale_factor.powi(n_gpus as i32);
+        let top = plan[levels[0]];
+        let scaled = if top == (frame.width(), frame.height()) {
+            frame.clone()
+        } else {
+            fd_imgproc::resize::resize_bilinear(frame, top.0, top.1)
+        };
+        if scaled.width() < window || scaled.height() < window {
+            per_gpu_ms.push(0.0);
+            continue;
+        }
+        let gpu = Gpu::new(spec.clone(), ExecMode::Concurrent);
+        let mut pipeline = FramePipeline::new(gpu, cascade, device_factor);
+        let (outputs, timeline) = pipeline.run_frame(&scaled);
+        raw_detections += outputs
+            .iter()
+            .map(|o| o.hits.iter().filter(|&&h| h != 0).count())
+            .sum::<usize>();
+        per_gpu_ms.push(timeline.span_us() / 1000.0);
+    }
+
+    // Every device receives the raw frame (no on-die decoder on the
+    // secondary GPUs): sequential DMA broadcasts on one host link.
+    let upload_ms =
+        n_gpus as f64 * pcie.h2d_us(frame.width() * frame.height() * 3 / 2) / 1000.0;
+    let slowest = per_gpu_ms.iter().cloned().fold(0.0f64, f64::max);
+    MultiGpuFrame {
+        per_gpu_ms,
+        upload_ms,
+        frame_ms: upload_ms + slowest,
+        raw_detections,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fd_haar::{FeatureKind, HaarFeature, Stage, Stump};
+
+    fn cascade() -> Cascade {
+        let f = HaarFeature::from_params(FeatureKind::EdgeH, 6, 4, 6, 8);
+        let mut c = Cascade::new("t", 24);
+        c.stages.push(Stage {
+            stumps: vec![Stump { feature: f, threshold: 8192, left: -1.0, right: 1.0 }],
+            threshold: 0.5,
+        });
+        c
+    }
+
+    fn frame() -> GrayImage {
+        GrayImage::from_fn(192, 108, |x, y| ((x * 13 + y * 7) % 255) as f32)
+    }
+
+    #[test]
+    fn levels_are_partitioned_across_devices() {
+        let r = detect_multi_gpu(
+            &cascade(),
+            &frame(),
+            3,
+            &DeviceSpec::gtx470(),
+            &PcieModel::pcie2_x16(),
+            1.25,
+        );
+        assert_eq!(r.per_gpu_ms.len(), 3);
+        // GPU 0 holds level 0 and dominates.
+        assert!(r.per_gpu_ms[0] >= r.per_gpu_ms[1]);
+        assert!(r.per_gpu_ms[0] >= r.per_gpu_ms[2]);
+        assert!(r.frame_ms > r.per_gpu_ms[0], "upload must add latency");
+    }
+
+    #[test]
+    fn single_gpu_case_matches_plain_pipeline_shape() {
+        let r = detect_multi_gpu(
+            &cascade(),
+            &frame(),
+            1,
+            &DeviceSpec::gtx470(),
+            &PcieModel::pcie2_x16(),
+            1.25,
+        );
+        assert_eq!(r.per_gpu_ms.len(), 1);
+        assert!(r.per_gpu_ms[0] > 0.0);
+    }
+
+    #[test]
+    fn adding_gpus_hits_diminishing_returns() {
+        // The scale-0 chain pins GPU 0: going 1 -> 4 GPUs cannot yield a
+        // 4x frame-latency improvement (Hefenbrock's imbalance problem).
+        let one = detect_multi_gpu(
+            &cascade(),
+            &frame(),
+            1,
+            &DeviceSpec::gtx470(),
+            &PcieModel::pcie2_x16(),
+            1.25,
+        );
+        let four = detect_multi_gpu(
+            &cascade(),
+            &frame(),
+            4,
+            &DeviceSpec::gtx470(),
+            &PcieModel::pcie2_x16(),
+            1.25,
+        );
+        let speedup = one.frame_ms / four.frame_ms;
+        assert!(speedup < 3.0, "speedup {speedup:.2} should be far below 4x");
+    }
+}

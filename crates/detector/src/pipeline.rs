@@ -1,0 +1,312 @@
+//! Per-frame pipeline orchestration (paper Fig. 1).
+//!
+//! For every pyramid level the pipeline launches the level's seven
+//! kernels — scale, filter, scan, transpose, scan, transpose, cascade,
+//! display — into a *per-level stream*. In
+//! [`fd_gpu::ExecMode::Concurrent`] mode the device scheduler backfills
+//! idle SMs with blocks from other levels' streams (most effective for the
+//! small levels, whose grids cannot occupy the device on their own); in
+//! [`fd_gpu::ExecMode::Serial`] mode every kernel drains before the next
+//! starts, reproducing the paper's baseline.
+
+use fd_gpu::{ConstPtr, Gpu, Texture2D, Timeline};
+use fd_haar::encode::{encode_cascade, quantize_cascade};
+use fd_haar::Cascade;
+use fd_imgproc::{GrayImage, Pyramid};
+
+use crate::kernels::scan::ScanInput;
+use crate::kernels::{
+    CascadeKernel, DisplayKernel, FilterKernel, ScaleKernel, ScanRowsKernel, TransposeKernel,
+};
+
+/// Readback of one pyramid level after a frame.
+#[derive(Debug, Clone)]
+pub struct ScaleOutput {
+    pub level: usize,
+    pub width: usize,
+    pub height: usize,
+    /// Multiply level coordinates by this to reach frame coordinates.
+    pub scale: f64,
+    /// Deepest stage reached per pixel.
+    pub depth: Vec<u32>,
+    /// Accumulated stage margin per pixel.
+    pub score: Vec<f32>,
+    /// Display-kernel hit mask.
+    pub hits: Vec<u32>,
+}
+
+/// The GPU face-detection pipeline bound to one cascade.
+pub struct FramePipeline {
+    /// The simulated device (public for profiler access).
+    pub gpu: Gpu,
+    cascade: Cascade,
+    const_ptr: ConstPtr,
+    scale_factor: f64,
+}
+
+impl FramePipeline {
+    /// Stage the (quantized) cascade in constant memory and prepare the
+    /// pipeline. `scale_factor` is the pyramid ratio (paper-typical 1.25).
+    pub fn new(mut gpu: Gpu, cascade: &Cascade, scale_factor: f64) -> Self {
+        assert!(scale_factor > 1.0);
+        let quantized = quantize_cascade(cascade);
+        gpu.const_clear();
+        let const_ptr = gpu.const_upload(&encode_cascade(&quantized));
+        Self { gpu, cascade: quantized, const_ptr, scale_factor }
+    }
+
+    /// The quantized cascade the device evaluates.
+    pub fn cascade(&self) -> &Cascade {
+        &self.cascade
+    }
+
+    /// Pyramid scale factor.
+    pub fn scale_factor(&self) -> f64 {
+        self.scale_factor
+    }
+
+    /// Constant-memory bytes occupied by the compressed cascade.
+    pub fn const_bytes(&self) -> usize {
+        self.const_ptr.len() * 4
+    }
+
+    /// Run the full pipeline on one luma frame. Returns the per-level
+    /// readbacks and the frame's device timeline (its span is the
+    /// detection latency).
+    pub fn run_frame(&mut self, frame: &GrayImage) -> (Vec<ScaleOutput>, Timeline) {
+        let window = self.cascade.window as usize;
+        let (fw, fh) = (frame.width(), frame.height());
+        assert!(
+            fw >= window && fh >= window,
+            "frame smaller than the detection window"
+        );
+        let plan = Pyramid::plan(fw, fh, self.scale_factor, window);
+        let gpu = &mut self.gpu;
+
+        gpu.clear_textures();
+        let tex = gpu.bind_texture(Texture2D::from_data(fw, fh, frame.as_slice().to_vec()));
+
+        struct LevelBufs {
+            scaled: fd_gpu::DevBuf<f32>,
+            filtered: fd_gpu::DevBuf<f32>,
+            buf_a: fd_gpu::DevBuf<u32>,
+            buf_b: fd_gpu::DevBuf<u32>,
+            integral: fd_gpu::DevBuf<u32>,
+            depth: fd_gpu::DevBuf<u32>,
+            score: fd_gpu::DevBuf<f32>,
+            hits: fd_gpu::DevBuf<u32>,
+        }
+
+        let mut levels = Vec::with_capacity(plan.len());
+        for (level, &(w, h)) in plan.iter().enumerate() {
+            let stream = gpu.create_stream();
+            let bufs = LevelBufs {
+                scaled: gpu.mem.alloc::<f32>(w * h),
+                filtered: gpu.mem.alloc::<f32>(w * h),
+                buf_a: gpu.mem.alloc::<u32>(w * h),
+                buf_b: gpu.mem.alloc::<u32>(w * h),
+                integral: gpu.mem.alloc::<u32>(w * h),
+                depth: gpu.mem.alloc::<u32>(w * h),
+                score: gpu.mem.alloc::<f32>(w * h),
+                hits: gpu.mem.alloc::<u32>(w * h),
+            };
+
+            let scale = ScaleKernel {
+                src: tex,
+                src_w: fw,
+                src_h: fh,
+                dst: bufs.scaled,
+                dst_w: w,
+                dst_h: h,
+            };
+            gpu.launch(&scale, scale.config(), stream).expect("scale launch");
+
+            let filter =
+                FilterKernel { src: bufs.scaled, dst: bufs.filtered, width: w, height: h };
+            gpu.launch(&filter, filter.config(), stream).expect("filter launch");
+
+            let scan1 = ScanRowsKernel {
+                input: ScanInput::QuantizeF32(bufs.filtered),
+                output: bufs.buf_a,
+                width: w,
+                height: h,
+            };
+            gpu.launch(&scan1, scan1.config(), stream).expect("scan1 launch");
+
+            let t1 = TransposeKernel { src: bufs.buf_a, dst: bufs.buf_b, width: w, height: h };
+            gpu.launch(&t1, t1.config(), stream).expect("transpose1 launch");
+
+            let scan2 = ScanRowsKernel {
+                input: ScanInput::U32(bufs.buf_b),
+                output: bufs.buf_a,
+                width: h,
+                height: w,
+            };
+            gpu.launch(&scan2, scan2.config(), stream).expect("scan2 launch");
+
+            let t2 =
+                TransposeKernel { src: bufs.buf_a, dst: bufs.integral, width: h, height: w };
+            gpu.launch(&t2, t2.config(), stream).expect("transpose2 launch");
+
+            let cascade = CascadeKernel::new(
+                &self.cascade,
+                bufs.integral,
+                w,
+                h,
+                bufs.depth,
+                bufs.score,
+                self.const_ptr,
+            );
+            gpu.launch(&cascade, cascade.config(), stream).expect("cascade launch");
+
+            let display = DisplayKernel {
+                depth: bufs.depth,
+                hits: bufs.hits,
+                width: w,
+                height: h,
+                required_depth: self.cascade.depth(),
+            };
+            gpu.launch(&display, display.config(), stream).expect("display launch");
+
+            levels.push((level, w, h, bufs));
+        }
+
+        let timeline = gpu.synchronize();
+
+        let mut outputs = Vec::with_capacity(levels.len());
+        for (level, w, h, bufs) in levels {
+            outputs.push(ScaleOutput {
+                level,
+                width: w,
+                height: h,
+                scale: self.scale_factor.powi(level as i32),
+                depth: gpu.mem.download(bufs.depth),
+                score: gpu.mem.download(bufs.score),
+                hits: gpu.mem.download(bufs.hits),
+            });
+            gpu.mem.free(bufs.scaled);
+            gpu.mem.free(bufs.filtered);
+            gpu.mem.free(bufs.buf_a);
+            gpu.mem.free(bufs.buf_b);
+            gpu.mem.free(bufs.integral);
+            gpu.mem.free(bufs.depth);
+            gpu.mem.free(bufs.score);
+            gpu.mem.free(bufs.hits);
+        }
+        (outputs, timeline)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fd_gpu::{DeviceSpec, ExecMode};
+    use fd_haar::{FeatureKind, HaarFeature, Stage, Stump};
+    use fd_imgproc::IntegralImage;
+
+    fn simple_cascade() -> Cascade {
+        let f = HaarFeature::from_params(FeatureKind::EdgeH, 6, 4, 6, 8);
+        let mut c = Cascade::new("t", 24);
+        c.stages.push(Stage {
+            stumps: vec![Stump { feature: f, threshold: 4096, left: -1.0, right: 1.0 }],
+            threshold: 0.5,
+        });
+        c
+    }
+
+    fn test_frame() -> GrayImage {
+        // A 96x72 frame with one strong edge pattern.
+        GrayImage::from_fn(96, 72, |x, y| {
+            if (20..32).contains(&x) && (10..34).contains(&y) {
+                10.0
+            } else if (32..44).contains(&x) && (10..34).contains(&y) {
+                250.0
+            } else {
+                100.0
+            }
+        })
+    }
+
+    #[test]
+    fn pipeline_levels_match_host_reference() {
+        let gpu = Gpu::new(DeviceSpec::gtx470(), ExecMode::Concurrent);
+        let mut p = FramePipeline::new(gpu, &simple_cascade(), 1.25);
+        let frame = test_frame();
+        let (outputs, timeline) = p.run_frame(&frame);
+        assert!(outputs.len() >= 4, "96x72 at 1.25 should give several levels");
+        assert!(timeline.span_us() > 0.0);
+
+        // Reference: host-side scale+filter+integral+eval per level.
+        for out in &outputs {
+            let scaled = if out.level == 0 {
+                frame.clone()
+            } else {
+                fd_imgproc::resize::resize_bilinear(&frame, out.width, out.height)
+            };
+            let filtered = fd_imgproc::filter::antialias_3tap(&scaled);
+            let ii = IntegralImage::from_gray(&filtered);
+            let cq = p.cascade().clone();
+            for oy in (0..=out.height - 24).step_by(7) {
+                for ox in (0..=out.width - 24).step_by(7) {
+                    let r = cq.eval_window(&ii, ox, oy);
+                    assert_eq!(
+                        out.depth[oy * out.width + ox],
+                        r.depth,
+                        "level {} window ({ox},{oy})",
+                        out.level
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn serial_and_concurrent_agree_functionally() {
+        let frame = test_frame();
+        let run = |mode| {
+            let gpu = Gpu::new(DeviceSpec::gtx470(), mode);
+            let mut p = FramePipeline::new(gpu, &simple_cascade(), 1.25);
+            let (outputs, timeline) = p.run_frame(&frame);
+            (outputs, timeline)
+        };
+        let (a, ta) = run(ExecMode::Serial);
+        let (b, tb) = run(ExecMode::Concurrent);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.depth, y.depth);
+            assert_eq!(x.hits, y.hits);
+        }
+        // Concurrency can only help.
+        assert!(
+            tb.span_us() <= ta.span_us() * 1.001,
+            "concurrent {} vs serial {}",
+            tb.span_us(),
+            ta.span_us()
+        );
+    }
+
+    #[test]
+    fn hits_are_thresholded_depths() {
+        let gpu = Gpu::new(DeviceSpec::gtx470(), ExecMode::Concurrent);
+        let mut p = FramePipeline::new(gpu, &simple_cascade(), 1.25);
+        let (outputs, _) = p.run_frame(&test_frame());
+        let req = p.cascade().depth();
+        for out in &outputs {
+            for (d, h) in out.depth.iter().zip(&out.hits) {
+                assert_eq!(*h, (*d >= req) as u32);
+            }
+        }
+    }
+
+    #[test]
+    fn memory_is_reclaimed_between_frames() {
+        let gpu = Gpu::new(DeviceSpec::gtx470(), ExecMode::Concurrent);
+        let mut p = FramePipeline::new(gpu, &simple_cascade(), 1.25);
+        let frame = test_frame();
+        let _ = p.run_frame(&frame);
+        let live_after_first = p.gpu.mem.live_bytes();
+        for _ in 0..3 {
+            let _ = p.run_frame(&frame);
+        }
+        assert_eq!(p.gpu.mem.live_bytes(), live_after_first, "no leak across frames");
+    }
+}

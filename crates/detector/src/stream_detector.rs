@@ -1,0 +1,170 @@
+//! Pipelined video detection: hardware decode overlapped with GPU
+//! compute (the paper's deployment shape: "70 fps ... while performing
+//! both tasks (i.e. video decoding and face detection) in the GPU").
+//!
+//! [`VideoDetector`] consumes a stream of decoded frames and tracks the
+//! two-stage pipeline's steady-state timing: decode of frame `i + 1`
+//! overlaps detection of frame `i` (the hardware decoder is
+//! fixed-function logic, independent of the SMs), so the per-frame period
+//! is `max(decode, detect)` after the pipeline fills.
+
+use fd_haar::Cascade;
+use fd_imgproc::GrayImage;
+
+use crate::detector::{DetectorConfig, FaceDetector, FrameResult};
+
+/// Accumulated streaming statistics.
+#[derive(Debug, Clone, Default)]
+pub struct StreamStats {
+    pub frames: usize,
+    pub total_decode_ms: f64,
+    pub total_detect_ms: f64,
+    /// Sum of per-frame pipeline periods `max(decode, detect)`.
+    pub total_period_ms: f64,
+    pub max_detect_ms: f64,
+    pub total_detections: usize,
+}
+
+impl StreamStats {
+    /// Steady-state throughput with decode overlapped.
+    pub fn pipelined_fps(&self) -> f64 {
+        if self.total_period_ms <= 0.0 {
+            return 0.0;
+        }
+        1000.0 * self.frames as f64 / self.total_period_ms
+    }
+
+    /// Throughput if decode and detection ran back-to-back (no overlap).
+    pub fn unpipelined_fps(&self) -> f64 {
+        let total = self.total_decode_ms + self.total_detect_ms;
+        if total <= 0.0 {
+            return 0.0;
+        }
+        1000.0 * self.frames as f64 / total
+    }
+
+    pub fn mean_detect_ms(&self) -> f64 {
+        if self.frames == 0 {
+            0.0
+        } else {
+            self.total_detect_ms / self.frames as f64
+        }
+    }
+
+}
+
+/// A face detector with pipelined-stream accounting.
+pub struct VideoDetector {
+    detector: FaceDetector,
+    stats: StreamStats,
+    deadline_ms: f64,
+    missed_deadlines: usize,
+}
+
+impl VideoDetector {
+    /// `playback_fps` sets the display deadline (24 fps -> 41.7 ms).
+    pub fn new(cascade: &Cascade, config: DetectorConfig, playback_fps: f64) -> Self {
+        assert!(playback_fps > 0.0);
+        Self {
+            detector: FaceDetector::new(cascade, config),
+            stats: StreamStats::default(),
+            deadline_ms: 1000.0 / playback_fps,
+            missed_deadlines: 0,
+        }
+    }
+
+    /// Process one decoded frame (luma plane + its decode latency).
+    pub fn process(&mut self, luma: &GrayImage, decode_ms: f64) -> FrameResult {
+        let r = self.detector.detect(luma);
+        self.stats.frames += 1;
+        self.stats.total_decode_ms += decode_ms;
+        self.stats.total_detect_ms += r.detect_ms;
+        self.stats.total_period_ms += decode_ms.max(r.detect_ms);
+        self.stats.max_detect_ms = self.stats.max_detect_ms.max(r.detect_ms);
+        self.stats.total_detections += r.detections.len();
+        if r.detect_ms > self.deadline_ms {
+            self.missed_deadlines += 1;
+        }
+        r
+    }
+
+    pub fn stats(&self) -> &StreamStats {
+        &self.stats
+    }
+
+    /// Frames whose detection missed the playback deadline.
+    pub fn missed_deadlines(&self) -> usize {
+        self.missed_deadlines
+    }
+
+    /// The display deadline in milliseconds (the paper's 40 ms line for
+    /// 24 fps playback, rounded by their figure).
+    pub fn deadline_ms(&self) -> f64 {
+        self.deadline_ms
+    }
+
+    /// The underlying detector (profiler access, mode switching).
+    pub fn detector_mut(&mut self) -> &mut FaceDetector {
+        &mut self.detector
+    }
+
+    pub fn detector(&self) -> &FaceDetector {
+        &self.detector
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fd_haar::{FeatureKind, HaarFeature, Stage, Stump};
+
+    fn cascade() -> Cascade {
+        let f = HaarFeature::from_params(FeatureKind::EdgeH, 6, 4, 6, 8);
+        let mut c = Cascade::new("t", 24);
+        c.stages.push(Stage {
+            stumps: vec![Stump { feature: f, threshold: 8192, left: -1.0, right: 1.0 }],
+            threshold: 0.5,
+        });
+        c
+    }
+
+    fn frame() -> GrayImage {
+        GrayImage::from_fn(64, 48, |x, _| (x * 3) as f32)
+    }
+
+    #[test]
+    fn stats_accumulate_across_frames() {
+        let mut vd = VideoDetector::new(&cascade(), DetectorConfig::default(), 24.0);
+        for _ in 0..3 {
+            vd.process(&frame(), 9.0);
+        }
+        let s = vd.stats();
+        assert_eq!(s.frames, 3);
+        assert!((s.total_decode_ms - 27.0).abs() < 1e-9);
+        assert!(s.total_detect_ms > 0.0);
+        assert!(s.max_detect_ms > 0.0);
+    }
+
+    #[test]
+    fn pipelined_fps_uses_the_slower_stage() {
+        let mut vd = VideoDetector::new(&cascade(), DetectorConfig::default(), 24.0);
+        vd.process(&frame(), 50.0); // decode-bound frame
+        let s = vd.stats();
+        // Period = max(decode, detect) = 50 ms -> 20 fps.
+        assert!((s.pipelined_fps() - 20.0).abs() < 1.0);
+        // Unpipelined is strictly slower.
+        assert!(s.unpipelined_fps() < s.pipelined_fps());
+    }
+
+    #[test]
+    fn deadline_misses_are_counted() {
+        // Absurd playback rate so every frame misses.
+        let mut vd = VideoDetector::new(&cascade(), DetectorConfig::default(), 1e9);
+        vd.process(&frame(), 1.0);
+        assert_eq!(vd.missed_deadlines(), 1);
+        // Relaxed deadline: no misses.
+        let mut ok = VideoDetector::new(&cascade(), DetectorConfig::default(), 0.001);
+        ok.process(&frame(), 1.0);
+        assert_eq!(ok.missed_deadlines(), 0);
+    }
+}

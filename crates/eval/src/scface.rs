@@ -1,0 +1,140 @@
+//! Synthetic mug-shot accuracy corpus.
+//!
+//! Stands in for the paper's test set: "the subset of visible light mug
+//! shot frontal images of the SCFace database, which has been increased
+//! with 3000 high-resolution background images" (§VI-B). Each positive
+//! image contains exactly one frontal procedural face at a mug-shot-like
+//! size and position, with exact eye annotations; negatives are pure
+//! background textures used to count false positives.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use fd_imgproc::synth::{render_random_background, FaceParams};
+use fd_imgproc::{GrayImage, PointF, Rect};
+
+/// Ground truth for one annotated face.
+#[derive(Debug, Clone)]
+pub struct Annotation {
+    pub rect: Rect,
+    pub eyes: (PointF, PointF),
+    /// Annotated inter-eye distance (the `d1`/`d2` of Eq. 6).
+    pub eye_distance: f64,
+}
+
+/// One corpus image.
+#[derive(Debug, Clone)]
+pub struct MugshotImage {
+    pub image: GrayImage,
+    /// `Some` for mug shots, `None` for background images.
+    pub truth: Option<Annotation>,
+}
+
+/// The generated corpus.
+pub struct MugshotDataset {
+    pub images: Vec<MugshotImage>,
+    pub n_faces: usize,
+    pub n_backgrounds: usize,
+}
+
+impl MugshotDataset {
+    /// Generate `n_faces` mug shots and `n_backgrounds` background images
+    /// of side `image_side` pixels.
+    pub fn generate(n_faces: usize, n_backgrounds: usize, image_side: usize, seed: u64) -> Self {
+        assert!(image_side >= 48);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut images = Vec::with_capacity(n_faces + n_backgrounds);
+
+        for _ in 0..n_faces {
+            let mut img = render_random_background(&mut rng, image_side, image_side);
+            // Mug shot: face fills 45-75% of the image, near-centered.
+            let size = rng.random_range(0.45..0.75) * image_side as f64;
+            let margin_x = image_side as f64 - size;
+            let margin_y = image_side as f64 - size;
+            let x = margin_x * rng.random_range(0.3..0.7);
+            let y = margin_y * rng.random_range(0.2..0.6);
+            let params = FaceParams::sample(&mut rng);
+            let patch = params.render(size.round() as usize);
+            img.blit(&patch, x.round() as i32, y.round() as i32);
+            let eyes = params.eye_centers(size.round(), x.round(), y.round());
+            let eye_distance = eyes.0.distance(&eyes.1);
+            images.push(MugshotImage {
+                image: img,
+                truth: Some(Annotation {
+                    rect: Rect::new(
+                        x.round() as i32,
+                        y.round() as i32,
+                        size.round() as u32,
+                        size.round() as u32,
+                    ),
+                    eyes,
+                    eye_distance,
+                }),
+            });
+        }
+        for _ in 0..n_backgrounds {
+            images.push(MugshotImage {
+                image: render_random_background(&mut rng, image_side, image_side),
+                truth: None,
+            });
+        }
+
+        Self { images, n_faces, n_backgrounds }
+    }
+
+    /// Total annotated faces (the TPR denominator).
+    pub fn total_faces(&self) -> usize {
+        self.n_faces
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_counts() {
+        let ds = MugshotDataset::generate(5, 7, 96, 42);
+        assert_eq!(ds.images.len(), 12);
+        assert_eq!(ds.images.iter().filter(|i| i.truth.is_some()).count(), 5);
+        assert_eq!(ds.total_faces(), 5);
+    }
+
+    #[test]
+    fn truth_is_consistent_with_rendered_face() {
+        let ds = MugshotDataset::generate(10, 0, 128, 7);
+        for img in &ds.images {
+            let t = img.truth.as_ref().unwrap();
+            // Eyes inside the face rect.
+            for eye in [t.eyes.0, t.eyes.1] {
+                assert!(eye.x > t.rect.x as f64 && eye.x < t.rect.right() as f64);
+                assert!(eye.y > t.rect.y as f64 && eye.y < t.rect.bottom() as f64);
+            }
+            // Inter-eye distance ~ 0.4 * face size (the synth convention),
+            // modulated by the sampled feature scale (0.9..1.1).
+            let expect = 0.4 * t.rect.w as f64;
+            assert!(
+                (t.eye_distance - expect).abs() < 0.15 * expect,
+                "eye distance {} vs expected ~{expect}",
+                t.eye_distance
+            );
+            // Face rect fits inside the image.
+            assert!(t.rect.x >= 0 && t.rect.bottom() <= 128);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = MugshotDataset::generate(3, 3, 96, 5);
+        let b = MugshotDataset::generate(3, 3, 96, 5);
+        for (x, y) in a.images.iter().zip(&b.images) {
+            assert_eq!(x.image.as_slice(), y.image.as_slice());
+        }
+    }
+
+    #[test]
+    fn backgrounds_contain_no_truth() {
+        let ds = MugshotDataset::generate(0, 4, 96, 9);
+        assert!(ds.images.iter().all(|i| i.truth.is_none()));
+    }
+}

@@ -1,0 +1,107 @@
+//! CUDA-style three-dimensional index types.
+
+/// A three-component extent or index, mirroring CUDA's `dim3`.
+///
+/// Components default to 1 when constructed through the convenience
+/// constructors, matching CUDA semantics where unspecified dimensions are 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Dim3 {
+    pub x: u32,
+    pub y: u32,
+    pub z: u32,
+}
+
+impl Dim3 {
+    /// One-dimensional extent `(x, 1, 1)`.
+    pub const fn d1(x: u32) -> Self {
+        Self { x, y: 1, z: 1 }
+    }
+
+    /// Two-dimensional extent `(x, y, 1)`.
+    pub const fn d2(x: u32, y: u32) -> Self {
+        Self { x, y, z: 1 }
+    }
+
+    /// Three-dimensional extent.
+    pub const fn d3(x: u32, y: u32, z: u32) -> Self {
+        Self { x, y, z }
+    }
+
+    /// Total number of elements covered by this extent.
+    pub const fn count(&self) -> u64 {
+        self.x as u64 * self.y as u64 * self.z as u64
+    }
+
+    /// Linearizes an index within an extent, x-major (CUDA block order).
+    pub const fn linear_index(&self, idx: Dim3) -> u64 {
+        (idx.z as u64 * self.y as u64 + idx.y as u64) * self.x as u64 + idx.x as u64
+    }
+
+    /// Inverse of [`Dim3::linear_index`].
+    pub const fn from_linear(&self, lin: u64) -> Dim3 {
+        let x = (lin % self.x as u64) as u32;
+        let rest = lin / self.x as u64;
+        let y = (rest % self.y as u64) as u32;
+        let z = (rest / self.y as u64) as u32;
+        Dim3 { x, y, z }
+    }
+}
+
+impl From<u32> for Dim3 {
+    fn from(x: u32) -> Self {
+        Dim3::d1(x)
+    }
+}
+
+impl From<(u32, u32)> for Dim3 {
+    fn from((x, y): (u32, u32)) -> Self {
+        Dim3::d2(x, y)
+    }
+}
+
+impl From<(u32, u32, u32)> for Dim3 {
+    fn from((x, y, z): (u32, u32, u32)) -> Self {
+        Dim3::d3(x, y, z)
+    }
+}
+
+/// Ceiling division helper used to size grids from problem extents.
+pub const fn div_ceil(n: u32, d: u32) -> u32 {
+    n.div_ceil(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_multiplies_components() {
+        assert_eq!(Dim3::d3(2, 3, 4).count(), 24);
+        assert_eq!(Dim3::d1(7).count(), 7);
+    }
+
+    #[test]
+    fn linear_roundtrip_covers_extent() {
+        let ext = Dim3::d3(3, 4, 2);
+        for lin in 0..ext.count() {
+            let idx = ext.from_linear(lin);
+            assert!(idx.x < ext.x && idx.y < ext.y && idx.z < ext.z);
+            assert_eq!(ext.linear_index(idx), lin);
+        }
+    }
+
+    #[test]
+    fn linear_index_is_x_major() {
+        let ext = Dim3::d2(10, 10);
+        // Indices must use d3: d2 is an *extent* constructor and sets z = 1.
+        assert_eq!(ext.linear_index(Dim3::d3(1, 0, 0)), 1);
+        assert_eq!(ext.linear_index(Dim3::d3(0, 1, 0)), 10);
+    }
+
+    #[test]
+    fn div_ceil_rounds_up() {
+        assert_eq!(div_ceil(10, 3), 4);
+        assert_eq!(div_ceil(9, 3), 3);
+        assert_eq!(div_ceil(1, 256), 1);
+    }
+}

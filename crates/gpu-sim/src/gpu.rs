@@ -1,0 +1,375 @@
+//! The device front-end: launch kernels, manage streams/events, synchronize.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::cost::CostModel;
+use crate::device::DeviceSpec;
+use crate::kernel::{BlockCtx, Kernel, LaunchConfig};
+use crate::memory::{ConstBank, ConstPtr, DeviceMemory, TexId, Texture2D};
+use crate::meter::{KernelCounters, Meter};
+use crate::profiler::Profiler;
+use crate::sched::{simulate, BlockCost, ExecMode, LaunchRecord, Timeline};
+use crate::stream::{EventId, StreamId};
+
+/// Reasons a kernel launch can be rejected, mirroring CUDA launch errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LaunchError {
+    /// Block exceeds `max_threads_per_block`.
+    TooManyThreads { requested: u32, limit: u32 },
+    /// Requested dynamic shared memory exceeds the per-block limit.
+    SharedMemExceeded { requested: u32, limit: u32 },
+    /// Grid or block has a zero extent.
+    EmptyLaunch,
+}
+
+impl std::fmt::Display for LaunchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LaunchError::TooManyThreads { requested, limit } => {
+                write!(f, "block of {requested} threads exceeds device limit {limit}")
+            }
+            LaunchError::SharedMemExceeded { requested, limit } => {
+                write!(f, "{requested} B shared memory exceeds per-block limit {limit} B")
+            }
+            LaunchError::EmptyLaunch => write!(f, "grid and block extents must be non-zero"),
+        }
+    }
+}
+
+impl std::error::Error for LaunchError {}
+
+/// A simulated GPU: memory spaces, streams, a launch queue and a profiler.
+///
+/// See the crate-level documentation for the execution model. The typical
+/// per-frame cycle is: upload inputs, stage constants/textures, launch the
+/// pipeline's kernels into per-scale streams, then [`Gpu::synchronize`] to
+/// obtain the frame's [`Timeline`].
+pub struct Gpu {
+    pub spec: DeviceSpec,
+    pub cost: CostModel,
+    /// Global-memory arena (public: host code uploads/downloads directly).
+    pub mem: DeviceMemory,
+    constants: ConstBank,
+    textures: Vec<Texture2D>,
+    mode: ExecMode,
+    next_stream: u32,
+    next_event: u32,
+    pending: Vec<LaunchRecord>,
+    launch_counter: usize,
+    pending_waits: HashMap<StreamId, Vec<EventId>>,
+    fired_events: HashSet<EventId>,
+    profiler: Profiler,
+}
+
+impl Gpu {
+    /// Create a device with the default cost model.
+    pub fn new(spec: DeviceSpec, mode: ExecMode) -> Self {
+        let constants = ConstBank::new(spec.const_mem_bytes);
+        Self {
+            spec,
+            cost: CostModel::default(),
+            mem: DeviceMemory::new(),
+            constants,
+            textures: Vec::new(),
+            mode,
+            next_stream: 1,
+            next_event: 0,
+            pending: Vec::new(),
+            launch_counter: 0,
+            pending_waits: HashMap::new(),
+            fired_events: HashSet::new(),
+            profiler: Profiler::new(),
+        }
+    }
+
+    /// Current execution mode.
+    pub fn mode(&self) -> ExecMode {
+        self.mode
+    }
+
+    /// Switch between serial and concurrent kernel execution. Takes effect
+    /// at the next [`Gpu::synchronize`]; pending launches are simulated
+    /// under the mode active when synchronize is called.
+    pub fn set_mode(&mut self, mode: ExecMode) {
+        self.mode = mode;
+    }
+
+    /// Create a new stream.
+    pub fn create_stream(&mut self) -> StreamId {
+        let s = StreamId(self.next_stream);
+        self.next_stream += 1;
+        s
+    }
+
+    /// Record an event capturing all work currently queued in `stream`.
+    pub fn record_event(&mut self, stream: StreamId) -> EventId {
+        let e = EventId(self.next_event);
+        self.next_event += 1;
+        if let Some(last) = self.pending.iter_mut().rev().find(|l| l.stream == stream) {
+            last.record_events.push(e);
+        } else {
+            // Nothing queued in the stream: the event is already complete.
+            self.fired_events.insert(e);
+        }
+        e
+    }
+
+    /// Make the *next* launch in `stream` wait for `event`.
+    pub fn stream_wait_event(&mut self, stream: StreamId, event: EventId) {
+        if self.fired_events.contains(&event) {
+            return;
+        }
+        self.pending_waits.entry(stream).or_default().push(event);
+    }
+
+    /// Stage data into constant memory.
+    pub fn const_upload(&mut self, words: &[u32]) -> ConstPtr {
+        self.constants.upload(words)
+    }
+
+    /// Reset constant memory.
+    pub fn const_clear(&mut self) {
+        self.constants.clear();
+    }
+
+    /// Constant-memory words currently staged.
+    pub fn const_used_words(&self) -> usize {
+        self.constants.used_words()
+    }
+
+    /// Bind a 2D single-channel texture; returns its handle.
+    pub fn bind_texture(&mut self, tex: Texture2D) -> TexId {
+        self.textures.push(tex);
+        TexId(self.textures.len() - 1)
+    }
+
+    /// Unbind all textures (handles become invalid).
+    pub fn clear_textures(&mut self) {
+        self.textures.clear();
+    }
+
+    /// Launch `kernel` with `cfg` into `stream`.
+    ///
+    /// The functional phase runs immediately: every block executes in
+    /// deterministic order, and metered work is converted to per-block
+    /// timing costs for the scheduler.
+    pub fn launch<K: Kernel>(
+        &mut self,
+        kernel: &K,
+        cfg: LaunchConfig,
+        stream: StreamId,
+    ) -> Result<(), LaunchError> {
+        let threads = cfg.threads_per_block();
+        if threads == 0 || cfg.grid.count() == 0 {
+            return Err(LaunchError::EmptyLaunch);
+        }
+        if threads > self.spec.max_threads_per_block {
+            return Err(LaunchError::TooManyThreads {
+                requested: threads,
+                limit: self.spec.max_threads_per_block,
+            });
+        }
+        if cfg.shared_mem_bytes > self.spec.max_shared_mem_per_block {
+            return Err(LaunchError::SharedMemExceeded {
+                requested: cfg.shared_mem_bytes,
+                limit: self.spec.max_shared_mem_per_block,
+            });
+        }
+
+        let total_blocks = cfg.total_blocks();
+        let mut block_costs = Vec::with_capacity(total_blocks as usize);
+        let mut totals = KernelCounters::default();
+        for lin in 0..total_blocks {
+            let block_idx = cfg.grid.from_linear(lin);
+            let meter = Meter::new();
+            let mut ctx = BlockCtx::new(
+                block_idx,
+                cfg.grid,
+                cfg.block,
+                &self.mem,
+                &meter,
+                &self.constants,
+                &self.textures,
+                self.spec.warp_size,
+                cfg.shared_mem_bytes,
+            );
+            kernel.run_block(&mut ctx);
+            let c = meter.snapshot();
+            block_costs.push(BlockCost {
+                issue_cycles: self.cost.issue_cycles(&c),
+                mem_latency_cycles: self.cost.mem_latency_cycles(&c),
+                mem_bytes: c.global_bytes(),
+            });
+            totals.add(&c);
+        }
+
+        let wait_events = self.pending_waits.remove(&stream).unwrap_or_default();
+        self.pending.push(LaunchRecord {
+            launch_idx: self.launch_counter,
+            kernel_name: kernel.name(),
+            stream,
+            shared_mem_bytes: cfg.shared_mem_bytes,
+            threads_per_block: threads,
+            warps_per_block: cfg.warps_per_block(self.spec.warp_size),
+            block_costs,
+            counters: totals,
+            wait_events,
+            record_events: Vec::new(),
+        });
+        self.launch_counter += 1;
+        Ok(())
+    }
+
+    /// Launch into the default stream.
+    pub fn launch_default<K: Kernel>(
+        &mut self,
+        kernel: &K,
+        cfg: LaunchConfig,
+    ) -> Result<(), LaunchError> {
+        self.launch(kernel, cfg, StreamId::DEFAULT)
+    }
+
+    /// Number of launches queued since the last synchronize.
+    pub fn pending_launches(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Run the timing simulation over all queued launches, feed the
+    /// profiler, clear the queue and return the timeline. The timeline's
+    /// origin (t = 0) is this synchronization scope's start.
+    pub fn synchronize(&mut self) -> Timeline {
+        let launches = std::mem::take(&mut self.pending);
+        // Waits registered but never attached to a launch are dropped, like
+        // a cudaStreamWaitEvent on a stream that never launches again.
+        self.pending_waits.clear();
+        // All recorded events fire within this scope.
+        for l in &launches {
+            for &e in &l.record_events {
+                self.fired_events.insert(e);
+            }
+        }
+        let timeline = simulate(&self.spec, &self.cost, self.mode, &launches);
+        self.profiler.absorb(&timeline.events);
+        timeline
+    }
+
+    /// Accumulated profiling data across all synchronization scopes.
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+
+    /// Clear profiling data.
+    pub fn reset_profiler(&mut self) {
+        self.profiler.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::DevBuf;
+
+    /// Doubles every element; meters one load+store and one ALU op per warp.
+    struct DoubleKernel {
+        buf: DevBuf<u32>,
+    }
+
+    impl Kernel for DoubleKernel {
+        fn name(&self) -> &'static str {
+            "double"
+        }
+        fn run_block(&self, ctx: &mut BlockCtx<'_>) {
+            let tpb = ctx.block_dim.count() as usize;
+            let base = ctx.block_idx.x as usize * tpb;
+            let mut data = ctx.mem.write(self.buf);
+            let end = (base + tpb).min(data.len());
+            for v in &mut data[base..end] {
+                *v *= 2;
+            }
+            ctx.meter.alu(ctx.warps_in_block());
+            ctx.meter.global_load(((end - base) * 4) as u64);
+            ctx.meter.global_store(((end - base) * 4) as u64);
+        }
+    }
+
+    #[test]
+    fn launch_executes_functionally_and_times() {
+        let mut gpu = Gpu::new(DeviceSpec::gtx470(), ExecMode::Concurrent);
+        let buf = gpu.mem.upload(&(0u32..1024).collect::<Vec<_>>());
+        gpu.launch_default(&DoubleKernel { buf }, LaunchConfig::linear(1024, 256)).unwrap();
+        let t = gpu.synchronize();
+        assert_eq!(gpu.mem.read(buf)[10], 20);
+        assert_eq!(t.events.len(), 1);
+        assert!(t.span_us() > 0.0);
+        assert_eq!(t.events[0].blocks, 4);
+    }
+
+    #[test]
+    fn launch_validation_rejects_bad_configs() {
+        let mut gpu = Gpu::new(DeviceSpec::gtx470(), ExecMode::Serial);
+        let buf = gpu.mem.alloc::<u32>(16);
+        let k = DoubleKernel { buf };
+        assert!(matches!(
+            gpu.launch_default(&k, LaunchConfig::new(1u32, 2048u32)),
+            Err(LaunchError::TooManyThreads { .. })
+        ));
+        assert!(matches!(
+            gpu.launch_default(&k, LaunchConfig::new(1u32, 32u32).with_shared_mem(1 << 20)),
+            Err(LaunchError::SharedMemExceeded { .. })
+        ));
+        assert!(matches!(
+            gpu.launch_default(&k, LaunchConfig::new(0u32, 32u32)),
+            Err(LaunchError::EmptyLaunch)
+        ));
+    }
+
+    #[test]
+    fn functional_results_identical_across_modes() {
+        let run = |mode| {
+            let mut gpu = Gpu::new(DeviceSpec::gtx470(), mode);
+            let buf = gpu.mem.upload(&(0u32..4096).collect::<Vec<_>>());
+            let s1 = gpu.create_stream();
+            let s2 = gpu.create_stream();
+            gpu.launch(&DoubleKernel { buf }, LaunchConfig::linear(4096, 256), s1).unwrap();
+            gpu.launch(&DoubleKernel { buf }, LaunchConfig::linear(4096, 256), s2).unwrap();
+            gpu.synchronize();
+            gpu.mem.download(buf)
+        };
+        assert_eq!(run(ExecMode::Serial), run(ExecMode::Concurrent));
+    }
+
+    #[test]
+    fn record_event_on_idle_stream_is_prefired() {
+        let mut gpu = Gpu::new(DeviceSpec::gtx470(), ExecMode::Concurrent);
+        let s1 = gpu.create_stream();
+        let s2 = gpu.create_stream();
+        let e = gpu.record_event(s1); // nothing queued in s1
+        gpu.stream_wait_event(s2, e); // must be a no-op
+        let buf = gpu.mem.alloc::<u32>(32);
+        gpu.launch(&DoubleKernel { buf }, LaunchConfig::linear(32, 32), s2).unwrap();
+        let t = gpu.synchronize();
+        assert_eq!(t.events.len(), 1);
+    }
+
+    #[test]
+    fn profiler_accumulates_across_scopes() {
+        let mut gpu = Gpu::new(DeviceSpec::gtx470(), ExecMode::Serial);
+        let buf = gpu.mem.alloc::<u32>(256);
+        gpu.launch_default(&DoubleKernel { buf }, LaunchConfig::linear(256, 128)).unwrap();
+        gpu.synchronize();
+        gpu.launch_default(&DoubleKernel { buf }, LaunchConfig::linear(256, 128)).unwrap();
+        gpu.synchronize();
+        assert_eq!(gpu.profiler().kernels()["double"].launches, 2);
+        assert_eq!(gpu.profiler().traces().len(), 2);
+    }
+
+    #[test]
+    fn pending_clears_on_sync() {
+        let mut gpu = Gpu::new(DeviceSpec::gtx470(), ExecMode::Serial);
+        let buf = gpu.mem.alloc::<u32>(64);
+        gpu.launch_default(&DoubleKernel { buf }, LaunchConfig::linear(64, 64)).unwrap();
+        assert_eq!(gpu.pending_launches(), 1);
+        gpu.synchronize();
+        assert_eq!(gpu.pending_launches(), 0);
+    }
+}

@@ -1,0 +1,293 @@
+//! Kernel trait, launch configuration and the per-block execution context.
+
+use crate::dim::{div_ceil, Dim3};
+use crate::memory::{ConstBank, DeviceMemory, TexId, Texture2D};
+use crate::meter::Meter;
+
+/// Grid/block geometry and shared-memory request for a launch, mirroring the
+/// CUDA `<<<grid, block, sharedMem>>>` triple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchConfig {
+    pub grid: Dim3,
+    pub block: Dim3,
+    /// Dynamic shared memory requested per block, in bytes.
+    pub shared_mem_bytes: u32,
+}
+
+impl LaunchConfig {
+    pub fn new(grid: impl Into<Dim3>, block: impl Into<Dim3>) -> Self {
+        Self { grid: grid.into(), block: block.into(), shared_mem_bytes: 0 }
+    }
+
+    /// 1D launch covering `n` elements with `threads_per_block` threads.
+    pub fn linear(n: usize, threads_per_block: u32) -> Self {
+        let blocks = div_ceil(n.max(1) as u32, threads_per_block);
+        Self::new(Dim3::d1(blocks), Dim3::d1(threads_per_block))
+    }
+
+    /// 2D launch tiling a `width x height` domain with `bx x by` blocks.
+    pub fn tile2d(width: usize, height: usize, bx: u32, by: u32) -> Self {
+        let gx = div_ceil(width.max(1) as u32, bx);
+        let gy = div_ceil(height.max(1) as u32, by);
+        Self::new(Dim3::d2(gx, gy), Dim3::d2(bx, by))
+    }
+
+    /// Request dynamic shared memory.
+    pub fn with_shared_mem(mut self, bytes: u32) -> Self {
+        self.shared_mem_bytes = bytes;
+        self
+    }
+
+    /// Threads per block.
+    pub fn threads_per_block(&self) -> u32 {
+        self.block.count() as u32
+    }
+
+    /// Warps per block at a given warp size (rounded up, as hardware does).
+    pub fn warps_per_block(&self, warp_size: u32) -> u32 {
+        div_ceil(self.threads_per_block(), warp_size)
+    }
+
+    /// Total blocks in the grid.
+    pub fn total_blocks(&self) -> u64 {
+        self.grid.count()
+    }
+}
+
+/// A device kernel. Implementations execute *one thread block at a time* and
+/// meter the SIMT work they represent.
+///
+/// Functional execution order is deterministic: blocks run in x-major linear
+/// order. Per the CUDA programming model, a correct kernel must not depend
+/// on inter-block execution order, and block outputs must not race; races
+/// surface as `RefCell` borrow panics in the memory arena.
+pub trait Kernel {
+    /// Kernel name for profiling and traces.
+    fn name(&self) -> &'static str;
+
+    /// Execute one block.
+    fn run_block(&self, ctx: &mut BlockCtx<'_>);
+}
+
+/// Execution context for one thread block: geometry, memory spaces and the
+/// work meter.
+pub struct BlockCtx<'a> {
+    /// Index of this block within the grid.
+    pub block_idx: Dim3,
+    /// Grid extent.
+    pub grid_dim: Dim3,
+    /// Block extent (threads).
+    pub block_dim: Dim3,
+    /// Global memory arena.
+    pub mem: &'a DeviceMemory,
+    /// Work meter for this block.
+    pub meter: &'a Meter,
+    constants: &'a ConstBank,
+    textures: &'a [Texture2D],
+    warp_size: u32,
+    shared_limit_bytes: u32,
+    shared_used_bytes: u32,
+}
+
+impl<'a> BlockCtx<'a> {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        block_idx: Dim3,
+        grid_dim: Dim3,
+        block_dim: Dim3,
+        mem: &'a DeviceMemory,
+        meter: &'a Meter,
+        constants: &'a ConstBank,
+        textures: &'a [Texture2D],
+        warp_size: u32,
+        shared_limit_bytes: u32,
+    ) -> Self {
+        Self {
+            block_idx,
+            grid_dim,
+            block_dim,
+            mem,
+            meter,
+            constants,
+            textures,
+            warp_size,
+            shared_limit_bytes,
+            shared_used_bytes: 0,
+        }
+    }
+
+    /// SIMT width of the device.
+    pub fn warp_size(&self) -> u32 {
+        self.warp_size
+    }
+
+    /// Number of warps this block occupies (rounded up).
+    pub fn warps_in_block(&self) -> u64 {
+        div_ceil(self.block_dim.count() as u32, self.warp_size) as u64
+    }
+
+    /// Allocate a block-local shared-memory array of `len` `u32` words.
+    ///
+    /// The returned vector models the block's shared-memory scratchpad: it
+    /// lives for the duration of the block, and its size is charged against
+    /// the launch's shared-memory request. Exceeding the per-block limit
+    /// panics, like a CUDA launch failure would.
+    pub fn shared_alloc_u32(&mut self, len: usize) -> Vec<u32> {
+        self.charge_shared(len * 4);
+        vec![0u32; len]
+    }
+
+    /// Allocate a block-local shared-memory array of `len` `f32` values.
+    pub fn shared_alloc_f32(&mut self, len: usize) -> Vec<f32> {
+        self.charge_shared(len * 4);
+        vec![0f32; len]
+    }
+
+    /// Allocate a block-local shared-memory array of `len` `i32` values.
+    pub fn shared_alloc_i32(&mut self, len: usize) -> Vec<i32> {
+        self.charge_shared(len * 4);
+        vec![0i32; len]
+    }
+
+    fn charge_shared(&mut self, bytes: usize) {
+        self.shared_used_bytes += bytes as u32;
+        assert!(
+            self.shared_used_bytes <= self.shared_limit_bytes,
+            "kernel allocated {} B of shared memory but the launch requested only {} B",
+            self.shared_used_bytes,
+            self.shared_limit_bytes
+        );
+    }
+
+    /// Shared-memory bytes allocated so far by this block.
+    pub fn shared_used_bytes(&self) -> u32 {
+        self.shared_used_bytes
+    }
+
+    /// Read access to a staged constant-memory region.
+    pub fn constant(&self, ptr: crate::memory::ConstPtr) -> &[u32] {
+        self.constants.slice(ptr)
+    }
+
+    /// Bilinear texture fetch; meters one texture transaction.
+    #[inline]
+    pub fn tex2d(&self, tex: TexId, x: f32, y: f32) -> f32 {
+        self.meter.tex(1);
+        self.textures[tex.0].fetch_bilinear(x, y)
+    }
+
+    /// Point-filtered texture fetch; meters one texture transaction.
+    #[inline]
+    pub fn tex2d_point(&self, tex: TexId, x: f32, y: f32) -> f32 {
+        self.meter.tex(1);
+        self.textures[tex.0].fetch_point(x, y)
+    }
+
+    /// Record a `__syncthreads()` executed by all warps of the block.
+    pub fn syncthreads(&self) {
+        self.meter.barrier(self.warps_in_block());
+    }
+
+    /// Iterate the block's threads in warp order, invoking `f(lane_set)` for
+    /// each warp with the linear thread ids of its lanes. Convenience for
+    /// kernels whose metering is warp-structured.
+    pub fn for_each_warp(&self, mut f: impl FnMut(u32, std::ops::Range<u32>)) {
+        let threads = self.block_dim.count() as u32;
+        let mut warp = 0;
+        let mut start = 0;
+        while start < threads {
+            let end = (start + self.warp_size).min(threads);
+            f(warp, start..end);
+            warp += 1;
+            start = end;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_launch_covers_domain() {
+        let cfg = LaunchConfig::linear(1000, 256);
+        assert_eq!(cfg.grid.x, 4);
+        assert_eq!(cfg.threads_per_block(), 256);
+        assert_eq!(cfg.warps_per_block(32), 8);
+        assert_eq!(cfg.total_blocks(), 4);
+    }
+
+    #[test]
+    fn tile2d_rounds_up() {
+        let cfg = LaunchConfig::tile2d(1920, 1080, 24, 24);
+        assert_eq!(cfg.grid.x, 80);
+        assert_eq!(cfg.grid.y, 45);
+        assert_eq!(cfg.threads_per_block(), 576);
+    }
+
+    #[test]
+    fn shared_alloc_enforces_launch_request() {
+        let mem = DeviceMemory::new();
+        let meter = Meter::new();
+        let bank = ConstBank::new(1024);
+        let mut ctx = BlockCtx::new(
+            Dim3::d1(0),
+            Dim3::d1(1),
+            Dim3::d1(64),
+            &mem,
+            &meter,
+            &bank,
+            &[],
+            32,
+            16, // only 16 bytes allowed
+        );
+        let _ok = ctx.shared_alloc_u32(4);
+        assert_eq!(ctx.shared_used_bytes(), 16);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            ctx.shared_alloc_u32(1);
+        }));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn warp_iteration_partitions_threads() {
+        let mem = DeviceMemory::new();
+        let meter = Meter::new();
+        let bank = ConstBank::new(0);
+        let ctx = BlockCtx::new(
+            Dim3::d1(0),
+            Dim3::d1(1),
+            Dim3::d2(24, 3), // 72 threads -> 3 warps: 32, 32, 8
+            &mem,
+            &meter,
+            &bank,
+            &[],
+            32,
+            0,
+        );
+        let mut sizes = Vec::new();
+        ctx.for_each_warp(|_, lanes| sizes.push(lanes.len()));
+        assert_eq!(sizes, vec![32, 32, 8]);
+        assert_eq!(ctx.warps_in_block(), 3);
+    }
+
+    #[test]
+    fn syncthreads_meters_per_warp() {
+        let mem = DeviceMemory::new();
+        let meter = Meter::new();
+        let bank = ConstBank::new(0);
+        let ctx = BlockCtx::new(
+            Dim3::d1(0),
+            Dim3::d1(1),
+            Dim3::d1(128),
+            &mem,
+            &meter,
+            &bank,
+            &[],
+            32,
+            0,
+        );
+        ctx.syncthreads();
+        assert_eq!(meter.snapshot().barriers, 4);
+    }
+}

@@ -1,0 +1,105 @@
+//! # fd-gpu — a deterministic SIMT GPU simulator
+//!
+//! This crate stands in for the CUDA device (an NVIDIA GTX470, sm_20) used by
+//! Oro et al., *Accelerating Boosting-based Face Detection on GPUs* (ICPP
+//! 2012). The paper's central systems claim is about **scheduling**: cascade
+//! evaluation kernels for small pyramid scales leave most streaming
+//! multiprocessors (SMs) idle when executed serially, and concurrent kernel
+//! execution across CUDA streams restores occupancy and roughly doubles
+//! end-to-end throughput. Reproducing that claim does not require
+//! cycle-accurate microarchitecture — it requires a device model that captures
+//!
+//! * the grid/block/thread execution hierarchy and its mapping onto a fixed
+//!   number of SMs with bounded per-SM residency (blocks, warps, threads,
+//!   shared memory);
+//! * warp-granular SIMT execution, so that control-flow divergence and branch
+//!   efficiency are observable;
+//! * the memory spaces with distinct cost behaviour (global DRAM, per-block
+//!   shared memory, broadcast constant memory, interpolating texture memory);
+//! * CUDA streams with in-order execution per stream, and a device scheduler
+//!   that either serializes kernels ([`ExecMode::Serial`]) or backfills idle
+//!   SMs with blocks from other streams ([`ExecMode::Concurrent`]);
+//! * profiling: per-kernel timestamps (execution traces), instruction/
+//!   transaction counters, branch efficiency and DRAM throughput.
+//!
+//! ## Execution model
+//!
+//! Simulation is two-phase:
+//!
+//! 1. **Functional phase** — when a kernel is launched, every thread block is
+//!    executed immediately (in deterministic block order) against the device
+//!    memory arena. Kernels implement [`Kernel::run_block`] and *meter* the
+//!    work they perform through the per-block [`Meter`]: warp-wide ALU
+//!    instructions, shared/constant/texture/global transactions, barriers and
+//!    (divergent) branches. Results are bit-exact and independent of the
+//!    timing mode.
+//! 2. **Timing phase** — each launch yields per-block cycle costs. At
+//!    synchronization points a discrete-event scheduler places blocks onto
+//!    SMs subject to residency limits and stream ordering, producing kernel
+//!    start/end timestamps and the total elapsed device time.
+//!
+//! The cost model ([`CostModel`]) is documented and deliberately simple; the
+//! quantities the reproduction depends on (SM idleness under serial small
+//! launches, warp divergence, constant-memory broadcast amortization) are
+//! first-order effects of the model, not tuned constants.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use fd_gpu::{Gpu, DeviceSpec, ExecMode, Kernel, LaunchConfig, BlockCtx, DevBuf};
+//!
+//! struct Saxpy { a: f32, x: DevBuf<f32>, y: DevBuf<f32>, n: usize }
+//! impl Kernel for Saxpy {
+//!     fn name(&self) -> &'static str { "saxpy" }
+//!     fn run_block(&self, ctx: &mut BlockCtx<'_>) {
+//!         let base = ctx.block_idx.x as usize * ctx.block_dim.x as usize;
+//!         let end = (base + ctx.block_dim.x as usize).min(self.n);
+//!         {
+//!             let x = ctx.mem.read(self.x);
+//!             let mut y = ctx.mem.write(self.y);
+//!             for i in base..end {
+//!                 y[i] += self.a * x[i];
+//!             }
+//!         }
+//!         let warps = ctx.warps_in_block();
+//!         ctx.meter.alu(2 * warps); // one fused multiply-add + bound check per warp
+//!         ctx.meter.global_load(((end - base) * 8) as u64);
+//!         ctx.meter.global_store(((end - base) * 4) as u64);
+//!     }
+//! }
+//!
+//! let mut gpu = Gpu::new(DeviceSpec::gtx470(), ExecMode::Concurrent);
+//! let x = gpu.mem.upload(&vec![1.0f32; 1000]);
+//! let y = gpu.mem.upload(&vec![2.0f32; 1000]);
+//! let s = gpu.create_stream();
+//! gpu.launch(&Saxpy { a: 3.0, x, y, n: 1000 },
+//!            LaunchConfig::linear(1000, 256), s).unwrap();
+//! let timeline = gpu.synchronize();
+//! assert_eq!(gpu.mem.read(y)[0], 5.0);
+//! assert!(timeline.span_us() > 0.0);
+//! ```
+
+pub mod cost;
+pub mod device;
+pub mod dim;
+pub mod kernel;
+pub mod memory;
+pub mod meter;
+pub mod pcie;
+pub mod profiler;
+pub mod sched;
+pub mod stream;
+
+mod gpu;
+
+pub use cost::CostModel;
+pub use device::DeviceSpec;
+pub use dim::Dim3;
+pub use gpu::{Gpu, LaunchError};
+pub use kernel::{BlockCtx, Kernel, LaunchConfig};
+pub use memory::{ConstPtr, DevBuf, DeviceMemory, TexId, Texture2D};
+pub use meter::{KernelCounters, Meter};
+pub use pcie::PcieModel;
+pub use profiler::{KernelProfile, Profiler, TraceEvent};
+pub use sched::{BlockCost, ExecMode, LaunchRecord, Timeline};
+pub use stream::{EventId, StreamId};

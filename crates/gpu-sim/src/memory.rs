@@ -1,0 +1,354 @@
+//! Device memory spaces: global buffers, constant memory and textures.
+//!
+//! Global memory is a typed arena. Buffers are addressed through copyable
+//! [`DevBuf<T>`] handles so kernels can capture them without borrowing the
+//! device. Access is runtime-borrow-checked (`RefCell`), which mirrors the
+//! CUDA contract that blocks must not race on overlapping data: within the
+//! functional phase blocks run one at a time, so a kernel holding a write
+//! borrow across a helper call is the only aliasing hazard, and it is
+//! reported immediately instead of corrupting results.
+//!
+//! Constant memory is a single 64 KiB bank of 32-bit words with bump
+//! allocation, matching how the detector stages its compressed Haar feature
+//! records before launching evaluation kernels. Textures are read-only 2D
+//! single-channel surfaces with clamp addressing and optional bilinear
+//! filtering, the `tex2D` path used by the scaling kernel.
+
+use std::any::Any;
+use std::cell::{Ref, RefCell, RefMut};
+use std::marker::PhantomData;
+
+/// Scalar element types storable in device buffers.
+pub trait DeviceScalar: Copy + Default + 'static {}
+impl DeviceScalar for u8 {}
+impl DeviceScalar for u16 {}
+impl DeviceScalar for u32 {}
+impl DeviceScalar for u64 {}
+impl DeviceScalar for i8 {}
+impl DeviceScalar for i16 {}
+impl DeviceScalar for i32 {}
+impl DeviceScalar for i64 {}
+impl DeviceScalar for f32 {}
+impl DeviceScalar for f64 {}
+
+/// Typed handle to a global-memory buffer. Cheap to copy into kernels.
+pub struct DevBuf<T> {
+    pub(crate) id: usize,
+    pub(crate) len: usize,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T> Clone for DevBuf<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for DevBuf<T> {}
+
+impl<T> std::fmt::Debug for DevBuf<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DevBuf#{}[len={}]", self.id, self.len)
+    }
+}
+
+impl<T> DevBuf<T> {
+    /// Number of elements in the buffer.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+struct Slot {
+    data: RefCell<Box<dyn Any>>,
+    bytes: usize,
+    live: bool,
+}
+
+/// The global-memory arena of a simulated device.
+#[derive(Default)]
+pub struct DeviceMemory {
+    slots: Vec<Slot>,
+    live_bytes: usize,
+    peak_bytes: usize,
+}
+
+impl DeviceMemory {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocate a buffer of `len` default-initialized elements
+    /// (`cudaMalloc` + `cudaMemset`).
+    pub fn alloc<T: DeviceScalar>(&mut self, len: usize) -> DevBuf<T> {
+        self.upload(&vec![T::default(); len])
+    }
+
+    /// Allocate a buffer initialized from host data (`cudaMemcpyHostToDevice`).
+    pub fn upload<T: DeviceScalar>(&mut self, data: &[T]) -> DevBuf<T> {
+        let bytes = std::mem::size_of_val(data);
+        let id = self.slots.len();
+        self.slots.push(Slot {
+            data: RefCell::new(Box::new(data.to_vec())),
+            bytes,
+            live: true,
+        });
+        self.live_bytes += bytes;
+        self.peak_bytes = self.peak_bytes.max(self.live_bytes);
+        DevBuf { id, len: data.len(), _marker: PhantomData }
+    }
+
+    /// Release a buffer. Its handle becomes invalid; further access panics.
+    pub fn free<T: DeviceScalar>(&mut self, buf: DevBuf<T>) {
+        let slot = &mut self.slots[buf.id];
+        assert!(slot.live, "double free of {buf:?}");
+        slot.live = false;
+        self.live_bytes -= slot.bytes;
+        *slot.data.borrow_mut() = Box::new(());
+    }
+
+    /// Shared view of a buffer (`cudaMemcpyDeviceToHost` without the copy).
+    pub fn read<T: DeviceScalar>(&self, buf: DevBuf<T>) -> Ref<'_, Vec<T>> {
+        let slot = &self.slots[buf.id];
+        assert!(slot.live, "use after free of {buf:?}");
+        Ref::map(slot.data.borrow(), |b| {
+            b.downcast_ref::<Vec<T>>().expect("device buffer type mismatch")
+        })
+    }
+
+    /// Mutable view of a buffer. Panics if another borrow is outstanding,
+    /// which corresponds to a data race under the CUDA memory model.
+    pub fn write<T: DeviceScalar>(&self, buf: DevBuf<T>) -> RefMut<'_, Vec<T>> {
+        let slot = &self.slots[buf.id];
+        assert!(slot.live, "use after free of {buf:?}");
+        RefMut::map(slot.data.borrow_mut(), |b| {
+            b.downcast_mut::<Vec<T>>().expect("device buffer type mismatch")
+        })
+    }
+
+    /// Copy host data into an existing buffer.
+    pub fn upload_into<T: DeviceScalar>(&self, buf: DevBuf<T>, data: &[T]) {
+        let mut dst = self.write(buf);
+        assert_eq!(dst.len(), data.len(), "upload_into length mismatch");
+        dst.copy_from_slice(data);
+    }
+
+    /// Copy a buffer out to a host vector.
+    pub fn download<T: DeviceScalar>(&self, buf: DevBuf<T>) -> Vec<T> {
+        self.read(buf).clone()
+    }
+
+    /// Bytes currently allocated.
+    pub fn live_bytes(&self) -> usize {
+        self.live_bytes
+    }
+
+    /// High-water mark of allocated bytes.
+    pub fn peak_bytes(&self) -> usize {
+        self.peak_bytes
+    }
+}
+
+/// Offset handle into the constant-memory bank (in 32-bit words).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConstPtr {
+    pub(crate) offset: usize,
+    pub(crate) len: usize,
+}
+
+impl ConstPtr {
+    pub fn len(&self) -> usize {
+        self.len
+    }
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// The 64 KiB constant-memory bank (bump allocated, explicitly resettable).
+#[derive(Debug)]
+pub struct ConstBank {
+    words: Vec<u32>,
+    capacity_words: usize,
+}
+
+impl ConstBank {
+    pub fn new(capacity_bytes: u32) -> Self {
+        Self { words: Vec::new(), capacity_words: capacity_bytes as usize / 4 }
+    }
+
+    /// Stage words into constant memory; panics when the bank overflows,
+    /// like `cudaMemcpyToSymbol` past 64 KiB fails to compile.
+    pub fn upload(&mut self, data: &[u32]) -> ConstPtr {
+        assert!(
+            self.words.len() + data.len() <= self.capacity_words,
+            "constant memory overflow: {} + {} words > {}",
+            self.words.len(),
+            data.len(),
+            self.capacity_words
+        );
+        let offset = self.words.len();
+        self.words.extend_from_slice(data);
+        ConstPtr { offset, len: data.len() }
+    }
+
+    /// Reset the bump allocator (between cascades/configurations).
+    pub fn clear(&mut self) {
+        self.words.clear();
+    }
+
+    /// View of one staged region.
+    pub fn slice(&self, ptr: ConstPtr) -> &[u32] {
+        &self.words[ptr.offset..ptr.offset + ptr.len]
+    }
+
+    /// Words currently staged.
+    pub fn used_words(&self) -> usize {
+        self.words.len()
+    }
+
+    pub fn capacity_words(&self) -> usize {
+        self.capacity_words
+    }
+}
+
+/// Handle to a bound texture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TexId(pub(crate) usize);
+
+/// A read-only single-channel 2D texture with clamp addressing.
+#[derive(Debug, Clone)]
+pub struct Texture2D {
+    pub width: usize,
+    pub height: usize,
+    data: Vec<f32>,
+}
+
+impl Texture2D {
+    pub fn from_data(width: usize, height: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), width * height, "texture data size mismatch");
+        assert!(width > 0 && height > 0, "texture must be non-empty");
+        Self { width, height, data }
+    }
+
+    #[inline]
+    fn texel(&self, x: isize, y: isize) -> f32 {
+        let xc = x.clamp(0, self.width as isize - 1) as usize;
+        let yc = y.clamp(0, self.height as isize - 1) as usize;
+        self.data[yc * self.width + xc]
+    }
+
+    /// Nearest-neighbour fetch (`tex2D` with point filtering).
+    #[inline]
+    pub fn fetch_point(&self, x: f32, y: f32) -> f32 {
+        self.texel(x.floor() as isize, y.floor() as isize)
+    }
+
+    /// Bilinear fetch (`tex2D` with linear filtering); texel centers at
+    /// integer + 0.5 coordinates, following the CUDA convention.
+    #[inline]
+    pub fn fetch_bilinear(&self, x: f32, y: f32) -> f32 {
+        let xb = x - 0.5;
+        let yb = y - 0.5;
+        let x0 = xb.floor();
+        let y0 = yb.floor();
+        let fx = xb - x0;
+        let fy = yb - y0;
+        let x0 = x0 as isize;
+        let y0 = y0 as isize;
+        let t00 = self.texel(x0, y0);
+        let t10 = self.texel(x0 + 1, y0);
+        let t01 = self.texel(x0, y0 + 1);
+        let t11 = self.texel(x0 + 1, y0 + 1);
+        let top = t00 + (t10 - t00) * fx;
+        let bot = t01 + (t11 - t01) * fx;
+        top + (bot - top) * fy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upload_download_roundtrip() {
+        let mut mem = DeviceMemory::new();
+        let b = mem.upload(&[1u32, 2, 3]);
+        assert_eq!(mem.download(b), vec![1, 2, 3]);
+        assert_eq!(b.len(), 3);
+    }
+
+    #[test]
+    fn write_then_read_sees_update() {
+        let mut mem = DeviceMemory::new();
+        let b = mem.alloc::<f32>(4);
+        mem.write(b)[2] = 7.5;
+        assert_eq!(mem.read(b)[2], 7.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn type_confusion_panics() {
+        let mut mem = DeviceMemory::new();
+        let b = mem.upload(&[1u32, 2]);
+        let fake = DevBuf::<f32> { id: b.id, len: b.len, _marker: PhantomData };
+        let _ = mem.read(fake);
+    }
+
+    #[test]
+    #[should_panic(expected = "use after free")]
+    fn use_after_free_panics() {
+        let mut mem = DeviceMemory::new();
+        let b = mem.upload(&[1u32]);
+        mem.free(b);
+        let _ = mem.read(b);
+    }
+
+    #[test]
+    fn live_and_peak_bytes_track_allocations() {
+        let mut mem = DeviceMemory::new();
+        let a = mem.alloc::<u32>(100); // 400 bytes
+        let b = mem.alloc::<u8>(50); // 50 bytes
+        assert_eq!(mem.live_bytes(), 450);
+        mem.free(a);
+        assert_eq!(mem.live_bytes(), 50);
+        assert_eq!(mem.peak_bytes(), 450);
+        mem.free(b);
+        assert_eq!(mem.live_bytes(), 0);
+    }
+
+    #[test]
+    fn const_bank_bump_allocates_and_overflows() {
+        let mut bank = ConstBank::new(16); // 4 words
+        let p = bank.upload(&[1, 2, 3]);
+        assert_eq!(bank.slice(p), &[1, 2, 3]);
+        assert_eq!(bank.used_words(), 3);
+        let q = bank.upload(&[9]);
+        assert_eq!(bank.slice(q), &[9]);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            bank.upload(&[0]);
+        }));
+        assert!(r.is_err(), "fifth word must overflow a 16-byte bank");
+    }
+
+    #[test]
+    fn texture_point_fetch_clamps() {
+        let t = Texture2D::from_data(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(t.fetch_point(-5.0, -5.0), 1.0);
+        assert_eq!(t.fetch_point(10.0, 10.0), 4.0);
+        assert_eq!(t.fetch_point(1.0, 0.0), 2.0);
+    }
+
+    #[test]
+    fn texture_bilinear_interpolates_midpoints() {
+        let t = Texture2D::from_data(2, 1, vec![0.0, 10.0]);
+        // Texel centers at x=0.5 and x=1.5; x=1.0 is halfway.
+        assert!((t.fetch_bilinear(1.0, 0.5) - 5.0).abs() < 1e-6);
+        // At texel centers the fetch returns the texel exactly.
+        assert!((t.fetch_bilinear(0.5, 0.5) - 0.0).abs() < 1e-6);
+        assert!((t.fetch_bilinear(1.5, 0.5) - 10.0).abs() < 1e-6);
+    }
+}

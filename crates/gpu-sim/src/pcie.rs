@@ -1,0 +1,96 @@
+//! Host-device transfer model (PCIe), backing the paper's §III-A
+//! motivation:
+//!
+//! "When the video decoding stage is performed in a GPU, the latency of
+//! memory transfers between the CPU and GPU address space is
+//! significantly reduced due to the fact that these transfers deal with
+//! compressed video frames."
+//!
+//! The simulated pipeline never transfers decoded frames (the decoder is
+//! on-die, like NVCUVID); this model quantifies the alternative — CPU
+//! decode + raw-frame upload — for the `counters` report and the
+//! documentation claims.
+
+/// PCIe link model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PcieModel {
+    /// Effective host-to-device bandwidth, GB/s (pinned memory).
+    pub h2d_gbps: f64,
+    /// Effective device-to-host bandwidth, GB/s.
+    pub d2h_gbps: f64,
+    /// Per-transfer fixed latency, microseconds (DMA setup + driver).
+    pub latency_us: f64,
+}
+
+impl PcieModel {
+    /// PCIe 2.0 x16 as on the paper's GTX470 testbed: ~6 GB/s effective
+    /// with pinned buffers, ~10 us per DMA.
+    pub fn pcie2_x16() -> Self {
+        Self { h2d_gbps: 6.0, d2h_gbps: 5.5, latency_us: 10.0 }
+    }
+
+    /// Time to move `bytes` host-to-device, microseconds.
+    pub fn h2d_us(&self, bytes: usize) -> f64 {
+        self.latency_us + bytes as f64 / (self.h2d_gbps * 1e3)
+    }
+
+    /// Time to move `bytes` device-to-host, microseconds.
+    pub fn d2h_us(&self, bytes: usize) -> f64 {
+        self.latency_us + bytes as f64 / (self.d2h_gbps * 1e3)
+    }
+
+    /// The paper's comparison for one 1080p frame: uploading the raw NV12
+    /// output of a CPU decoder vs uploading the compressed bitstream
+    /// slice (on-die decode). Returns `(raw_us, compressed_us)`.
+    pub fn frame_upload_comparison(
+        &self,
+        width: usize,
+        height: usize,
+        bitrate_mbps: f64,
+        fps: f64,
+    ) -> (f64, f64) {
+        let raw_bytes = width * height * 3 / 2; // NV12
+        let compressed_bytes = (bitrate_mbps * 1e6 / 8.0 / fps) as usize;
+        (self.h2d_us(raw_bytes), self.h2d_us(compressed_bytes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_1080p_upload_takes_about_half_a_millisecond() {
+        let p = PcieModel::pcie2_x16();
+        let us = p.h2d_us(1920 * 1080 * 3 / 2);
+        assert!((400.0..700.0).contains(&us), "raw NV12 upload {us:.0} us");
+    }
+
+    #[test]
+    fn compressed_slices_are_an_order_of_magnitude_cheaper() {
+        // The paper's trailers: ~9 Mbps at 24 fps -> ~47 KB per frame.
+        let p = PcieModel::pcie2_x16();
+        let (raw, compressed) = p.frame_upload_comparison(1920, 1080, 9.0, 24.0);
+        assert!(
+            raw / compressed > 10.0,
+            "raw {raw:.0} us vs compressed {compressed:.0} us"
+        );
+        // Compressed transfer is dominated by DMA latency.
+        assert!(compressed < 25.0);
+    }
+
+    #[test]
+    fn latency_floor_applies_to_tiny_transfers() {
+        let p = PcieModel::pcie2_x16();
+        assert!(p.h2d_us(1) >= p.latency_us);
+        assert!(p.d2h_us(0) >= p.latency_us);
+    }
+
+    #[test]
+    fn bandwidth_scales_linearly() {
+        let p = PcieModel::pcie2_x16();
+        let one = p.h2d_us(1_000_000) - p.latency_us;
+        let two = p.h2d_us(2_000_000) - p.latency_us;
+        assert!((two / one - 2.0).abs() < 1e-9);
+    }
+}

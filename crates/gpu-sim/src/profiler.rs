@@ -1,0 +1,185 @@
+//! Profiling output: execution traces and per-kernel aggregate statistics.
+//!
+//! Mirrors what the paper extracts from the CUDA compute command-line
+//! profiler: kernel timestamps per stream (their Fig. 6), branch efficiency
+//! (their 98.9 % figure) and DRAM read throughput per kernel (their
+//! 9.57–532 MB/s range for the cascade kernels).
+
+use std::collections::BTreeMap;
+
+use crate::meter::KernelCounters;
+use crate::stream::StreamId;
+
+/// One row of an execution trace: a kernel launch with its timestamps.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    pub launch_idx: usize,
+    pub kernel_name: &'static str,
+    pub stream: StreamId,
+    pub t_start_us: f64,
+    pub t_end_us: f64,
+    pub blocks: u64,
+    pub counters: KernelCounters,
+}
+
+impl TraceEvent {
+    pub fn duration_us(&self) -> f64 {
+        self.t_end_us - self.t_start_us
+    }
+
+    /// DRAM read throughput over the kernel's lifetime, MB/s.
+    pub fn dram_read_throughput_mbps(&self) -> f64 {
+        let d = self.duration_us();
+        if d <= 0.0 {
+            return 0.0;
+        }
+        // bytes / us = MB/s.
+        self.counters.global_bytes_read as f64 / d
+    }
+}
+
+/// Aggregate statistics for one kernel name across many launches.
+#[derive(Debug, Clone, Default)]
+pub struct KernelProfile {
+    pub launches: u64,
+    pub blocks: u64,
+    pub total_time_us: f64,
+    pub counters: KernelCounters,
+}
+
+impl KernelProfile {
+    pub fn branch_efficiency(&self) -> f64 {
+        self.counters.branch_efficiency()
+    }
+
+    /// Mean DRAM read throughput while this kernel was executing, MB/s.
+    pub fn dram_read_throughput_mbps(&self) -> f64 {
+        if self.total_time_us <= 0.0 {
+            return 0.0;
+        }
+        self.counters.global_bytes_read as f64 / self.total_time_us
+    }
+}
+
+/// Accumulates traces across synchronization scopes.
+#[derive(Debug, Default)]
+pub struct Profiler {
+    traces: Vec<TraceEvent>,
+    per_kernel: BTreeMap<&'static str, KernelProfile>,
+}
+
+impl Profiler {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ingest the events of one timing simulation.
+    pub fn absorb(&mut self, events: &[TraceEvent]) {
+        for e in events {
+            let p = self.per_kernel.entry(e.kernel_name).or_default();
+            p.launches += 1;
+            p.blocks += e.blocks;
+            p.total_time_us += e.duration_us();
+            p.counters.add(&e.counters);
+            self.traces.push(e.clone());
+        }
+    }
+
+    /// All recorded trace rows, in launch order.
+    pub fn traces(&self) -> &[TraceEvent] {
+        &self.traces
+    }
+
+    /// Aggregate per-kernel profiles, keyed by kernel name.
+    pub fn kernels(&self) -> &BTreeMap<&'static str, KernelProfile> {
+        &self.per_kernel
+    }
+
+    /// Device-wide branch efficiency across every metered kernel.
+    pub fn branch_efficiency(&self) -> f64 {
+        let mut total = KernelCounters::default();
+        for p in self.per_kernel.values() {
+            total.add(&p.counters);
+        }
+        total.branch_efficiency()
+    }
+
+    /// Clear all recorded data.
+    pub fn reset(&mut self) {
+        self.traces.clear();
+        self.per_kernel.clear();
+    }
+
+    /// Render the trace as aligned text rows (a poor man's Fig. 6).
+    pub fn render_trace(&self) -> String {
+        let mut out = String::new();
+        out.push_str("launch  stream  t_start_us   t_end_us     kernel\n");
+        for e in &self.traces {
+            out.push_str(&format!(
+                "{:<7} {:<7} {:<12.3} {:<12.3} {}\n",
+                e.launch_idx,
+                e.stream.index(),
+                e.t_start_us,
+                e.t_end_us,
+                e.kernel_name
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(name: &'static str, stream: u32, t0: f64, t1: f64, read: u64) -> TraceEvent {
+        TraceEvent {
+            launch_idx: 0,
+            kernel_name: name,
+            stream: StreamId(stream),
+            t_start_us: t0,
+            t_end_us: t1,
+            blocks: 1,
+            counters: KernelCounters {
+                global_bytes_read: read,
+                branches: 100,
+                divergent_branches: 2,
+                ..KernelCounters::default()
+            },
+        }
+    }
+
+    #[test]
+    fn profiler_aggregates_by_kernel_name() {
+        let mut p = Profiler::new();
+        p.absorb(&[ev("cascade", 1, 0.0, 10.0, 1000), ev("cascade", 2, 5.0, 25.0, 3000)]);
+        let k = &p.kernels()["cascade"];
+        assert_eq!(k.launches, 2);
+        assert_eq!(k.total_time_us, 30.0);
+        assert_eq!(k.counters.global_bytes_read, 4000);
+    }
+
+    #[test]
+    fn dram_throughput_is_bytes_per_us() {
+        // 500 bytes over 1 us = 500 MB/s.
+        let e = ev("k", 1, 0.0, 1.0, 500);
+        assert!((e.dram_read_throughput_mbps() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn branch_efficiency_aggregates_over_kernels() {
+        let mut p = Profiler::new();
+        p.absorb(&[ev("a", 1, 0.0, 1.0, 0), ev("b", 1, 0.0, 1.0, 0)]);
+        // 200 branches, 4 divergent => 98%.
+        assert!((p.branch_efficiency() - 0.98).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_trace_lists_rows() {
+        let mut p = Profiler::new();
+        p.absorb(&[ev("scale", 3, 1.0, 2.0, 0)]);
+        let s = p.render_trace();
+        assert!(s.contains("scale"));
+        assert!(s.lines().count() == 2);
+    }
+}

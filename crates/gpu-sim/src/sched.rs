@@ -1,0 +1,548 @@
+//! Discrete-event scheduling of thread blocks onto streaming
+//! multiprocessors.
+//!
+//! The scheduler consumes [`LaunchRecord`]s (produced by the functional
+//! phase) and simulates the device's block dispatcher:
+//!
+//! * every SM has residency limits (blocks, warps, threads, shared memory);
+//! * launches in the same stream execute in order;
+//! * [`ExecMode::Serial`] additionally drains each launch before the next
+//!   one starts (profiler-style serialization, the paper's baseline);
+//! * [`ExecMode::Concurrent`] lets blocks of up to
+//!   `max_concurrent_kernels` launches from *different* streams share the
+//!   device, backfilling SMs that the current kernels leave idle — the
+//!   mechanism behind the paper's headline speedup;
+//! * `cudaStreamWaitEvent`-style dependencies are honored.
+//!
+//! Block durations come from [`CostModel::block_cycles`], evaluated at
+//! placement time with the SM's warp residency, so small lonely kernels pay
+//! poor latency hiding in addition to leaving SMs idle.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::cost::CostModel;
+use crate::device::DeviceSpec;
+use crate::meter::KernelCounters;
+use crate::profiler::TraceEvent;
+use crate::stream::{EventId, StreamId};
+
+/// Whether kernels from distinct streams may overlap on the device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Drain every launch before starting the next, regardless of stream.
+    Serial,
+    /// Fermi-style concurrent kernel execution across streams.
+    Concurrent,
+}
+
+/// Timing cost of one thread block, produced by the functional phase.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockCost {
+    /// Issue-pipeline cycles (ALU, shared, constant, texture, barriers).
+    pub issue_cycles: f64,
+    /// Un-hidden global-memory latency cycles.
+    pub mem_latency_cycles: f64,
+    /// Global traffic in bytes (for the bandwidth floor).
+    pub mem_bytes: u64,
+}
+
+/// A completed functional launch, ready for timing simulation.
+#[derive(Debug, Clone)]
+pub struct LaunchRecord {
+    /// Position in global launch order (monotonic per device).
+    pub launch_idx: usize,
+    pub kernel_name: &'static str,
+    pub stream: StreamId,
+    pub shared_mem_bytes: u32,
+    pub threads_per_block: u32,
+    pub warps_per_block: u32,
+    /// Per-block costs, in functional block order.
+    pub block_costs: Vec<BlockCost>,
+    /// Work counters aggregated over all blocks.
+    pub counters: KernelCounters,
+    /// Events that must have fired before this launch may start.
+    pub wait_events: Vec<EventId>,
+    /// Events that fire when this launch completes.
+    pub record_events: Vec<EventId>,
+}
+
+/// Result of a timing simulation: per-launch trace plus device utilization.
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    /// One entry per launch, in launch order.
+    pub events: Vec<TraceEvent>,
+    /// Block-time integrated per SM (block-microseconds; exceeds the span
+    /// when multiple blocks are co-resident).
+    pub sm_busy_us: Vec<f64>,
+    /// Warp-time integrated per SM (warp-microseconds).
+    pub sm_warp_us: Vec<f64>,
+    /// Warp capacity of one SM (for utilization normalization).
+    pub warps_per_sm: u32,
+    /// End of the last launch, microseconds from the simulation origin.
+    pub end_us: f64,
+}
+
+impl Timeline {
+    /// Total elapsed device time.
+    pub fn span_us(&self) -> f64 {
+        self.end_us
+    }
+
+    /// Mean warp occupancy of the device over the simulated span (0..=1):
+    /// resident warp-time divided by total warp capacity.
+    pub fn sm_utilization(&self) -> f64 {
+        if self.end_us <= 0.0 || self.sm_warp_us.is_empty() || self.warps_per_sm == 0 {
+            return 0.0;
+        }
+        let warp_us: f64 = self.sm_warp_us.iter().sum();
+        warp_us / (self.end_us * self.sm_warp_us.len() as f64 * self.warps_per_sm as f64)
+    }
+
+    /// Mean number of resident blocks per SM over the span.
+    pub fn mean_resident_blocks(&self) -> f64 {
+        if self.end_us <= 0.0 || self.sm_busy_us.is_empty() {
+            return 0.0;
+        }
+        self.sm_busy_us.iter().sum::<f64>() / (self.end_us * self.sm_busy_us.len() as f64)
+    }
+
+    /// Trace rows belonging to one stream, useful for plotting Fig. 6.
+    pub fn stream_rows(&self, stream: StreamId) -> Vec<&TraceEvent> {
+        self.events.iter().filter(|e| e.stream == stream).collect()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SmState {
+    blocks: u32,
+    warps: u32,
+    threads: u32,
+    shared: u32,
+    busy_us: f64,
+    warp_us: f64,
+}
+
+#[derive(Debug)]
+struct LaunchState {
+    ready_us: Option<f64>,
+    next_block: usize,
+    completed_blocks: usize,
+    start_us: Option<f64>,
+    end_us: Option<f64>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Completion {
+    time_us: f64,
+    sm: usize,
+    launch: usize,
+    warps: u32,
+    threads: u32,
+    shared: u32,
+}
+
+impl Eq for Completion {}
+impl PartialOrd for Completion {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Completion {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Total order: by time, then launch index, then SM (deterministic).
+        self.time_us
+            .partial_cmp(&other.time_us)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(self.launch.cmp(&other.launch))
+            .then(self.sm.cmp(&other.sm))
+    }
+}
+
+/// Simulates the execution of `launches` on `spec` under `mode`.
+///
+/// `launches` must be in launch order (`launch_idx` ascending). Event ids
+/// referenced by `wait_events` must be recorded by some earlier-or-equal
+/// launch; waiting on an event never recorded is a deadlock and panics.
+pub fn simulate(
+    spec: &DeviceSpec,
+    cost: &CostModel,
+    mode: ExecMode,
+    launches: &[LaunchRecord],
+) -> Timeline {
+    let n = launches.len();
+    let mut sms = vec![
+        SmState { blocks: 0, warps: 0, threads: 0, shared: 0, busy_us: 0.0, warp_us: 0.0 };
+        spec.sm_count as usize
+    ];
+    let mut states: Vec<LaunchState> = (0..n)
+        .map(|_| LaunchState {
+            ready_us: None,
+            next_block: 0,
+            completed_blocks: 0,
+            start_us: None,
+            end_us: None,
+        })
+        .collect();
+
+    // Map every event to the launch that records it.
+    let mut event_source: std::collections::HashMap<EventId, usize> = Default::default();
+    for (i, l) in launches.iter().enumerate() {
+        for &e in &l.record_events {
+            event_source.insert(e, i);
+        }
+    }
+
+    // Validate event graph up front (no forward waits => no deadlock).
+    for (i, l) in launches.iter().enumerate() {
+        for e in &l.wait_events {
+            let src = event_source
+                .get(e)
+                .unwrap_or_else(|| panic!("launch {i} waits on unrecorded event {e:?}"));
+            assert!(*src < i, "launch {i} waits on event recorded by a later launch {src}");
+        }
+    }
+
+    let bw_per_sm = spec.dram_bytes_per_cycle() / spec.sm_count as f64;
+    let mut heap: BinaryHeap<Reverse<Completion>> = BinaryHeap::new();
+    let mut now = 0.0f64;
+    let mut completed = 0usize;
+
+    // A launch with zero blocks completes the instant it becomes ready.
+    let zero_block_complete =
+        |states: &mut Vec<LaunchState>, idx: usize, t: f64| -> bool {
+            if launches[idx].block_costs.is_empty() {
+                states[idx].start_us = Some(t);
+                states[idx].end_us = Some(t);
+                true
+            } else {
+                false
+            }
+        };
+
+    loop {
+        // Refresh readiness: a launch is ready when its stream predecessor,
+        // serial predecessor (in Serial mode) and awaited events are done.
+        for i in 0..n {
+            if states[i].ready_us.is_some() {
+                continue;
+            }
+            let mut ready_at = 0.0f64;
+            let mut ok = true;
+            // Stream-order predecessor.
+            if let Some(prev) = (0..i).rev().find(|&j| launches[j].stream == launches[i].stream)
+            {
+                match states[prev].end_us {
+                    Some(t) => ready_at = ready_at.max(t),
+                    None => ok = false,
+                }
+            }
+            // Global serialization.
+            if ok && mode == ExecMode::Serial && i > 0 {
+                match states[i - 1].end_us {
+                    Some(t) => ready_at = ready_at.max(t),
+                    None => ok = false,
+                }
+            }
+            // Event waits.
+            if ok {
+                for e in &launches[i].wait_events {
+                    match states[event_source[e]].end_us {
+                        Some(t) => ready_at = ready_at.max(t),
+                        None => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+            }
+            if ok {
+                let overhead = spec.launch_overhead_us
+                    + if mode == ExecMode::Serial {
+                        spec.serial_profiling_overhead_us
+                    } else {
+                        0.0
+                    };
+                let t = ready_at.max(now) + overhead;
+                states[i].ready_us = Some(t);
+                if zero_block_complete(&mut states, i, t) {
+                    completed += 1;
+                }
+            }
+        }
+
+        // Issue blocks from ready launches, in launch order, respecting the
+        // concurrent-kernel limit.
+        let mut active_kernels: u32 = (0..n)
+            .filter(|&i| states[i].next_block > 0 && states[i].end_us.is_none())
+            .count() as u32;
+        let kernel_cap = match mode {
+            ExecMode::Serial => 1,
+            ExecMode::Concurrent => {
+                if spec.concurrent_kernels {
+                    spec.max_concurrent_kernels
+                } else {
+                    1
+                }
+            }
+        };
+        for i in 0..n {
+            let ready = matches!(states[i].ready_us, Some(t) if t <= now);
+            if !ready || states[i].next_block >= launches[i].block_costs.len() {
+                continue;
+            }
+            if states[i].next_block == 0 && active_kernels >= kernel_cap {
+                continue; // cannot start a new kernel yet
+            }
+            let l = &launches[i];
+            let started_before = states[i].next_block > 0;
+            while states[i].next_block < l.block_costs.len() {
+                // Find the SM with the most free warps that fits this block.
+                let mut best: Option<usize> = None;
+                let mut best_free = 0i64;
+                for (s, sm) in sms.iter().enumerate() {
+                    let fits = sm.blocks < spec.max_blocks_per_sm
+                        && sm.warps + l.warps_per_block <= spec.max_warps_per_sm
+                        && sm.threads + l.threads_per_block <= spec.max_threads_per_sm
+                        && sm.shared + l.shared_mem_bytes <= spec.shared_mem_per_sm;
+                    if fits {
+                        let free = spec.max_warps_per_sm as i64 - sm.warps as i64;
+                        if best.is_none() || free > best_free {
+                            best = Some(s);
+                            best_free = free;
+                        }
+                    }
+                }
+                let Some(s) = best else { break };
+                let bc = l.block_costs[states[i].next_block];
+                let sm = &mut sms[s];
+                sm.blocks += 1;
+                sm.warps += l.warps_per_block;
+                sm.threads += l.threads_per_block;
+                sm.shared += l.shared_mem_bytes;
+                // The SM's DRAM share is split among its resident blocks
+                // (sm.blocks already includes this one), so co-resident
+                // streaming blocks cannot jointly exceed card bandwidth.
+                let bw_cycles = if bw_per_sm > 0.0 {
+                    bc.mem_bytes as f64 * sm.blocks as f64 / bw_per_sm
+                } else {
+                    0.0
+                };
+                let cycles = cost.block_cycles(
+                    bc.issue_cycles,
+                    bc.mem_latency_cycles,
+                    bw_cycles,
+                    sm.warps,
+                    l.warps_per_block,
+                );
+                let dur_us = spec.cycles_to_us(cycles);
+                sm.busy_us += dur_us;
+                sm.warp_us += dur_us * l.warps_per_block as f64;
+                heap.push(Reverse(Completion {
+                    time_us: now + dur_us,
+                    sm: s,
+                    launch: i,
+                    warps: l.warps_per_block,
+                    threads: l.threads_per_block,
+                    shared: l.shared_mem_bytes,
+                }));
+                if states[i].next_block == 0 {
+                    states[i].start_us = Some(now);
+                }
+                states[i].next_block += 1;
+            }
+            if !started_before && states[i].next_block > 0 {
+                active_kernels += 1;
+                if active_kernels >= kernel_cap {
+                    // Later launches may still *become* ready; they just
+                    // cannot start issuing this round.
+                    continue;
+                }
+            }
+        }
+
+        if completed == n {
+            break;
+        }
+
+        // Advance to the next completion; if the heap is empty the only
+        // remaining progress source is a pending ready time in the future.
+        match heap.pop() {
+            Some(Reverse(c)) => {
+                now = c.time_us.max(now);
+                let sm = &mut sms[c.sm];
+                sm.blocks -= 1;
+                sm.warps -= c.warps;
+                sm.threads -= c.threads;
+                sm.shared -= c.shared;
+                states[c.launch].completed_blocks += 1;
+                if states[c.launch].completed_blocks == launches[c.launch].block_costs.len() {
+                    states[c.launch].end_us = Some(now);
+                    completed += 1;
+                }
+            }
+            None => {
+                // Jump to the earliest pending ready time strictly > now.
+                let next = states
+                    .iter()
+                    .filter_map(|s| s.ready_us)
+                    .filter(|&t| t > now)
+                    .fold(f64::INFINITY, f64::min);
+                assert!(
+                    next.is_finite(),
+                    "scheduler stalled: no completions and no future ready times \
+                     ({completed}/{n} launches complete)"
+                );
+                now = next;
+            }
+        }
+    }
+
+    let mut events = Vec::with_capacity(n);
+    let mut end_us = 0.0f64;
+    for (i, l) in launches.iter().enumerate() {
+        let start = states[i].start_us.expect("launch never started");
+        let end = states[i].end_us.expect("launch never finished");
+        end_us = end_us.max(end);
+        events.push(TraceEvent {
+            launch_idx: l.launch_idx,
+            kernel_name: l.kernel_name,
+            stream: l.stream,
+            t_start_us: start,
+            t_end_us: end,
+            blocks: l.block_costs.len() as u64,
+            counters: l.counters,
+        });
+    }
+    Timeline {
+        events,
+        sm_busy_us: sms.iter().map(|s| s.busy_us).collect(),
+        sm_warp_us: sms.iter().map(|s| s.warp_us).collect(),
+        warps_per_sm: spec.max_warps_per_sm,
+        end_us,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(
+        idx: usize,
+        stream: u32,
+        blocks: usize,
+        issue: f64,
+        warps: u32,
+    ) -> LaunchRecord {
+        LaunchRecord {
+            launch_idx: idx,
+            kernel_name: "k",
+            stream: StreamId(stream),
+            shared_mem_bytes: 0,
+            threads_per_block: warps * 32,
+            warps_per_block: warps,
+            block_costs: vec![
+                BlockCost { issue_cycles: issue, mem_latency_cycles: 0.0, mem_bytes: 0 };
+                blocks
+            ],
+            counters: KernelCounters::default(),
+            wait_events: vec![],
+            record_events: vec![],
+        }
+    }
+
+    fn spec() -> DeviceSpec {
+        DeviceSpec::gtx470()
+    }
+
+    #[test]
+    fn serial_mode_serializes_streams() {
+        // Two one-block kernels in different streams; serial mode must not
+        // overlap them.
+        let launches = vec![record(0, 1, 1, 1215.0, 8), record(1, 2, 1, 1215.0, 8)];
+        let t = simulate(&spec(), &CostModel::default(), ExecMode::Serial, &launches);
+        assert!(t.events[1].t_start_us >= t.events[0].t_end_us);
+    }
+
+    #[test]
+    fn concurrent_mode_overlaps_independent_streams() {
+        let launches = vec![record(0, 1, 1, 121_500.0, 8), record(1, 2, 1, 121_500.0, 8)];
+        let t = simulate(&spec(), &CostModel::default(), ExecMode::Concurrent, &launches);
+        // Both ~100us kernels overlap: span well below the 200us serial sum.
+        assert!(t.span_us() < 150.0, "span {}", t.span_us());
+        let s = simulate(&spec(), &CostModel::default(), ExecMode::Serial, &launches);
+        assert!(s.span_us() > 200.0, "serial span {}", s.span_us());
+    }
+
+    #[test]
+    fn same_stream_never_overlaps_even_concurrently() {
+        let launches = vec![record(0, 3, 4, 50_000.0, 8), record(1, 3, 4, 50_000.0, 8)];
+        let t = simulate(&spec(), &CostModel::default(), ExecMode::Concurrent, &launches);
+        assert!(t.events[1].t_start_us >= t.events[0].t_end_us);
+    }
+
+    #[test]
+    fn residency_limits_bound_parallelism() {
+        // 1 SM, blocks of 48 warps each: only one fits at a time.
+        let mut sp = DeviceSpec::single_sm();
+        sp.launch_overhead_us = 0.0;
+        let launches = vec![record(0, 1, 3, 1215.0, 48)];
+        let t = simulate(&sp, &CostModel::default(), ExecMode::Concurrent, &launches);
+        // 3 blocks x 1215 cycles at 1.215GHz = 3us total, serialized.
+        assert!((t.span_us() - 3.0).abs() < 1e-9, "span {}", t.span_us());
+    }
+
+    #[test]
+    fn event_waits_order_across_streams() {
+        let mut a = record(0, 1, 1, 121_500.0, 8);
+        a.record_events.push(EventId(7));
+        let mut b = record(1, 2, 1, 1215.0, 8);
+        b.wait_events.push(EventId(7));
+        let t = simulate(&spec(), &CostModel::default(), ExecMode::Concurrent, &[a, b]);
+        assert!(t.events[1].t_start_us >= t.events[0].t_end_us);
+    }
+
+    #[test]
+    #[should_panic(expected = "unrecorded event")]
+    fn waiting_on_unknown_event_panics() {
+        let mut b = record(0, 2, 1, 1215.0, 8);
+        b.wait_events.push(EventId(42));
+        simulate(&spec(), &CostModel::default(), ExecMode::Concurrent, &[b]);
+    }
+
+    #[test]
+    fn zero_block_launch_completes_immediately() {
+        let launches = vec![record(0, 1, 0, 0.0, 1), record(1, 1, 1, 1215.0, 8)];
+        let t = simulate(&spec(), &CostModel::default(), ExecMode::Concurrent, &launches);
+        assert_eq!(t.events[0].t_start_us, t.events[0].t_end_us);
+        assert!(t.events[1].t_end_us > t.events[1].t_start_us);
+    }
+
+    #[test]
+    fn utilization_reflects_idle_sms() {
+        // One tiny single-block kernel (8 of 48 warps on 1 of 14 SMs):
+        // warp occupancy ~ 8 / (48 * 14) ~ 1.2%.
+        let launches = vec![record(0, 1, 1, 1_215_000.0, 8)];
+        let t = simulate(&spec(), &CostModel::default(), ExecMode::Concurrent, &launches);
+        let u = t.sm_utilization();
+        assert!(u < 0.02, "utilization {u} should be ~1%");
+        assert!(u > 0.005, "utilization {u} should be nonzero");
+        assert!(t.mean_resident_blocks() < 0.1);
+    }
+
+    #[test]
+    fn many_small_kernels_pack_under_concurrency() {
+        // 14 single-block kernels in 14 streams; concurrent span ~ 1 kernel.
+        let launches: Vec<_> =
+            (0..14).map(|i| record(i, i as u32 + 1, 1, 1_215_000.0, 8)).collect();
+        let cm = CostModel::default();
+        let c = simulate(&spec(), &cm, ExecMode::Concurrent, &launches);
+        let s = simulate(&spec(), &cm, ExecMode::Serial, &launches);
+        assert!(
+            s.span_us() / c.span_us() > 8.0,
+            "serial {} vs concurrent {}",
+            s.span_us(),
+            c.span_us()
+        );
+    }
+}

@@ -1,0 +1,204 @@
+//! Attentional cascades: stages of boosted stumps with early rejection.
+//!
+//! A window passes stage `k` when the sum of its stump outputs meets the
+//! stage threshold; otherwise evaluation stops — the property that rejects
+//! ~94.5 % of background windows at stage 1 in the paper (Fig. 7) and
+//! causes the GPU divergence the evaluation kernel must manage.
+
+use crate::stump::Stump;
+use fd_imgproc::IntegralImage;
+
+/// One cascade stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stage {
+    pub stumps: Vec<Stump>,
+    /// A window passes when the stage sum is >= this threshold.
+    pub threshold: f32,
+}
+
+impl Stage {
+    /// Stage sum for a window.
+    pub fn sum(&self, ii: &IntegralImage, ox: usize, oy: usize) -> f32 {
+        self.stumps.iter().map(|s| s.eval(ii, ox, oy)).sum()
+    }
+
+    /// Whether the window passes this stage.
+    pub fn passes(&self, ii: &IntegralImage, ox: usize, oy: usize) -> bool {
+        self.sum(ii, ox, oy) >= self.threshold
+    }
+}
+
+/// Result of evaluating a cascade on one window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CascadeEval {
+    /// Number of stages passed (== number of stages entered minus the
+    /// failed one). Equals `stages.len()` for accepted windows — the value
+    /// the GPU kernel writes to its deepest-stage output array.
+    pub depth: u32,
+    /// Sum of stage margins (stage sum minus stage threshold) over every
+    /// *entered* stage; a detection confidence usable for ROC sweeps.
+    pub score: f32,
+}
+
+/// A boosted cascade of Haar stumps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cascade {
+    /// Human-readable name ("ours-gentle", "opencv-like-ada", ...).
+    pub name: String,
+    /// Detection-window side in pixels (24 throughout the paper).
+    pub window: u32,
+    pub stages: Vec<Stage>,
+}
+
+impl Cascade {
+    pub fn new(name: impl Into<String>, window: u32) -> Self {
+        Self { name: name.into(), window, stages: Vec::new() }
+    }
+
+    /// Total number of weak classifiers (the paper compares 1446 vs 2913).
+    pub fn total_stumps(&self) -> usize {
+        self.stages.iter().map(|s| s.stumps.len()).sum()
+    }
+
+    /// Number of stages.
+    pub fn depth(&self) -> u32 {
+        self.stages.len() as u32
+    }
+
+    /// Evaluate the full cascade (with early exit) on the window whose
+    /// top-left corner is `(ox, oy)`.
+    pub fn eval_window(&self, ii: &IntegralImage, ox: usize, oy: usize) -> CascadeEval {
+        let mut depth = 0u32;
+        let mut score = 0.0f32;
+        for stage in &self.stages {
+            let sum = stage.sum(ii, ox, oy);
+            score += sum - stage.threshold;
+            if sum < stage.threshold {
+                return CascadeEval { depth, score };
+            }
+            depth += 1;
+        }
+        CascadeEval { depth, score }
+    }
+
+    /// Evaluate with early exit after `max_stages` (the 15/20/25-stage
+    /// operating points of the paper's Fig. 9).
+    pub fn eval_window_truncated(
+        &self,
+        ii: &IntegralImage,
+        ox: usize,
+        oy: usize,
+        max_stages: usize,
+    ) -> CascadeEval {
+        let mut depth = 0u32;
+        let mut score = 0.0f32;
+        for stage in self.stages.iter().take(max_stages) {
+            let sum = stage.sum(ii, ox, oy);
+            score += sum - stage.threshold;
+            if sum < stage.threshold {
+                return CascadeEval { depth, score };
+            }
+            depth += 1;
+        }
+        CascadeEval { depth, score }
+    }
+
+    /// Whether the window passes every stage.
+    pub fn classify(&self, ii: &IntegralImage, ox: usize, oy: usize) -> bool {
+        self.eval_window(ii, ox, oy).depth == self.depth()
+    }
+
+    /// A cascade truncated to its first `n` stages (shares the paper's
+    /// Fig. 9 ablation; clones the stages).
+    pub fn truncated(&self, n: usize) -> Cascade {
+        Cascade {
+            name: format!("{}@{}", self.name, n.min(self.stages.len())),
+            window: self.window,
+            stages: self.stages.iter().take(n).cloned().collect(),
+        }
+    }
+
+    /// Largest feature-response magnitude bound, used to validate the
+    /// packed encoding's quantization headroom.
+    pub fn max_abs_threshold(&self) -> i32 {
+        self.stages
+            .iter()
+            .flat_map(|s| &s.stumps)
+            .map(|s| s.threshold.abs())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feature::{FeatureKind, HaarFeature};
+    use fd_imgproc::GrayImage;
+
+    /// Cascade with one stage that accepts iff the image's left/right
+    /// contrast is strong.
+    fn contrast_cascade() -> Cascade {
+        let f = HaarFeature::from_params(FeatureKind::EdgeH, 6, 4, 6, 8);
+        let stump = Stump { feature: f, threshold: 1000, left: -1.0, right: 1.0 };
+        let mut c = Cascade::new("test", 24);
+        c.stages.push(Stage { stumps: vec![stump], threshold: 0.5 });
+        c
+    }
+
+    fn contrast_image(hi: f32) -> IntegralImage {
+        let img = GrayImage::from_fn(24, 24, |x, _| if x < 12 { 0.0 } else { hi });
+        IntegralImage::from_gray(&img)
+    }
+
+    #[test]
+    fn accepts_and_rejects_by_stage_threshold() {
+        let c = contrast_cascade();
+        assert!(c.classify(&contrast_image(255.0), 0, 0));
+        assert!(!c.classify(&contrast_image(10.0), 0, 0));
+    }
+
+    #[test]
+    fn eval_depth_counts_passed_stages() {
+        let mut c = contrast_cascade();
+        // Duplicate the stage three times.
+        let s = c.stages[0].clone();
+        c.stages.push(s.clone());
+        c.stages.push(s);
+        let pass = c.eval_window(&contrast_image(255.0), 0, 0);
+        assert_eq!(pass.depth, 3);
+        let fail = c.eval_window(&contrast_image(10.0), 0, 0);
+        assert_eq!(fail.depth, 0);
+        assert!(fail.score < pass.score);
+    }
+
+    #[test]
+    fn truncated_evaluation_matches_truncated_cascade() {
+        let mut c = contrast_cascade();
+        let s = c.stages[0].clone();
+        c.stages.push(s.clone());
+        c.stages.push(s);
+        let ii = contrast_image(255.0);
+        let a = c.eval_window_truncated(&ii, 0, 0, 2);
+        let b = c.truncated(2).eval_window(&ii, 0, 0);
+        assert_eq!(a.depth, b.depth);
+        assert!((a.score - b.score).abs() < 1e-6);
+        assert_eq!(c.truncated(2).depth(), 2);
+    }
+
+    #[test]
+    fn total_stumps_sums_stages() {
+        let mut c = contrast_cascade();
+        let s = c.stages[0].clone();
+        c.stages.push(Stage { stumps: vec![s.stumps[0]; 4], threshold: 0.0 });
+        assert_eq!(c.total_stumps(), 5);
+        assert_eq!(c.depth(), 2);
+    }
+
+    #[test]
+    fn empty_cascade_accepts_everything() {
+        let c = Cascade::new("empty", 24);
+        assert!(c.classify(&contrast_image(0.0), 0, 0));
+        assert_eq!(c.eval_window(&contrast_image(0.0), 0, 0).depth, 0);
+    }
+}

@@ -1,0 +1,167 @@
+//! Exhaustive feature enumeration over the detection window.
+//!
+//! Two rules are provided:
+//!
+//! * [`EnumerationRule::Icpp2012`] replicates the bounds of the paper's
+//!   training code, reverse-engineered from Table I. Denoting the cell
+//!   size `(w, h)` and the feature origin `(x, y)` in a 24-pixel window:
+//!   every *replicated* dimension (the one spanning 2 or 3 cells) requires
+//!   `cell >= 2` and `origin + span < 24` (strict), while a *plain*
+//!   dimension requires `size >= 1` and `origin + size < 23` (strict).
+//!   These asymmetric, strict bounds are exactly what reproduces
+//!   Table I: edge 55 660, line 31 878, center-surround 3 969, diagonal
+//!   12 100 (103 607 total).
+//! * [`EnumerationRule::Exhaustive`] is the textbook enumeration (all
+//!   sizes >= 1, features may touch the window border), provided for
+//!   ablations.
+
+use crate::feature::{FeatureKind, HaarFeature};
+
+/// Which loop bounds to enumerate with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnumerationRule {
+    /// The paper's bounds (reproduces Table I exactly at window = 24).
+    Icpp2012,
+    /// Textbook bounds: everything that fits.
+    Exhaustive,
+}
+
+/// Bounds for one dimension of the enumeration.
+#[derive(Clone, Copy)]
+struct DimRule {
+    min_cell: u8,
+    /// Exclusive upper bound on `origin + span`.
+    limit: u8,
+}
+
+fn rules(rule: EnumerationRule, window: u32, replicated: bool) -> DimRule {
+    let w = window as u8;
+    match (rule, replicated) {
+        // Replicated dimension: cell >= 2, origin + span < window.
+        (EnumerationRule::Icpp2012, true) => DimRule { min_cell: 2, limit: w - 1 },
+        // Plain dimension: size >= 1, origin + size < window - 1.
+        (EnumerationRule::Icpp2012, false) => DimRule { min_cell: 1, limit: w - 2 },
+        (EnumerationRule::Exhaustive, _) => DimRule { min_cell: 1, limit: w - 1 + 1 },
+    }
+}
+
+/// Enumerate one kind. `window` is the detection-window side (24 in the
+/// paper).
+pub fn enumerate_kind(kind: FeatureKind, window: u32, rule: EnumerationRule) -> Vec<HaarFeature> {
+    // Cells replicated along x / y for each kind.
+    let (nx, ny) = match kind {
+        FeatureKind::EdgeH => (2u8, 1u8),
+        FeatureKind::EdgeV => (1, 2),
+        FeatureKind::LineH => (3, 1),
+        FeatureKind::LineV => (1, 3),
+        FeatureKind::CenterSurround => (3, 3),
+        FeatureKind::Diagonal => (2, 2),
+    };
+    let rx = rules(rule, window, nx > 1);
+    let ry = rules(rule, window, ny > 1);
+    let mut out = Vec::new();
+    let mut w = rx.min_cell;
+    while nx * w <= rx.limit {
+        let span_x = nx * w;
+        let mut h = ry.min_cell;
+        while ny * h <= ry.limit {
+            let span_y = ny * h;
+            for y in 0..=(ry.limit - span_y) {
+                for x in 0..=(rx.limit - span_x) {
+                    out.push(HaarFeature::from_params(kind, x, y, w, h));
+                }
+            }
+            h += 1;
+        }
+        w += 1;
+    }
+    out
+}
+
+/// Enumerate all kinds (Table I order) into one vector.
+pub fn enumerate_features(window: u32, rule: EnumerationRule) -> Vec<HaarFeature> {
+    let mut out = Vec::new();
+    for kind in FeatureKind::ALL {
+        out.extend(enumerate_kind(kind, window, rule));
+    }
+    out
+}
+
+/// Counts per Table I row `(edge, line, center_surround, diagonal)`.
+pub fn table1_counts(window: u32, rule: EnumerationRule) -> [usize; 4] {
+    let mut counts = [0usize; 4];
+    for kind in FeatureKind::ALL {
+        counts[kind.table1_row()] += enumerate_kind(kind, window, rule).len();
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Table I, verbatim.
+    #[test]
+    fn icpp2012_rule_reproduces_table1_exactly() {
+        let c = table1_counts(24, EnumerationRule::Icpp2012);
+        assert_eq!(c[0], 55_660, "edge");
+        assert_eq!(c[1], 31_878, "line");
+        assert_eq!(c[2], 3_969, "center-surround");
+        assert_eq!(c[3], 12_100, "diagonal");
+        assert_eq!(c.iter().sum::<usize>(), 103_607);
+    }
+
+    #[test]
+    fn horizontal_and_vertical_counts_are_symmetric() {
+        for rule in [EnumerationRule::Icpp2012, EnumerationRule::Exhaustive] {
+            assert_eq!(
+                enumerate_kind(FeatureKind::EdgeH, 24, rule).len(),
+                enumerate_kind(FeatureKind::EdgeV, 24, rule).len()
+            );
+            assert_eq!(
+                enumerate_kind(FeatureKind::LineH, 24, rule).len(),
+                enumerate_kind(FeatureKind::LineV, 24, rule).len()
+            );
+        }
+    }
+
+    #[test]
+    fn every_enumerated_feature_fits_the_window() {
+        for rule in [EnumerationRule::Icpp2012, EnumerationRule::Exhaustive] {
+            for f in enumerate_features(24, rule) {
+                assert!(f.fits(24), "{f:?} escapes the window under {rule:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn no_duplicates_in_enumeration() {
+        let feats = enumerate_features(24, EnumerationRule::Icpp2012);
+        let mut seen = std::collections::HashSet::new();
+        for f in &feats {
+            assert!(seen.insert((f.kind.id(), f.x, f.y, f.w, f.h)), "duplicate {f:?}");
+        }
+    }
+
+    #[test]
+    fn exhaustive_rule_matches_closed_forms() {
+        // 2-rect horizontal in a W window: sum_{w=1..W/2} (W - 2w + 1) * sum_{h=1..W} (W - h + 1).
+        let w_count: usize = (1..=12).map(|w| 24 - 2 * w + 1).sum();
+        let h_count: usize = (1..=24).map(|h| 24 - h + 1).sum();
+        assert_eq!(
+            enumerate_kind(FeatureKind::EdgeH, 24, EnumerationRule::Exhaustive).len(),
+            w_count * h_count
+        );
+        // Classic Viola-Jones figure: 43,200 two-rect features per
+        // orientation in a 24x24 window.
+        assert_eq!(w_count * h_count, 43_200);
+    }
+
+    #[test]
+    fn smaller_windows_enumerate_fewer_features() {
+        let big = enumerate_features(24, EnumerationRule::Icpp2012).len();
+        let small = enumerate_features(20, EnumerationRule::Icpp2012).len();
+        assert!(small < big);
+        assert!(small > 0);
+    }
+}

@@ -1,0 +1,215 @@
+//! Plain-text cascade serialization.
+//!
+//! A simple line-oriented format (one token stream per line) keeps the
+//! workspace dependency-free while making trained cascades diffable and
+//! hand-inspectable:
+//!
+//! ```text
+//! cascade v1
+//! name ours-gentle
+//! window 24
+//! stages 25
+//! stage 0 0.125 3
+//! stump 0 6 4 6 8 1234 -0.5 0.5
+//! ...
+//! ```
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use crate::cascade::{Cascade, Stage};
+use crate::feature::{FeatureKind, HaarFeature};
+use crate::stump::Stump;
+
+/// Serialization/parsing errors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Render a cascade to the text format.
+pub fn to_text(c: &Cascade) -> String {
+    let mut out = String::new();
+    out.push_str("cascade v1\n");
+    let _ = writeln!(out, "name {}", c.name);
+    let _ = writeln!(out, "window {}", c.window);
+    let _ = writeln!(out, "stages {}", c.stages.len());
+    for (i, st) in c.stages.iter().enumerate() {
+        let _ = writeln!(out, "stage {} {} {}", i, st.threshold, st.stumps.len());
+        for s in &st.stumps {
+            let f = &s.feature;
+            let _ = writeln!(
+                out,
+                "stump {} {} {} {} {} {} {} {}",
+                f.kind.id(),
+                f.x,
+                f.y,
+                f.w,
+                f.h,
+                s.threshold,
+                s.left,
+                s.right
+            );
+        }
+    }
+    out
+}
+
+/// Parse the text format back into a cascade.
+pub fn from_text(text: &str) -> Result<Cascade, ParseError> {
+    let err = |line: usize, m: &str| ParseError { line, message: m.to_string() };
+    let mut lines = text.lines().enumerate();
+
+    let mut next_line = |expect: &str| -> Result<(usize, Vec<String>), ParseError> {
+        for (i, raw) in lines.by_ref() {
+            let t = raw.trim();
+            if t.is_empty() || t.starts_with('#') {
+                continue;
+            }
+            let toks: Vec<String> = t.split_whitespace().map(str::to_string).collect();
+            if !expect.is_empty() && toks[0] != expect {
+                return Err(err(i + 1, &format!("expected '{expect}', found '{}'", toks[0])));
+            }
+            return Ok((i + 1, toks));
+        }
+        Err(err(0, &format!("unexpected end of input (expected '{expect}')")))
+    };
+
+    let (l, head) = next_line("cascade")?;
+    if head.get(1).map(String::as_str) != Some("v1") {
+        return Err(err(l, "unsupported cascade version"));
+    }
+    let (_, name_toks) = next_line("name")?;
+    let name = name_toks[1..].join(" ");
+    let (l, win_toks) = next_line("window")?;
+    let window: u32 =
+        win_toks.get(1).and_then(|t| t.parse().ok()).ok_or_else(|| err(l, "bad window"))?;
+    let (l, st_toks) = next_line("stages")?;
+    let n_stages: usize =
+        st_toks.get(1).and_then(|t| t.parse().ok()).ok_or_else(|| err(l, "bad stage count"))?;
+
+    let mut cascade = Cascade::new(name, window);
+    for k in 0..n_stages {
+        let (l, toks) = next_line("stage")?;
+        if toks.len() != 4 {
+            return Err(err(l, "stage line needs: stage <idx> <threshold> <nstumps>"));
+        }
+        let idx: usize = toks[1].parse().map_err(|_| err(l, "bad stage index"))?;
+        if idx != k {
+            return Err(err(l, &format!("stage index {idx}, expected {k}")));
+        }
+        let threshold: f32 = toks[2].parse().map_err(|_| err(l, "bad stage threshold"))?;
+        let n_stumps: usize = toks[3].parse().map_err(|_| err(l, "bad stump count"))?;
+        let mut stumps = Vec::with_capacity(n_stumps);
+        for _ in 0..n_stumps {
+            let (l, toks) = next_line("stump")?;
+            if toks.len() != 9 {
+                return Err(err(l, "stump line needs 8 fields"));
+            }
+            let kind_id: u8 = toks[1].parse().map_err(|_| err(l, "bad kind"))?;
+            let kind =
+                FeatureKind::from_id(kind_id).ok_or_else(|| err(l, "unknown feature kind"))?;
+            let p: Result<Vec<u8>, _> = toks[2..6].iter().map(|t| t.parse()).collect();
+            let p = p.map_err(|_| err(l, "bad geometry"))?;
+            let threshold: i32 = toks[6].parse().map_err(|_| err(l, "bad threshold"))?;
+            let left: f32 = toks[7].parse().map_err(|_| err(l, "bad left leaf"))?;
+            let right: f32 = toks[8].parse().map_err(|_| err(l, "bad right leaf"))?;
+            let feature = HaarFeature::from_params(kind, p[0], p[1], p[2], p[3]);
+            if !feature.fits(window) {
+                return Err(err(l, "feature escapes the window"));
+            }
+            stumps.push(Stump { feature, threshold, left, right });
+        }
+        cascade.stages.push(Stage { stumps, threshold });
+    }
+    Ok(cascade)
+}
+
+/// Save to a file.
+pub fn save(c: &Cascade, path: impl AsRef<Path>) -> std::io::Result<()> {
+    std::fs::write(path, to_text(c))
+}
+
+/// Load from a file.
+pub fn load(path: impl AsRef<Path>) -> std::io::Result<Cascade> {
+    let text = std::fs::read_to_string(path)?;
+    from_text(&text).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_cascade() -> Cascade {
+        let mut c = Cascade::new("unit test", 24);
+        let f = HaarFeature::from_params(FeatureKind::EdgeH, 6, 4, 6, 8);
+        c.stages.push(Stage {
+            stumps: vec![Stump { feature: f, threshold: 1000, left: -0.5, right: 0.5 }],
+            threshold: 0.25,
+        });
+        let g = HaarFeature::from_params(FeatureKind::CenterSurround, 3, 3, 4, 4);
+        c.stages.push(Stage {
+            stumps: vec![
+                Stump { feature: g, threshold: -42, left: 0.125, right: -0.125 },
+                Stump { feature: f, threshold: 7, left: 1.0, right: -1.0 },
+            ],
+            threshold: -0.75,
+        });
+        c
+    }
+
+    #[test]
+    fn text_roundtrip_preserves_everything() {
+        let c = sample_cascade();
+        let back = from_text(&to_text(&c)).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let c = sample_cascade();
+        let dir = std::env::temp_dir().join("fd_haar_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("c.cascade");
+        save(&c, &path).unwrap();
+        assert_eq!(load(&path).unwrap(), c);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = format!("# trained cascade\n\n{}", to_text(&sample_cascade()));
+        assert!(from_text(&text).is_ok());
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let mut text = to_text(&sample_cascade());
+        text = text.replace("stump 0 6 4 6 8 1000", "stump 9 6 4 6 8 1000");
+        let e = from_text(&text).unwrap_err();
+        assert!(e.message.contains("unknown feature kind"));
+        assert!(e.line > 0);
+    }
+
+    #[test]
+    fn rejects_out_of_window_features() {
+        let mut text = to_text(&sample_cascade());
+        // Move the EdgeH feature so 2w overflows the window.
+        text = text.replace("stump 0 6 4 6 8", "stump 0 20 4 6 8");
+        assert!(from_text(&text).unwrap_err().message.contains("escapes"));
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        assert!(from_text("cascade v2\nname x\nwindow 24\nstages 0\n").is_err());
+    }
+}

@@ -1,0 +1,84 @@
+//! Weak classifiers: regression stumps over Haar feature responses.
+//!
+//! GentleBoost fits a regression stump per round: the weak hypothesis is
+//! `f(v) = left` when the response `v < threshold` and `right` otherwise,
+//! with real-valued leaves (Friedman et al., 2000). Discrete AdaBoost's
+//! `alpha * h(v)` is the special case `left = -alpha, right = +alpha` (or
+//! swapped), so one representation serves both trainers.
+
+use crate::feature::HaarFeature;
+use fd_imgproc::IntegralImage;
+
+/// A decision stump over one Haar feature.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stump {
+    pub feature: HaarFeature,
+    /// Split point on the feature response.
+    pub threshold: i32,
+    /// Contribution when `response < threshold`.
+    pub left: f32,
+    /// Contribution when `response >= threshold`.
+    pub right: f32,
+}
+
+impl Stump {
+    /// Evaluate on a precomputed feature response.
+    #[inline]
+    pub fn eval_response(&self, response: i32) -> f32 {
+        if response < self.threshold {
+            self.left
+        } else {
+            self.right
+        }
+    }
+
+    /// Evaluate on a window of an integral image.
+    #[inline]
+    pub fn eval(&self, ii: &IntegralImage, ox: usize, oy: usize) -> f32 {
+        self.eval_response(self.feature.eval(ii, ox, oy))
+    }
+
+    /// The discrete-AdaBoost form: vote `polarity * sign(v - threshold)`
+    /// scaled by `alpha`. `polarity = +1` votes `right = +alpha`.
+    pub fn discrete(feature: HaarFeature, threshold: i32, polarity: i8, alpha: f32) -> Self {
+        let (left, right) = if polarity >= 0 { (-alpha, alpha) } else { (alpha, -alpha) };
+        Self { feature, threshold, left, right }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feature::FeatureKind;
+
+    fn any_feature() -> HaarFeature {
+        HaarFeature::from_params(FeatureKind::EdgeH, 2, 2, 4, 6)
+    }
+
+    #[test]
+    fn eval_response_splits_at_threshold() {
+        let s = Stump { feature: any_feature(), threshold: 10, left: -0.5, right: 0.8 };
+        assert_eq!(s.eval_response(9), -0.5);
+        assert_eq!(s.eval_response(10), 0.8);
+        assert_eq!(s.eval_response(11), 0.8);
+    }
+
+    #[test]
+    fn discrete_form_maps_polarity() {
+        let pos = Stump::discrete(any_feature(), 0, 1, 2.0);
+        assert_eq!((pos.left, pos.right), (-2.0, 2.0));
+        let neg = Stump::discrete(any_feature(), 0, -1, 2.0);
+        assert_eq!((neg.left, neg.right), (2.0, -2.0));
+    }
+
+    #[test]
+    fn eval_uses_feature_response() {
+        use fd_imgproc::GrayImage;
+        // Strong horizontal contrast -> large positive EdgeH response.
+        let img = GrayImage::from_fn(24, 24, |x, _| if x < 12 { 0.0 } else { 255.0 });
+        let ii = IntegralImage::from_gray(&img);
+        let f = HaarFeature::from_params(FeatureKind::EdgeH, 6, 4, 6, 8);
+        let s = Stump { feature: f, threshold: 100, left: -1.0, right: 1.0 };
+        assert_eq!(s.eval(&ii, 0, 0), 1.0);
+    }
+}

@@ -1,0 +1,121 @@
+//! RGB images and rectangle drawing — the pipeline's display stage output.
+
+use crate::geom::Rect;
+use crate::image::GrayImage;
+
+/// An 8-bit RGB image, row-major, interleaved.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RgbImage {
+    width: usize,
+    height: usize,
+    data: Vec<u8>,
+}
+
+impl RgbImage {
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0);
+        Self { width, height, data: vec![0; width * height * 3] }
+    }
+
+    /// Replicate a gray image into all three channels.
+    pub fn from_gray(img: &GrayImage) -> Self {
+        let mut out = Self::new(img.width(), img.height());
+        for (i, v) in img.to_u8().into_iter().enumerate() {
+            out.data[i * 3] = v;
+            out.data[i * 3 + 1] = v;
+            out.data[i * 3 + 2] = v;
+        }
+        out
+    }
+
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data
+    }
+
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> [u8; 3] {
+        let i = (y * self.width + x) * 3;
+        [self.data[i], self.data[i + 1], self.data[i + 2]]
+    }
+
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, rgb: [u8; 3]) {
+        if x < self.width && y < self.height {
+            let i = (y * self.width + x) * 3;
+            self.data[i..i + 3].copy_from_slice(&rgb);
+        }
+    }
+
+    /// Draw a rectangle outline of the given `thickness`, clipped to the
+    /// image (what the display kernel does for confirmed detections).
+    pub fn draw_rect(&mut self, r: Rect, rgb: [u8; 3], thickness: u32) {
+        let t = thickness as i32;
+        for dy in 0..t {
+            for x in r.x..r.right() {
+                self.set_clipped(x, r.y + dy, rgb);
+                self.set_clipped(x, r.bottom() - 1 - dy, rgb);
+            }
+        }
+        for dx in 0..t {
+            for y in r.y..r.bottom() {
+                self.set_clipped(r.x + dx, y, rgb);
+                self.set_clipped(r.right() - 1 - dx, y, rgb);
+            }
+        }
+    }
+
+    #[inline]
+    fn set_clipped(&mut self, x: i32, y: i32, rgb: [u8; 3]) {
+        if x >= 0 && y >= 0 {
+            self.set(x as usize, y as usize, rgb);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_gray_replicates_channels() {
+        let g = GrayImage::from_vec(2, 1, vec![10.0, 250.0]);
+        let rgb = RgbImage::from_gray(&g);
+        assert_eq!(rgb.get(0, 0), [10, 10, 10]);
+        assert_eq!(rgb.get(1, 0), [250, 250, 250]);
+    }
+
+    #[test]
+    fn draw_rect_outlines_without_filling() {
+        let mut img = RgbImage::new(10, 10);
+        img.draw_rect(Rect::new(2, 2, 6, 6), [255, 0, 0], 1);
+        assert_eq!(img.get(2, 2), [255, 0, 0]);
+        assert_eq!(img.get(7, 7), [255, 0, 0]);
+        assert_eq!(img.get(4, 2), [255, 0, 0]);
+        // Interior untouched.
+        assert_eq!(img.get(4, 4), [0, 0, 0]);
+    }
+
+    #[test]
+    fn draw_rect_clips_at_borders() {
+        let mut img = RgbImage::new(4, 4);
+        img.draw_rect(Rect::new(-2, -2, 10, 10), [0, 255, 0], 1);
+        // No panic; nothing inside is colored except the clipped outline.
+        assert_eq!(img.get(1, 1), [0, 0, 0]);
+    }
+
+    #[test]
+    fn thickness_widens_the_border() {
+        let mut img = RgbImage::new(12, 12);
+        img.draw_rect(Rect::new(1, 1, 10, 10), [9, 9, 9], 2);
+        assert_eq!(img.get(2, 2), [9, 9, 9]);
+        assert_eq!(img.get(3, 3), [0, 0, 0]);
+    }
+}

@@ -1,0 +1,33 @@
+//! # fd-imgproc — image substrate for the face-detection reproduction
+//!
+//! Host-side image processing used by every other crate:
+//!
+//! * [`GrayImage`] / [`RgbImage`] containers ([`image`], [`draw`]);
+//! * bilinear resizing that matches the GPU texture interpolation
+//!   convention exactly ([`resize`]), so the CPU reference pipeline and the
+//!   simulated-GPU pipeline are bit-comparable;
+//! * separable low-pass filters for the anti-aliasing stage ([`filter`]);
+//! * image pyramids with a configurable scale factor ([`pyramid`]);
+//! * integral images with both the sequential reference construction and
+//!   the paper's parallel formulation — row-wise prefix sums composed with
+//!   matrix transpositions ([`integral`], [`scan`]);
+//! * procedural face and background synthesis ([`synth`]) standing in for
+//!   the paper's face databases (see DESIGN.md, substitutions);
+//! * PGM/PPM output for the examples ([`pnm`]).
+
+pub mod draw;
+pub mod filter;
+pub mod geom;
+pub mod image;
+pub mod integral;
+pub mod pnm;
+pub mod pyramid;
+pub mod resize;
+pub mod scan;
+pub mod synth;
+
+pub use draw::RgbImage;
+pub use geom::{PointF, Rect};
+pub use image::GrayImage;
+pub use integral::IntegralImage;
+pub use pyramid::Pyramid;

@@ -1,0 +1,155 @@
+//! The ten movie trailers of the paper's Table II, mapped to generator
+//! seeds and face statistics.
+//!
+//! Face-count weights are chosen per title so the benchmark reproduces the
+//! qualitative spread of Table II (dialogue-heavy comedies average more
+//! and larger faces and hence longer detection times than ensemble/action
+//! cuts); everything is deterministic in the listed seeds.
+
+use crate::trailer::{Trailer, TrailerSpec};
+
+/// One catalog entry.
+#[derive(Debug, Clone)]
+pub struct TrailerInfo {
+    pub title: &'static str,
+    pub seed: u64,
+    /// Weights for 0, 1, 2, ... simultaneous faces.
+    pub face_count_weights: &'static [f64],
+    /// Face-size bounds in pixels at 1080p.
+    pub face_size: (f64, f64),
+}
+
+impl TrailerInfo {
+    /// Build the trailer spec at full resolution.
+    pub fn spec(&self, n_frames: usize) -> TrailerSpec {
+        TrailerSpec {
+            name: self.title.to_string(),
+            width: 1920,
+            height: 1080,
+            fps: 24.0,
+            n_frames,
+            seed: self.seed,
+            scene_len: (36, 120),
+            face_count_weights: self.face_count_weights.to_vec(),
+            face_size: self.face_size,
+        }
+    }
+
+    /// Generate the trailer with `n_frames` frames.
+    pub fn generate(&self, n_frames: usize) -> Trailer {
+        Trailer::generate(self.spec(n_frames))
+    }
+}
+
+/// The Table II lineup.
+pub fn movie_trailers() -> Vec<TrailerInfo> {
+    vec![
+        TrailerInfo {
+            title: "21 Jump Street",
+            seed: 0x21_05,
+            face_count_weights: &[0.25, 0.40, 0.25, 0.10],
+            face_size: (48.0, 220.0),
+        },
+        TrailerInfo {
+            title: "50/50",
+            seed: 0x50_50,
+            // The paper plots this one (Fig. 5): dialogue-driven, frequent
+            // close-ups -> the heaviest per-frame load of the set.
+            face_count_weights: &[0.05, 0.28, 0.30, 0.22, 0.15],
+            face_size: (56.0, 280.0),
+        },
+        TrailerInfo {
+            title: "American Reunion",
+            seed: 0xA4E0,
+            face_count_weights: &[0.30, 0.40, 0.20, 0.10],
+            face_size: (48.0, 200.0),
+        },
+        TrailerInfo {
+            title: "Bad Teacher",
+            seed: 0xBAD7,
+            face_count_weights: &[0.15, 0.40, 0.30, 0.15],
+            face_size: (52.0, 240.0),
+        },
+        TrailerInfo {
+            title: "Friends With Kids",
+            seed: 0xF41D,
+            face_count_weights: &[0.12, 0.38, 0.30, 0.20],
+            face_size: (48.0, 240.0),
+        },
+        TrailerInfo {
+            title: "One For The Money",
+            seed: 0x1F07,
+            face_count_weights: &[0.25, 0.40, 0.25, 0.10],
+            face_size: (48.0, 220.0),
+        },
+        TrailerInfo {
+            title: "The Dictator",
+            seed: 0xD1C7,
+            face_count_weights: &[0.15, 0.40, 0.28, 0.17],
+            face_size: (52.0, 250.0),
+        },
+        TrailerInfo {
+            title: "Tim and Eric's Billion Dollar Movie",
+            seed: 0x7E4C,
+            face_count_weights: &[0.15, 0.38, 0.30, 0.17],
+            face_size: (52.0, 240.0),
+        },
+        TrailerInfo {
+            title: "Unicorn City",
+            seed: 0x0C17,
+            face_count_weights: &[0.25, 0.40, 0.25, 0.10],
+            face_size: (48.0, 220.0),
+        },
+        TrailerInfo {
+            title: "What To Expect When You're Expecting",
+            seed: 0xE5EC,
+            face_count_weights: &[0.25, 0.42, 0.23, 0.10],
+            face_size: (48.0, 215.0),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_the_ten_table2_titles() {
+        let t = movie_trailers();
+        assert_eq!(t.len(), 10);
+        assert!(t.iter().any(|e| e.title == "50/50"));
+        assert!(t.iter().any(|e| e.title == "The Dictator"));
+        // Seeds are distinct.
+        let mut seeds: Vec<u64> = t.iter().map(|e| e.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 10);
+    }
+
+    #[test]
+    fn specs_are_1080p_24fps() {
+        for info in movie_trailers() {
+            let spec = info.spec(48);
+            assert_eq!((spec.width, spec.height), (1920, 1080));
+            assert_eq!(spec.fps, 24.0);
+            assert_eq!(spec.n_frames, 48);
+        }
+    }
+
+    #[test]
+    fn fifty_fifty_is_among_the_heaviest() {
+        // Its mean face count must be in the top half of the lineup, since
+        // the paper uses it as the stress plot.
+        let infos = movie_trailers();
+        let means: Vec<(String, f64)> = infos
+            .iter()
+            .map(|i| {
+                let t = i.generate(360);
+                (i.title.to_string(), t.mean_faces_per_frame())
+            })
+            .collect();
+        let fifty = means.iter().find(|(t, _)| t == "50/50").unwrap().1;
+        let heavier = means.iter().filter(|(_, m)| *m > fifty).count();
+        assert!(heavier <= 4, "50/50 mean {fifty:.2}, {heavier} trailers heavier");
+    }
+}

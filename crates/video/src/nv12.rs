@@ -1,0 +1,144 @@
+//! NV12 frame layout (the hardware decoder's native output, paper §V).
+//!
+//! "Since the hardware decodes frames in NV12 format, it is enough to
+//! consider only the initial array of luminance components as the input
+//! of the scaling process and subsequent pipeline stages."
+//!
+//! NV12 is a planar 4:2:0 format: a full-resolution Y (luma) plane
+//! followed by one interleaved half-resolution UV (chroma) plane. The
+//! detection pipeline consumes only the luma plane; chroma exists so the
+//! display stage can reconstruct RGB for annotation overlays.
+
+use fd_imgproc::{GrayImage, RgbImage};
+
+/// An NV12 frame: full-res luma + half-res interleaved chroma.
+#[derive(Debug, Clone)]
+pub struct Nv12Frame {
+    width: usize,
+    height: usize,
+    /// `width * height` luma samples.
+    y: Vec<u8>,
+    /// `(width/2) * (height/2)` interleaved (U, V) pairs.
+    uv: Vec<u8>,
+}
+
+impl Nv12Frame {
+    /// Wrap raw NV12 planes.
+    pub fn new(width: usize, height: usize, y: Vec<u8>, uv: Vec<u8>) -> Self {
+        assert!(width.is_multiple_of(2) && height.is_multiple_of(2), "NV12 requires even dimensions");
+        assert_eq!(y.len(), width * height, "luma plane size");
+        assert_eq!(uv.len(), width * height / 2, "chroma plane size");
+        Self { width, height, y, uv }
+    }
+
+    /// Build a gray-world NV12 frame from a luma image (chroma neutral),
+    /// which is what the synthetic trailers produce.
+    pub fn from_luma(img: &GrayImage) -> Self {
+        let (w, h) = (img.width(), img.height());
+        assert!(w % 2 == 0 && h % 2 == 0, "NV12 requires even dimensions");
+        Self { width: w, height: h, y: img.to_u8(), uv: vec![128u8; w * h / 2] }
+    }
+
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// The luma plane as the pipeline's input image.
+    pub fn luma(&self) -> GrayImage {
+        GrayImage::from_u8(self.width, self.height, &self.y)
+    }
+
+    /// Raw plane access.
+    pub fn y_plane(&self) -> &[u8] {
+        &self.y
+    }
+
+    pub fn uv_plane(&self) -> &[u8] {
+        &self.uv
+    }
+
+    /// Total frame bytes (1.5 bytes per pixel).
+    pub fn size_bytes(&self) -> usize {
+        self.y.len() + self.uv.len()
+    }
+
+    /// BT.601 conversion to RGB (used by the display stage to draw
+    /// detection overlays on the original frame).
+    pub fn to_rgb(&self) -> RgbImage {
+        let mut rgb = RgbImage::new(self.width, self.height);
+        let cw = self.width / 2;
+        for yy in 0..self.height {
+            for xx in 0..self.width {
+                let y = self.y[yy * self.width + xx] as f32;
+                let ci = (yy / 2) * cw + (xx / 2);
+                let u = self.uv[ci * 2] as f32 - 128.0;
+                let v = self.uv[ci * 2 + 1] as f32 - 128.0;
+                let r = y + 1.402 * v;
+                let g = y - 0.344 * u - 0.714 * v;
+                let b = y + 1.772 * u;
+                rgb.set(
+                    xx,
+                    yy,
+                    [
+                        r.clamp(0.0, 255.0) as u8,
+                        g.clamp(0.0, 255.0) as u8,
+                        b.clamp(0.0, 255.0) as u8,
+                    ],
+                );
+            }
+        }
+        rgb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_luma_roundtrips_the_y_plane() {
+        let img = GrayImage::from_fn(8, 6, |x, y| (x * 30 + y * 10) as f32);
+        let f = Nv12Frame::from_luma(&img);
+        assert_eq!(f.luma().to_u8(), img.to_u8());
+        assert_eq!(f.size_bytes(), 8 * 6 * 3 / 2);
+    }
+
+    #[test]
+    fn neutral_chroma_gives_gray_rgb() {
+        let img = GrayImage::from_fn(4, 4, |_, _| 100.0);
+        let rgb = Nv12Frame::from_luma(&img).to_rgb();
+        let [r, g, b] = rgb.get(1, 1);
+        assert_eq!(r, 100);
+        assert_eq!(g, 100);
+        assert_eq!(b, 100);
+    }
+
+    #[test]
+    fn chroma_tints_rgb() {
+        let img = GrayImage::from_fn(2, 2, |_, _| 128.0);
+        let mut f = Nv12Frame::from_luma(&img);
+        // Strong V (red difference) on the single chroma sample.
+        f.uv = vec![128, 255];
+        let rgb = f.to_rgb();
+        let [r, _, b] = rgb.get(0, 0);
+        assert!(r > 200, "V boost must push red up, got {r}");
+        assert!(b < 140, "blue stays near luma");
+    }
+
+    #[test]
+    #[should_panic(expected = "even dimensions")]
+    fn odd_dimensions_are_rejected() {
+        let img = GrayImage::new(5, 4);
+        let _ = Nv12Frame::from_luma(&img);
+    }
+
+    #[test]
+    #[should_panic(expected = "luma plane size")]
+    fn wrong_plane_sizes_are_rejected() {
+        let _ = Nv12Frame::new(4, 4, vec![0; 15], vec![0; 8]);
+    }
+}

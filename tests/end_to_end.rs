@@ -1,0 +1,194 @@
+//! End-to-end integration: train -> save/load -> detect -> group ->
+//! evaluate, across every crate in the workspace.
+
+use facedet::boost::synthdata::{synth_faces, NegativeSource};
+use facedet::boost::trainer::{train_cascade, StageGoals, TrainerConfig};
+use facedet::boost::GentleBoost;
+use facedet::eval::roc::{match_frame, roc_curve};
+use facedet::eval::scface::MugshotDataset;
+use facedet::haar::{enumerate_features, io, EnumerationRule};
+use facedet::prelude::*;
+use facedet::video::{HwDecoder, Trailer, TrailerSpec};
+
+fn quick_training_config() -> TrainerConfig {
+    TrainerConfig {
+        goals: StageGoals {
+            min_detection_rate: 0.985,
+            max_false_positive_rate: 0.5,
+            max_stumps_per_stage: 15,
+            min_stumps_per_stage: 1,
+        },
+        max_stages: 5,
+        negatives_per_stage: 150,
+        bootstrap_budget: 60_000,
+        seed: 99,
+        verbose: false,
+    }
+}
+
+fn train_quick_cascade() -> Cascade {
+    // Trained once per test binary: several tests share it.
+    static CASCADE: std::sync::OnceLock<Cascade> = std::sync::OnceLock::new();
+    CASCADE
+        .get_or_init(|| {
+            let features: Vec<_> = enumerate_features(24, EnumerationRule::Icpp2012)
+                .into_iter()
+                .step_by(211)
+                .collect();
+            let faces = synth_faces(120, 1);
+            let mut negs = NegativeSource::new(2);
+            let learner = GentleBoost::new(features);
+            train_cascade(&learner, "e2e", &faces, &mut negs, &quick_training_config()).cascade
+        })
+        .clone()
+}
+
+#[test]
+fn train_save_load_detect_roundtrip() {
+    let cascade = train_quick_cascade();
+    assert!(cascade.depth() >= 2, "training must produce multiple stages");
+
+    // Text-format round trip.
+    let text = io::to_text(&cascade);
+    let reloaded = io::from_text(&text).expect("parse");
+    assert_eq!(reloaded, cascade);
+
+    // The reloaded cascade detects synthetic mug shots.
+    let ds = MugshotDataset::generate(25, 25, 96, 7);
+    let mut det = FaceDetector::new(
+        &reloaded,
+        DetectorConfig { min_neighbors: 1, ..DetectorConfig::default() },
+    );
+    let mut hits = 0usize;
+    let mut fp_images = 0usize;
+    for img in &ds.images {
+        let r = det.detect(&img.image);
+        match &img.truth {
+            Some(t) => {
+                if r.detections.iter().any(|d| {
+                    facedet::detector::group::s_eyes_to_truth(
+                        &d.as_detection(),
+                        t.eyes,
+                        t.eye_distance,
+                    ) < 1.0
+                }) {
+                    hits += 1;
+                }
+            }
+            None => {
+                if !r.detections.is_empty() {
+                    fp_images += 1;
+                }
+            }
+        }
+    }
+    // A 5-stage cascade is weak, but it must be far better than chance.
+    assert!(hits >= 15, "only {hits}/25 mug shots detected");
+    assert!(fp_images <= 20, "false positives on {fp_images}/25 background images");
+}
+
+#[test]
+fn trailer_stream_is_deterministic_and_detectable() {
+    let cascade = train_quick_cascade();
+    let spec = TrailerSpec {
+        width: 480,
+        height: 270,
+        n_frames: 6,
+        seed: 0xAB,
+        face_size: (40.0, 120.0),
+        face_count_weights: vec![0.0, 0.5, 0.5],
+        ..TrailerSpec::default()
+    };
+    let run = || {
+        let decoder = HwDecoder::new(Trailer::generate(spec.clone()));
+        let mut det = FaceDetector::new(
+            &cascade,
+            DetectorConfig { min_neighbors: 1, ..DetectorConfig::default() },
+        );
+        let mut all = Vec::new();
+        for frame in decoder {
+            let r = det.detect(&frame.luma);
+            all.push((frame.index, r.raw.len(), r.detect_ms));
+        }
+        all
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "same seed, same stream, same detections and timing");
+    assert_eq!(a.len(), 6);
+}
+
+#[test]
+fn roc_evaluation_pipeline_works_end_to_end() {
+    let cascade = train_quick_cascade();
+    let ds = MugshotDataset::generate(20, 30, 96, 77);
+    let mut det = FaceDetector::new(
+        &cascade,
+        DetectorConfig { min_neighbors: 1, ..DetectorConfig::default() },
+    );
+    let evals: Vec<_> = ds
+        .images
+        .iter()
+        .map(|img| {
+            let r = det.detect(&img.image);
+            let truths: Vec<_> = img.truth.iter().cloned().collect();
+            match_frame(&r.detections, &truths)
+        })
+        .collect();
+    let curve = roc_curve(&evals, 8);
+    assert!(curve.len() >= 2);
+    // Monotone in threshold, and the loosest point detects something.
+    for w in curve.windows(2) {
+        assert!(w[1].tp >= w[0].tp && w[1].fp >= w[0].fp);
+    }
+    assert!(curve.last().unwrap().tp > 0, "no face detected at all");
+}
+
+#[test]
+fn truncating_stages_trades_false_positives_for_speed() {
+    let cascade = train_quick_cascade();
+    if cascade.depth() < 3 {
+        return; // not enough stages to compare
+    }
+    let ds = MugshotDataset::generate(0, 40, 96, 5);
+    let count_fps = |c: &Cascade| {
+        let mut det =
+            FaceDetector::new(c, DetectorConfig { min_neighbors: 1, ..Default::default() });
+        ds.images.iter().map(|i| det.detect(&i.image).raw.len()).sum::<usize>()
+    };
+    let shallow = count_fps(&cascade.truncated(1));
+    let deep = count_fps(&cascade);
+    assert!(
+        shallow >= deep,
+        "1-stage cascade ({shallow}) must fire at least as often as the full one ({deep})"
+    );
+    assert!(shallow > 0, "stage-1 alone should fire on textured backgrounds");
+}
+
+#[test]
+fn rejection_statistics_decay_with_stage() {
+    let cascade = train_quick_cascade();
+    let ds = MugshotDataset::generate(0, 10, 96, 11);
+    let mut det = FaceDetector::new(
+        &cascade,
+        DetectorConfig { collect_rejection_stats: true, ..DetectorConfig::default() },
+    );
+    let mut total = vec![0u64; cascade.depth() as usize + 1];
+    let mut windows = 0u64;
+    for img in &ds.images {
+        let r = det.detect(&img.image);
+        let h = r.rejection.unwrap();
+        for counts in &h.counts {
+            for (d, c) in counts.iter().enumerate() {
+                total[d] += c;
+            }
+        }
+        windows += h.windows_per_level.iter().sum::<u64>();
+    }
+    // Stage 1 rejects the majority of background windows.
+    let stage1_rate = total[0] as f64 / windows as f64;
+    assert!(stage1_rate > 0.5, "stage-1 rejection rate only {stage1_rate:.3}");
+    // Counts decay: deeper depths see fewer windows.
+    let deep: u64 = total[2..].iter().sum();
+    assert!(deep < total[0], "deep evaluations ({deep}) exceed stage-1 rejections");
+}
