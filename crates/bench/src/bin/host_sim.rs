@@ -1,0 +1,120 @@
+//! Host-simulator throughput: the functional phase at 1 thread vs all
+//! host cores, over the full detection pipeline on a synthetic video
+//! frame. Writes `results/BENCH_host_sim.json` — the repo's perf
+//! trajectory data point for the parallel functional phase.
+//!
+//! Usage: `host_sim [--frames N] [--width W] [--height H]`.
+
+use std::time::Instant;
+
+use fd_bench::out::{arg_usize, write_text};
+use fd_detector::{DetectorConfig, FaceDetector};
+use fd_haar::{Cascade, FeatureKind, HaarFeature, Stage, Stump};
+use fd_imgproc::GrayImage;
+
+/// A multi-stage edge cascade; synthetic but deep enough that the
+/// cascade kernel dominates the way a trained one does.
+fn bench_cascade(stages: usize) -> Cascade {
+    let f = HaarFeature::from_params(FeatureKind::EdgeH, 6, 4, 6, 8);
+    let mut c = Cascade::new("bench-edge", 24);
+    for _ in 0..stages {
+        c.stages.push(Stage {
+            stumps: vec![Stump { feature: f, threshold: 8192, left: -1.0, right: 1.0 }],
+            threshold: 0.5,
+        });
+    }
+    c
+}
+
+/// A textured frame so the cascade does non-trivial depth work.
+fn bench_frame(w: usize, h: usize) -> GrayImage {
+    GrayImage::from_fn(w, h, |x, y| {
+        let stripes = if (x / 12) % 2 == 0 { 40.0 } else { 210.0 };
+        let hash = ((x * 31 + y * 17) % 97) as f32;
+        0.7 * stripes + hash
+    })
+}
+
+struct Measurement {
+    threads: usize,
+    wall_s: f64,
+    fps: f64,
+    blocks_per_s: f64,
+}
+
+/// Best of three repetitions — host scheduling noise easily exceeds the
+/// effect under test on small machines.
+fn run(threads: usize, frame: &GrayImage, cascade: &Cascade, frames: usize) -> Measurement {
+    let mut det = FaceDetector::new(
+        cascade,
+        DetectorConfig { host_threads: Some(threads), ..DetectorConfig::default() },
+    );
+    // Warm-up frame: builds the buffer pool, pages in everything.
+    let _ = det.detect(frame);
+    let mut best_wall = f64::INFINITY;
+    let mut blocks = 0u64;
+    for _ in 0..3 {
+        det.reset_profiler();
+        let t = Instant::now();
+        for _ in 0..frames {
+            let _ = det.detect(frame);
+        }
+        let wall_s = t.elapsed().as_secs_f64();
+        if wall_s < best_wall {
+            best_wall = wall_s;
+            blocks = det.profiler().kernels().values().map(|k| k.blocks).sum();
+        }
+    }
+    Measurement {
+        threads,
+        wall_s: best_wall,
+        fps: frames as f64 / best_wall,
+        blocks_per_s: blocks as f64 / best_wall,
+    }
+}
+
+fn main() {
+    let frames = arg_usize("--frames", 20).max(1);
+    let width = arg_usize("--width", 320);
+    let height = arg_usize("--height", 240);
+    if width < 24 || height < 24 {
+        eprintln!("error: --width/--height must be at least the 24-px detection window");
+        std::process::exit(2);
+    }
+    let host_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    let cascade = bench_cascade(8);
+    let frame = bench_frame(width, height);
+
+    let seq = run(1, &frame, &cascade, frames);
+    let par = run(host_cores, &frame, &cascade, frames);
+    let speedup = par.fps / seq.fps;
+
+    let entry = |m: &Measurement| {
+        format!(
+            "    {{ \"threads\": {}, \"wall_s\": {:.4}, \"frames_per_s\": {:.2}, \"blocks_per_s\": {:.0} }}",
+            m.threads, m.wall_s, m.fps, m.blocks_per_s
+        )
+    };
+    let note = if host_cores == 1 {
+        "1-core host: both runs are sequential; speedup is measurement noise"
+    } else {
+        "speedup = all-core frames_per_s / 1-thread frames_per_s"
+    };
+    let json = format!(
+        "{{\n  \"bench\": \"host_sim_functional_phase\",\n  \"host_cores\": {host_cores},\n  \
+         \"frame\": [{width}, {height}],\n  \"frames\": {frames},\n  \"runs\": [\n{},\n{}\n  ],\n  \
+         \"speedup\": {speedup:.3},\n  \"note\": \"{note}\"\n}}\n",
+        entry(&seq),
+        entry(&par),
+    );
+    print!("{json}");
+    let path = write_text("BENCH_host_sim.json", &json).unwrap();
+    println!("wrote {}", path.display());
+
+    if host_cores >= 4 && speedup < 1.5 {
+        eprintln!(
+            "warning: {host_cores}-core host reached only {speedup:.2}x — expected >= 1.5x"
+        );
+    }
+}

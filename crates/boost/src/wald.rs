@@ -238,15 +238,15 @@ mod tests {
             &learner,
             "wald-test",
             &set,
-            &WaldBoostConfig { rounds: 25, alpha: 0.05, final_detection_rate: 0.97 },
+            &WaldBoostConfig { rounds: 40, alpha: 0.05, final_detection_rate: 0.97 },
         )
     }
 
     #[test]
     fn training_produces_monotone_usable_classifier() {
         let wb = train_small();
-        assert_eq!(wb.len(), 25);
-        assert_eq!(wb.reject_below.len(), 25);
+        assert_eq!(wb.len(), 40);
+        assert_eq!(wb.reject_below.len(), 40);
         // At least one early-exit test must be active on separable-ish data.
         assert!(
             wb.reject_below.iter().any(|t| t.is_finite()),

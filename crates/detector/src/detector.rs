@@ -26,6 +26,10 @@ pub struct DetectorConfig {
     pub min_neighbors: usize,
     /// Collect per-stage/per-scale rejection histograms (Fig. 7).
     pub collect_rejection_stats: bool,
+    /// Host worker threads for the simulator's functional phase. `None`
+    /// defers to `FD_SIM_THREADS` or the machine's core count; `Some(1)`
+    /// forces sequential execution. Results are identical either way.
+    pub host_threads: Option<usize>,
 }
 
 impl Default for DetectorConfig {
@@ -37,6 +41,7 @@ impl Default for DetectorConfig {
             overlap_threshold: 0.5,
             min_neighbors: 2,
             collect_rejection_stats: false,
+            host_threads: None,
         }
     }
 }
@@ -98,7 +103,8 @@ pub struct FaceDetector {
 
 impl FaceDetector {
     pub fn new(cascade: &Cascade, config: DetectorConfig) -> Self {
-        let gpu = Gpu::new(config.device.clone(), config.exec_mode);
+        let mut gpu = Gpu::new(config.device.clone(), config.exec_mode);
+        gpu.set_host_threads(config.host_threads);
         let pipeline = FramePipeline::new(gpu, cascade, config.scale_factor);
         Self { pipeline, config }
     }

@@ -8,8 +8,22 @@
 //! small levels, whose grids cannot occupy the device on their own); in
 //! [`fd_gpu::ExecMode::Serial`] mode every kernel drains before the next
 //! starts, reproducing the paper's baseline.
+//!
+//! # Frame-persistent buffer pool
+//!
+//! Device buffers and streams are pooled across frames, keyed by the
+//! pyramid plan: the first frame of a given geometry allocates one set of
+//! per-level buffers, and every following frame of the same geometry
+//! reuses them without touching the allocator (every kernel in the chain
+//! fully overwrites its outputs, so no clearing is needed either). This
+//! mirrors how a production video detector holds its workspaces for the
+//! stream's lifetime — `cudaMalloc`/`cudaFree` per frame would serialize
+//! against the device. A frame-size change frees the old pool and builds
+//! a new one; [`FramePipeline::release_pool`] returns the memory
+//! explicitly. Steady-state frames perform **zero** device allocations
+//! (asserted via [`fd_gpu::DeviceMemory::alloc_count`] in tests).
 
-use fd_gpu::{ConstPtr, Gpu, Texture2D, Timeline};
+use fd_gpu::{ConstPtr, DevBuf, Gpu, StreamId, Texture2D, Timeline};
 use fd_haar::encode::{encode_cascade, quantize_cascade};
 use fd_haar::Cascade;
 use fd_imgproc::{GrayImage, Pyramid};
@@ -35,6 +49,58 @@ pub struct ScaleOutput {
     pub hits: Vec<u32>,
 }
 
+/// Device workspaces for one pyramid level (each `w * h` elements).
+struct LevelBufs {
+    scaled: DevBuf<f32>,
+    filtered: DevBuf<f32>,
+    buf_a: DevBuf<u32>,
+    buf_b: DevBuf<u32>,
+    integral: DevBuf<u32>,
+    depth: DevBuf<u32>,
+    score: DevBuf<f32>,
+    hits: DevBuf<u32>,
+}
+
+impl LevelBufs {
+    fn alloc(mem: &mut fd_gpu::DeviceMemory, n: usize) -> Self {
+        Self {
+            scaled: mem.alloc::<f32>(n),
+            filtered: mem.alloc::<f32>(n),
+            buf_a: mem.alloc::<u32>(n),
+            buf_b: mem.alloc::<u32>(n),
+            integral: mem.alloc::<u32>(n),
+            depth: mem.alloc::<u32>(n),
+            score: mem.alloc::<f32>(n),
+            hits: mem.alloc::<u32>(n),
+        }
+    }
+
+    fn free(self, mem: &mut fd_gpu::DeviceMemory) {
+        mem.free(self.scaled);
+        mem.free(self.filtered);
+        mem.free(self.buf_a);
+        mem.free(self.buf_b);
+        mem.free(self.integral);
+        mem.free(self.depth);
+        mem.free(self.score);
+        mem.free(self.hits);
+    }
+
+    /// Device bytes held: eight `w * h` buffers of 4-byte elements.
+    fn bytes(n: usize) -> usize {
+        8 * 4 * n
+    }
+}
+
+/// The frame-persistent buffer pool (module docs): per-level workspaces
+/// and streams, valid for one frame geometry.
+struct FramePool {
+    frame_dims: (usize, usize),
+    plan: Vec<(usize, usize)>,
+    levels: Vec<(StreamId, LevelBufs)>,
+    bytes: usize,
+}
+
 /// The GPU face-detection pipeline bound to one cascade.
 pub struct FramePipeline {
     /// The simulated device (public for profiler access).
@@ -42,6 +108,7 @@ pub struct FramePipeline {
     cascade: Cascade,
     const_ptr: ConstPtr,
     scale_factor: f64,
+    pool: Option<FramePool>,
 }
 
 impl FramePipeline {
@@ -52,7 +119,7 @@ impl FramePipeline {
         let quantized = quantize_cascade(cascade);
         gpu.const_clear();
         let const_ptr = gpu.const_upload(&encode_cascade(&quantized));
-        Self { gpu, cascade: quantized, const_ptr, scale_factor }
+        Self { gpu, cascade: quantized, const_ptr, scale_factor, pool: None }
     }
 
     /// The quantized cascade the device evaluates.
@@ -70,9 +137,52 @@ impl FramePipeline {
         self.const_ptr.len() * 4
     }
 
+    /// Device bytes held by the frame-persistent buffer pool (0 until the
+    /// first frame, or after [`Self::release_pool`]).
+    pub fn pooled_bytes(&self) -> usize {
+        self.pool.as_ref().map_or(0, |p| p.bytes)
+    }
+
+    /// Free the frame-persistent buffer pool, returning its device
+    /// memory. The next [`Self::run_frame`] rebuilds it.
+    pub fn release_pool(&mut self) {
+        if let Some(pool) = self.pool.take() {
+            for (_, bufs) in pool.levels {
+                bufs.free(&mut self.gpu.mem);
+            }
+        }
+    }
+
+    /// Ensure the pool matches `plan` for a `fw x fh` frame, rebuilding it
+    /// on geometry change.
+    fn ensure_pool(&mut self, fw: usize, fh: usize, plan: &[(usize, usize)]) {
+        let reusable = self
+            .pool
+            .as_ref()
+            .is_some_and(|p| p.frame_dims == (fw, fh) && p.plan == plan);
+        if reusable {
+            return;
+        }
+        self.release_pool();
+        let gpu = &mut self.gpu;
+        let mut bytes = 0;
+        let levels = plan
+            .iter()
+            .map(|&(w, h)| {
+                bytes += LevelBufs::bytes(w * h);
+                (gpu.create_stream(), LevelBufs::alloc(&mut gpu.mem, w * h))
+            })
+            .collect();
+        self.pool =
+            Some(FramePool { frame_dims: (fw, fh), plan: plan.to_vec(), levels, bytes });
+    }
+
     /// Run the full pipeline on one luma frame. Returns the per-level
     /// readbacks and the frame's device timeline (its span is the
     /// detection latency).
+    ///
+    /// Steady-state frames (same geometry as the previous one) reuse the
+    /// pooled buffers and perform no device allocations.
     pub fn run_frame(&mut self, frame: &GrayImage) -> (Vec<ScaleOutput>, Timeline) {
         let window = self.cascade.window as usize;
         let (fw, fh) = (frame.width(), frame.height());
@@ -81,36 +191,14 @@ impl FramePipeline {
             "frame smaller than the detection window"
         );
         let plan = Pyramid::plan(fw, fh, self.scale_factor, window);
+        self.ensure_pool(fw, fh, &plan);
+        let pool = self.pool.as_ref().expect("pool built above");
         let gpu = &mut self.gpu;
 
         gpu.clear_textures();
         let tex = gpu.bind_texture(Texture2D::from_data(fw, fh, frame.as_slice().to_vec()));
 
-        struct LevelBufs {
-            scaled: fd_gpu::DevBuf<f32>,
-            filtered: fd_gpu::DevBuf<f32>,
-            buf_a: fd_gpu::DevBuf<u32>,
-            buf_b: fd_gpu::DevBuf<u32>,
-            integral: fd_gpu::DevBuf<u32>,
-            depth: fd_gpu::DevBuf<u32>,
-            score: fd_gpu::DevBuf<f32>,
-            hits: fd_gpu::DevBuf<u32>,
-        }
-
-        let mut levels = Vec::with_capacity(plan.len());
-        for (level, &(w, h)) in plan.iter().enumerate() {
-            let stream = gpu.create_stream();
-            let bufs = LevelBufs {
-                scaled: gpu.mem.alloc::<f32>(w * h),
-                filtered: gpu.mem.alloc::<f32>(w * h),
-                buf_a: gpu.mem.alloc::<u32>(w * h),
-                buf_b: gpu.mem.alloc::<u32>(w * h),
-                integral: gpu.mem.alloc::<u32>(w * h),
-                depth: gpu.mem.alloc::<u32>(w * h),
-                score: gpu.mem.alloc::<f32>(w * h),
-                hits: gpu.mem.alloc::<u32>(w * h),
-            };
-
+        for (&(w, h), &(stream, ref bufs)) in plan.iter().zip(&pool.levels) {
             let scale = ScaleKernel {
                 src: tex,
                 src_w: fw,
@@ -167,14 +255,12 @@ impl FramePipeline {
                 required_depth: self.cascade.depth(),
             };
             gpu.launch(&display, display.config(), stream).expect("display launch");
-
-            levels.push((level, w, h, bufs));
         }
 
         let timeline = gpu.synchronize();
 
-        let mut outputs = Vec::with_capacity(levels.len());
-        for (level, w, h, bufs) in levels {
+        let mut outputs = Vec::with_capacity(plan.len());
+        for (level, (&(w, h), (_, bufs))) in plan.iter().zip(&pool.levels).enumerate() {
             outputs.push(ScaleOutput {
                 level,
                 width: w,
@@ -184,14 +270,6 @@ impl FramePipeline {
                 score: gpu.mem.download(bufs.score),
                 hits: gpu.mem.download(bufs.hits),
             });
-            gpu.mem.free(bufs.scaled);
-            gpu.mem.free(bufs.filtered);
-            gpu.mem.free(bufs.buf_a);
-            gpu.mem.free(bufs.buf_b);
-            gpu.mem.free(bufs.integral);
-            gpu.mem.free(bufs.depth);
-            gpu.mem.free(bufs.score);
-            gpu.mem.free(bufs.hits);
         }
         (outputs, timeline)
     }
@@ -302,11 +380,49 @@ mod tests {
         let gpu = Gpu::new(DeviceSpec::gtx470(), ExecMode::Concurrent);
         let mut p = FramePipeline::new(gpu, &simple_cascade(), 1.25);
         let frame = test_frame();
+        assert_eq!(p.pooled_bytes(), 0, "no pool before the first frame");
         let _ = p.run_frame(&frame);
         let live_after_first = p.gpu.mem.live_bytes();
+        let allocs_after_first = p.gpu.mem.alloc_count();
+        assert_eq!(p.pooled_bytes(), live_after_first, "pool owns all live memory");
         for _ in 0..3 {
             let _ = p.run_frame(&frame);
         }
         assert_eq!(p.gpu.mem.live_bytes(), live_after_first, "no leak across frames");
+        assert_eq!(
+            p.gpu.mem.alloc_count(),
+            allocs_after_first,
+            "steady-state frames must be allocation-free"
+        );
+        p.release_pool();
+        assert_eq!(p.gpu.mem.live_bytes(), 0, "release_pool returns everything");
+        assert_eq!(p.pooled_bytes(), 0);
+    }
+
+    #[test]
+    fn pool_rebuilds_on_frame_geometry_change() {
+        let gpu = Gpu::new(DeviceSpec::gtx470(), ExecMode::Concurrent);
+        let mut p = FramePipeline::new(gpu, &simple_cascade(), 1.25);
+        let (a, _) = p.run_frame(&test_frame());
+        let pool_96x72 = p.pooled_bytes();
+        let allocs = p.gpu.mem.alloc_count();
+
+        // A differently sized frame frees the old pool and builds a new one.
+        let small = GrayImage::from_fn(64, 48, |x, _| (x * 3) as f32);
+        let (b, _) = p.run_frame(&small);
+        assert!(p.gpu.mem.alloc_count() > allocs, "geometry change reallocates");
+        assert_eq!(p.gpu.mem.live_bytes(), p.pooled_bytes(), "old pool was freed");
+        assert!(p.pooled_bytes() < pool_96x72);
+        assert!(b.len() < a.len(), "smaller frame has fewer levels");
+
+        // Returning to the original geometry rebuilds and still matches the
+        // first run's results exactly.
+        let (c, _) = p.run_frame(&test_frame());
+        assert_eq!(a.len(), c.len());
+        for (x, y) in a.iter().zip(&c) {
+            assert_eq!(x.depth, y.depth);
+            assert_eq!(x.score, y.score);
+            assert_eq!(x.hits, y.hits);
+        }
     }
 }

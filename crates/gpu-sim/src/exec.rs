@@ -1,0 +1,263 @@
+//! Host-parallel execution of the functional phase.
+//!
+//! Thread blocks of one launch are independent by construction (barriers
+//! only exist *inside* a block), so the functional phase fans them out
+//! across host worker threads. Determinism is preserved structurally:
+//!
+//! - workers claim fixed-size *chunks* of the linear block range from an
+//!   atomic counter (dynamic load balancing), but every chunk's results
+//!   land in a slot indexed by chunk id;
+//! - after the join, per-block costs are stitched back together in
+//!   linear block order and [`KernelCounters`] are reduced by a single
+//!   ordered fold over that sequence.
+//!
+//! The result — block costs, profiler counters and (through the cost
+//! model) the timing simulation — is therefore byte-for-byte identical
+//! to the sequential path regardless of thread schedule. Cross-block
+//! memory effects are governed by the arena's disjoint-write contract
+//! ([`crate::memory`]).
+//!
+//! Thread count resolution: explicit builder override
+//! ([`crate::Gpu::set_host_threads`]) → the `FD_SIM_THREADS` environment
+//! variable → `std::thread::available_parallelism()`. Small grids run
+//! sequentially regardless, as thread-spawn overhead would dominate.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use crate::cost::CostModel;
+use crate::kernel::{BlockCtx, Kernel, LaunchConfig};
+use crate::memory::{ConstBank, DeviceMemory, Texture2D};
+use crate::meter::{KernelCounters, Meter};
+use crate::sched::BlockCost;
+
+/// Grids below this many blocks always run sequentially: per-launch
+/// thread-spawn overhead (tens of microseconds) exceeds the work.
+const PARALLEL_MIN_BLOCKS: u64 = 64;
+
+/// Upper bound on blocks per chunk; small enough to balance load on the
+/// largest realistic grids, large enough to amortize the atomic claim.
+const MAX_CHUNK_BLOCKS: usize = 1024;
+
+/// Environment variable selecting the host thread count (`1` forces the
+/// sequential path).
+pub const THREADS_ENV_VAR: &str = "FD_SIM_THREADS";
+
+/// Resolve the effective host thread count for the functional phase.
+pub(crate) fn resolve_host_threads(override_threads: Option<usize>) -> usize {
+    if let Some(n) = override_threads {
+        return n.max(1);
+    }
+    if let Ok(v) = std::env::var(THREADS_ENV_VAR) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Everything the functional phase produces for one launch.
+pub(crate) struct FunctionalResult {
+    /// Per-block timing costs, indexed by linear block id.
+    pub block_costs: Vec<BlockCost>,
+    /// Counters summed over blocks in linear order.
+    pub totals: KernelCounters,
+}
+
+/// Shared read-only state for one launch's functional phase.
+pub(crate) struct LaunchEnv<'a> {
+    pub mem: &'a DeviceMemory,
+    pub constants: &'a ConstBank,
+    pub textures: &'a [Texture2D],
+    pub cost: &'a CostModel,
+    pub warp_size: u32,
+}
+
+impl LaunchEnv<'_> {
+    fn run_block(&self, kernel: &dyn Kernel, cfg: &LaunchConfig, lin: u64) -> (BlockCost, KernelCounters) {
+        let meter = Meter::new();
+        let mut ctx = BlockCtx::new(
+            cfg.grid.from_linear(lin),
+            cfg.grid,
+            cfg.block,
+            self.mem,
+            &meter,
+            self.constants,
+            self.textures,
+            self.warp_size,
+            cfg.shared_mem_bytes,
+        );
+        kernel.run_block(&mut ctx);
+        let c = meter.snapshot();
+        let bc = BlockCost {
+            issue_cycles: self.cost.issue_cycles(&c),
+            mem_latency_cycles: self.cost.mem_latency_cycles(&c),
+            mem_bytes: c.global_bytes(),
+        };
+        (bc, c)
+    }
+}
+
+/// Execute every block of a launch, sequentially or across `threads`
+/// host workers. `total_blocks` has been validated by the caller to fit
+/// the functional-simulation limit.
+pub(crate) fn run_functional(
+    kernel: &dyn Kernel,
+    cfg: &LaunchConfig,
+    env: &LaunchEnv<'_>,
+    threads: usize,
+    total_blocks: u64,
+) -> FunctionalResult {
+    let total = total_blocks as usize;
+    if threads <= 1 || total_blocks < PARALLEL_MIN_BLOCKS {
+        let mut block_costs = Vec::with_capacity(total);
+        let mut totals = KernelCounters::default();
+        for lin in 0..total_blocks {
+            let (bc, c) = env.run_block(kernel, cfg, lin);
+            block_costs.push(bc);
+            totals.add(&c);
+        }
+        return FunctionalResult { block_costs, totals };
+    }
+
+    // Chunked dynamic scheduling: ~8 chunks per worker bounds the tail
+    // (the last chunk finishing late) to ~1/8 of one worker's share.
+    let chunk = (total / (threads * 8)).clamp(1, MAX_CHUNK_BLOCKS);
+    let n_chunks = total.div_ceil(chunk);
+    let next_chunk = AtomicUsize::new(0);
+    let slots: Vec<OnceLock<Vec<(BlockCost, KernelCounters)>>> =
+        (0..n_chunks).map(|_| OnceLock::new()).collect();
+
+    std::thread::scope(|s| {
+        for _ in 0..threads.min(n_chunks) {
+            s.spawn(|| loop {
+                let idx = next_chunk.fetch_add(1, Ordering::Relaxed);
+                if idx >= n_chunks {
+                    break;
+                }
+                let start = idx * chunk;
+                let end = (start + chunk).min(total);
+                let mut local = Vec::with_capacity(end - start);
+                for lin in start..end {
+                    local.push(env.run_block(kernel, cfg, lin as u64));
+                }
+                assert!(slots[idx].set(local).is_ok(), "chunk {idx} computed twice");
+            });
+        }
+    });
+
+    // Stitch chunks back into linear block order; the counter reduction
+    // is a single ordered fold, independent of which worker ran what.
+    let mut block_costs = Vec::with_capacity(total);
+    let mut totals = KernelCounters::default();
+    for slot in slots {
+        let part = slot.into_inner().expect("worker pool exited with an unprocessed chunk");
+        for (bc, c) in part {
+            block_costs.push(bc);
+            totals.add(&c);
+        }
+    }
+    FunctionalResult { block_costs, totals }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dim::Dim3;
+    use crate::memory::DevBuf;
+
+    struct FillKernel {
+        out: DevBuf<u32>,
+    }
+
+    impl Kernel for FillKernel {
+        fn name(&self) -> &'static str {
+            "fill"
+        }
+        fn run_block(&self, ctx: &mut BlockCtx<'_>) {
+            let tpb = ctx.block_dim.count() as usize;
+            let base = ctx.block_idx.x as usize * tpb;
+            let mut out = ctx.mem.write(self.out);
+            let end = (base + tpb).min(out.len());
+            for (i, v) in out[base..end].iter_mut().enumerate() {
+                *v = (base + i) as u32 * 3 + 1;
+            }
+            ctx.meter.alu(ctx.warps_in_block());
+            ctx.meter.global_store(((end - base) * 4) as u64);
+            // Block-dependent divergence so counter order would show up
+            // in a naive unordered reduction of floating-point costs.
+            ctx.meter.branches(ctx.block_idx.x as u64 + 1, ctx.block_idx.x as u64 % 2);
+        }
+    }
+
+    fn run_with(threads: usize) -> (Vec<u32>, FunctionalResult) {
+        let mut mem = DeviceMemory::new();
+        let out = mem.alloc::<u32>(100_000);
+        let cfg = LaunchConfig::linear(100_000, 128);
+        let env = LaunchEnv {
+            mem: &mem,
+            constants: &ConstBank::new(0),
+            textures: &[],
+            cost: &CostModel::default(),
+            warp_size: 32,
+        };
+        let k = FillKernel { out };
+        let r = run_functional(&k, &cfg, &env, threads, cfg.total_blocks());
+        (mem.download(out), r)
+    }
+
+    #[test]
+    fn parallel_matches_sequential_bitwise() {
+        let (data1, r1) = run_with(1);
+        for threads in [2, 4, 7] {
+            let (data, r) = run_with(threads);
+            assert_eq!(data, data1, "functional output differs at {threads} threads");
+            assert_eq!(r.totals, r1.totals, "counters differ at {threads} threads");
+            assert_eq!(
+                r.block_costs.len(),
+                r1.block_costs.len(),
+                "block cost count differs at {threads} threads"
+            );
+            for (i, (a, b)) in r.block_costs.iter().zip(&r1.block_costs).enumerate() {
+                assert!(
+                    a.issue_cycles.to_bits() == b.issue_cycles.to_bits()
+                        && a.mem_latency_cycles.to_bits() == b.mem_latency_cycles.to_bits()
+                        && a.mem_bytes == b.mem_bytes,
+                    "block {i} cost differs at {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn small_grids_stay_sequential_and_correct() {
+        let mut mem = DeviceMemory::new();
+        let out = mem.alloc::<u32>(96);
+        let cfg = LaunchConfig::linear(96, 32); // 3 blocks < PARALLEL_MIN_BLOCKS
+        let env = LaunchEnv {
+            mem: &mem,
+            constants: &ConstBank::new(0),
+            textures: &[],
+            cost: &CostModel::default(),
+            warp_size: 32,
+        };
+        let r = run_functional(&FillKernel { out }, &cfg, &env, 8, cfg.total_blocks());
+        assert_eq!(r.block_costs.len(), 3);
+        assert_eq!(mem.download(out)[95], 95 * 3 + 1);
+    }
+
+    #[test]
+    fn thread_resolution_prefers_override() {
+        assert_eq!(resolve_host_threads(Some(3)), 3);
+        assert_eq!(resolve_host_threads(Some(0)), 1, "zero clamps to one");
+        assert!(resolve_host_threads(None) >= 1);
+    }
+
+    #[test]
+    fn from_linear_round_trips_in_parallel_grids() {
+        let grid = Dim3::d2(37, 11);
+        for lin in 0..grid.count() {
+            assert_eq!(grid.linear_index(grid.from_linear(lin)), lin);
+        }
+    }
+}

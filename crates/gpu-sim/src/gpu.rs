@@ -4,12 +4,18 @@ use std::collections::{HashMap, HashSet};
 
 use crate::cost::CostModel;
 use crate::device::DeviceSpec;
-use crate::kernel::{BlockCtx, Kernel, LaunchConfig};
+use crate::exec;
+use crate::kernel::{Kernel, LaunchConfig};
 use crate::memory::{ConstBank, ConstPtr, DeviceMemory, TexId, Texture2D};
-use crate::meter::{KernelCounters, Meter};
 use crate::profiler::Profiler;
-use crate::sched::{simulate, BlockCost, ExecMode, LaunchRecord, Timeline};
+use crate::sched::{simulate, ExecMode, LaunchRecord, Timeline};
 use crate::stream::{EventId, StreamId};
+
+/// Most blocks a single launch may execute functionally. Far beyond any
+/// realistic pyramid (a 1080p frame tiles to ~32 K blocks); grids past
+/// this would exhaust host memory on per-block cost records, so they are
+/// rejected as a launch error instead of aborting on allocation.
+pub const MAX_FUNCTIONAL_BLOCKS: u64 = 1 << 24;
 
 /// Reasons a kernel launch can be rejected, mirroring CUDA launch errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -20,6 +26,9 @@ pub enum LaunchError {
     SharedMemExceeded { requested: u32, limit: u32 },
     /// Grid or block has a zero extent.
     EmptyLaunch,
+    /// Grid exceeds [`MAX_FUNCTIONAL_BLOCKS`] (`requested` saturates at
+    /// `u64::MAX` when the block count itself overflows).
+    GridTooLarge { requested: u64, limit: u64 },
 }
 
 impl std::fmt::Display for LaunchError {
@@ -32,6 +41,9 @@ impl std::fmt::Display for LaunchError {
                 write!(f, "{requested} B shared memory exceeds per-block limit {limit} B")
             }
             LaunchError::EmptyLaunch => write!(f, "grid and block extents must be non-zero"),
+            LaunchError::GridTooLarge { requested, limit } => {
+                write!(f, "grid of {requested} blocks exceeds functional-simulation limit {limit}")
+            }
         }
     }
 }
@@ -52,6 +64,9 @@ pub struct Gpu {
     constants: ConstBank,
     textures: Vec<Texture2D>,
     mode: ExecMode,
+    /// Host worker threads for the functional phase; `None` defers to
+    /// `FD_SIM_THREADS` / host parallelism (see [`crate::exec`]).
+    host_threads: Option<usize>,
     next_stream: u32,
     next_event: u32,
     pending: Vec<LaunchRecord>,
@@ -72,6 +87,7 @@ impl Gpu {
             constants,
             textures: Vec::new(),
             mode,
+            host_threads: None,
             next_stream: 1,
             next_event: 0,
             pending: Vec::new(),
@@ -85,6 +101,24 @@ impl Gpu {
     /// Current execution mode.
     pub fn mode(&self) -> ExecMode {
         self.mode
+    }
+
+    /// Pin the functional phase to `threads` host workers (builder form).
+    /// `1` selects the sequential path; overrides `FD_SIM_THREADS`.
+    pub fn with_host_threads(mut self, threads: usize) -> Self {
+        self.set_host_threads(Some(threads));
+        self
+    }
+
+    /// Set or clear the host-thread override for the functional phase.
+    /// `None` defers to `FD_SIM_THREADS`, then to host parallelism.
+    pub fn set_host_threads(&mut self, threads: Option<usize>) {
+        self.host_threads = threads.map(|n| n.max(1));
+    }
+
+    /// Effective host worker threads the next launch will use.
+    pub fn host_threads(&self) -> usize {
+        exec::resolve_host_threads(self.host_threads)
     }
 
     /// Switch between serial and concurrent kernel execution. Takes effect
@@ -150,9 +184,10 @@ impl Gpu {
 
     /// Launch `kernel` with `cfg` into `stream`.
     ///
-    /// The functional phase runs immediately: every block executes in
-    /// deterministic order, and metered work is converted to per-block
-    /// timing costs for the scheduler.
+    /// The functional phase runs immediately: every block executes (in
+    /// parallel across host threads for large grids — see
+    /// [`crate::exec`]), and metered work is converted to per-block
+    /// timing costs for the scheduler, collected in linear block order.
     pub fn launch<K: Kernel>(
         &mut self,
         kernel: &K,
@@ -160,8 +195,20 @@ impl Gpu {
         stream: StreamId,
     ) -> Result<(), LaunchError> {
         let threads = cfg.threads_per_block();
-        if threads == 0 || cfg.grid.count() == 0 {
+        // Compute the block count with saturation: `Dim3::count` can wrap
+        // for adversarial grids (u32³ exceeds u64), and `Vec::with_capacity`
+        // on an absurd count would abort the process rather than error.
+        let total_blocks = (cfg.grid.x as u64)
+            .saturating_mul(cfg.grid.y as u64)
+            .saturating_mul(cfg.grid.z as u64);
+        if threads == 0 || total_blocks == 0 {
             return Err(LaunchError::EmptyLaunch);
+        }
+        if total_blocks > MAX_FUNCTIONAL_BLOCKS {
+            return Err(LaunchError::GridTooLarge {
+                requested: total_blocks,
+                limit: MAX_FUNCTIONAL_BLOCKS,
+            });
         }
         if threads > self.spec.max_threads_per_block {
             return Err(LaunchError::TooManyThreads {
@@ -176,32 +223,16 @@ impl Gpu {
             });
         }
 
-        let total_blocks = cfg.total_blocks();
-        let mut block_costs = Vec::with_capacity(total_blocks as usize);
-        let mut totals = KernelCounters::default();
-        for lin in 0..total_blocks {
-            let block_idx = cfg.grid.from_linear(lin);
-            let meter = Meter::new();
-            let mut ctx = BlockCtx::new(
-                block_idx,
-                cfg.grid,
-                cfg.block,
-                &self.mem,
-                &meter,
-                &self.constants,
-                &self.textures,
-                self.spec.warp_size,
-                cfg.shared_mem_bytes,
-            );
-            kernel.run_block(&mut ctx);
-            let c = meter.snapshot();
-            block_costs.push(BlockCost {
-                issue_cycles: self.cost.issue_cycles(&c),
-                mem_latency_cycles: self.cost.mem_latency_cycles(&c),
-                mem_bytes: c.global_bytes(),
-            });
-            totals.add(&c);
-        }
+        let env = exec::LaunchEnv {
+            mem: &self.mem,
+            constants: &self.constants,
+            textures: &self.textures,
+            cost: &self.cost,
+            warp_size: self.spec.warp_size,
+        };
+        let host_threads = exec::resolve_host_threads(self.host_threads);
+        let exec::FunctionalResult { block_costs, totals } =
+            exec::run_functional(kernel, &cfg, &env, host_threads, total_blocks);
 
         let wait_events = self.pending_waits.remove(&stream).unwrap_or_default();
         self.pending.push(LaunchRecord {
@@ -267,6 +298,7 @@ impl Gpu {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::kernel::BlockCtx;
     use crate::memory::DevBuf;
 
     /// Doubles every element; meters one load+store and one ALU op per warp.

@@ -57,11 +57,15 @@ impl LaunchConfig {
 /// A device kernel. Implementations execute *one thread block at a time* and
 /// meter the SIMT work they represent.
 ///
-/// Functional execution order is deterministic: blocks run in x-major linear
-/// order. Per the CUDA programming model, a correct kernel must not depend
-/// on inter-block execution order, and block outputs must not race; races
-/// surface as `RefCell` borrow panics in the memory arena.
-pub trait Kernel {
+/// Blocks of one launch may execute concurrently on host worker threads
+/// (hence the `Sync` bound), yet results are deterministic: per-block
+/// costs and counters are collected by linear block id and reduced in
+/// that order, so output is bit-identical at any host thread count. Per
+/// the CUDA programming model, a correct kernel must not depend on
+/// inter-block execution order and must follow the memory arena's
+/// disjoint-write contract ([`crate::memory`]); buffer-level read/write
+/// races panic via the arena's debug checker.
+pub trait Kernel: Sync {
     /// Kernel name for profiling and traces.
     fn name(&self) -> &'static str;
 

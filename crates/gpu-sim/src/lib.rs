@@ -80,6 +80,7 @@
 //! ```
 
 pub mod cost;
+pub mod exec;
 pub mod device;
 pub mod dim;
 pub mod kernel;
@@ -95,9 +96,10 @@ mod gpu;
 pub use cost::CostModel;
 pub use device::DeviceSpec;
 pub use dim::Dim3;
-pub use gpu::{Gpu, LaunchError};
+pub use exec::THREADS_ENV_VAR;
+pub use gpu::{Gpu, LaunchError, MAX_FUNCTIONAL_BLOCKS};
 pub use kernel::{BlockCtx, Kernel, LaunchConfig};
-pub use memory::{ConstPtr, DevBuf, DeviceMemory, TexId, Texture2D};
+pub use memory::{ConstPtr, DevBuf, DevRead, DevWrite, DeviceMemory, TexId, Texture2D};
 pub use meter::{KernelCounters, Meter};
 pub use pcie::PcieModel;
 pub use profiler::{KernelProfile, Profiler, TraceEvent};

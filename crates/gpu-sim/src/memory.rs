@@ -2,11 +2,31 @@
 //!
 //! Global memory is a typed arena. Buffers are addressed through copyable
 //! [`DevBuf<T>`] handles so kernels can capture them without borrowing the
-//! device. Access is runtime-borrow-checked (`RefCell`), which mirrors the
-//! CUDA contract that blocks must not race on overlapping data: within the
-//! functional phase blocks run one at a time, so a kernel holding a write
-//! borrow across a helper call is the only aliasing hazard, and it is
-//! reported immediately instead of corrupting results.
+//! device.
+//!
+//! # Concurrency and the disjoint-write contract
+//!
+//! The functional phase executes thread blocks in parallel across host
+//! threads, so the arena is shared (`DeviceMemory` is `Sync`) and buffer
+//! views are handed out through [`DevRead`]/[`DevWrite`] guards backed by
+//! an `UnsafeCell` per slot. The CUDA memory model is the contract:
+//!
+//! - any number of blocks may *read* a buffer concurrently;
+//! - any number of blocks may *write* a buffer concurrently **only if
+//!   they write disjoint elements** (the standard CUDA requirement for a
+//!   correct kernel — e.g. every block of the cascade kernel writes its
+//!   own output tile);
+//! - a buffer must never be read and written in the same launch.
+//!
+//! The guards enforce the checkable part of this at buffer granularity
+//! with atomic reader/writer counts: taking a read view while a write
+//! view exists (or vice versa) panics, which corresponds to a data race
+//! under the CUDA memory model. Element-level overlap between concurrent
+//! writers is *not* detectable at this granularity and remains the
+//! kernel author's obligation, exactly as on real hardware. Within one
+//! launch the simulator never reorders a kernel's loads/stores, so a
+//! contract-respecting kernel produces bit-identical results at any host
+//! thread count.
 //!
 //! Constant memory is a single 64 KiB bank of 32-bit words with bump
 //! allocation, matching how the detector stages its compressed Haar feature
@@ -15,11 +35,13 @@
 //! filtering, the `tex2D` path used by the scaling kernel.
 
 use std::any::Any;
-use std::cell::{Ref, RefCell, RefMut};
+use std::cell::UnsafeCell;
 use std::marker::PhantomData;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Scalar element types storable in device buffers.
-pub trait DeviceScalar: Copy + Default + 'static {}
+pub trait DeviceScalar: Copy + Default + Send + Sync + 'static {}
 impl DeviceScalar for u8 {}
 impl DeviceScalar for u16 {}
 impl DeviceScalar for u32 {}
@@ -63,9 +85,77 @@ impl<T> DevBuf<T> {
 }
 
 struct Slot {
-    data: RefCell<Box<dyn Any>>,
+    /// The buffer contents. Shared mutable access from worker threads is
+    /// mediated by the `readers`/`writers` counts below plus the
+    /// module-level disjoint-write contract.
+    data: UnsafeCell<Box<dyn Any + Send + Sync>>,
     bytes: usize,
     live: bool,
+    /// Outstanding [`DevRead`] guards.
+    readers: AtomicU32,
+    /// Outstanding [`DevWrite`] guards.
+    writers: AtomicU32,
+}
+
+// SAFETY: all access to `data` goes through `DeviceMemory::read`/`write`,
+// which track outstanding views in `readers`/`writers` and panic on
+// buffer-level read/write races; concurrent writers are only permitted
+// under the documented disjoint-write contract (module docs). Structural
+// mutation (alloc/free) takes `&mut DeviceMemory` and is therefore
+// exclusive.
+unsafe impl Sync for Slot {}
+
+/// Shared view of a device buffer, obtained from [`DeviceMemory::read`].
+/// Holding it blocks write views of the same buffer.
+pub struct DevRead<'a, T: DeviceScalar> {
+    vec: &'a Vec<T>,
+    readers: &'a AtomicU32,
+}
+
+impl<T: DeviceScalar> Deref for DevRead<'_, T> {
+    type Target = Vec<T>;
+    fn deref(&self) -> &Vec<T> {
+        self.vec
+    }
+}
+
+impl<T: DeviceScalar> Drop for DevRead<'_, T> {
+    fn drop(&mut self) {
+        self.readers.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Mutable view of a device buffer, obtained from [`DeviceMemory::write`].
+/// Holding it blocks read views; other *write* views may coexist under
+/// the disjoint-write contract (module docs), mirroring how CUDA blocks
+/// of one launch write one output buffer.
+pub struct DevWrite<'a, T: DeviceScalar> {
+    vec: *mut Vec<T>,
+    writers: &'a AtomicU32,
+    _marker: PhantomData<&'a mut Vec<T>>,
+}
+
+impl<T: DeviceScalar> Deref for DevWrite<'_, T> {
+    type Target = Vec<T>;
+    fn deref(&self) -> &Vec<T> {
+        // SAFETY: the slot is live for 'a and read views are excluded
+        // while any write view exists.
+        unsafe { &*self.vec }
+    }
+}
+
+impl<T: DeviceScalar> DerefMut for DevWrite<'_, T> {
+    fn deref_mut(&mut self) -> &mut Vec<T> {
+        // SAFETY: see `Deref`; concurrent writers touch disjoint elements
+        // per the module-level contract.
+        unsafe { &mut *self.vec }
+    }
+}
+
+impl<T: DeviceScalar> Drop for DevWrite<'_, T> {
+    fn drop(&mut self) {
+        self.writers.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 /// The global-memory arena of a simulated device.
@@ -74,6 +164,7 @@ pub struct DeviceMemory {
     slots: Vec<Slot>,
     live_bytes: usize,
     peak_bytes: usize,
+    alloc_count: u64,
 }
 
 impl DeviceMemory {
@@ -92,12 +183,15 @@ impl DeviceMemory {
         let bytes = std::mem::size_of_val(data);
         let id = self.slots.len();
         self.slots.push(Slot {
-            data: RefCell::new(Box::new(data.to_vec())),
+            data: UnsafeCell::new(Box::new(data.to_vec())),
             bytes,
             live: true,
+            readers: AtomicU32::new(0),
+            writers: AtomicU32::new(0),
         });
         self.live_bytes += bytes;
         self.peak_bytes = self.peak_bytes.max(self.live_bytes);
+        self.alloc_count += 1;
         DevBuf { id, len: data.len(), _marker: PhantomData }
     }
 
@@ -107,26 +201,45 @@ impl DeviceMemory {
         assert!(slot.live, "double free of {buf:?}");
         slot.live = false;
         self.live_bytes -= slot.bytes;
-        *slot.data.borrow_mut() = Box::new(());
+        *slot.data.get_mut() = Box::new(());
     }
 
     /// Shared view of a buffer (`cudaMemcpyDeviceToHost` without the copy).
-    pub fn read<T: DeviceScalar>(&self, buf: DevBuf<T>) -> Ref<'_, Vec<T>> {
+    /// Panics if a write view is outstanding — a read/write race under the
+    /// CUDA memory model.
+    pub fn read<T: DeviceScalar>(&self, buf: DevBuf<T>) -> DevRead<'_, T> {
         let slot = &self.slots[buf.id];
         assert!(slot.live, "use after free of {buf:?}");
-        Ref::map(slot.data.borrow(), |b| {
-            b.downcast_ref::<Vec<T>>().expect("device buffer type mismatch")
-        })
+        slot.readers.fetch_add(1, Ordering::SeqCst);
+        assert!(
+            slot.writers.load(Ordering::SeqCst) == 0,
+            "read/write race on {buf:?}: a write view is outstanding"
+        );
+        // SAFETY: no write view exists (checked above) and none can be
+        // taken while our reader count is registered.
+        let vec = unsafe { (*slot.data.get()).downcast_ref::<Vec<T>>() }
+            .expect("device buffer type mismatch");
+        DevRead { vec, readers: &slot.readers }
     }
 
-    /// Mutable view of a buffer. Panics if another borrow is outstanding,
-    /// which corresponds to a data race under the CUDA memory model.
-    pub fn write<T: DeviceScalar>(&self, buf: DevBuf<T>) -> RefMut<'_, Vec<T>> {
+    /// Mutable view of a buffer. Panics if a read view is outstanding;
+    /// concurrent write views are permitted under the disjoint-write
+    /// contract (module docs), as blocks of one kernel launch share
+    /// output buffers but write disjoint elements.
+    pub fn write<T: DeviceScalar>(&self, buf: DevBuf<T>) -> DevWrite<'_, T> {
         let slot = &self.slots[buf.id];
         assert!(slot.live, "use after free of {buf:?}");
-        RefMut::map(slot.data.borrow_mut(), |b| {
-            b.downcast_mut::<Vec<T>>().expect("device buffer type mismatch")
-        })
+        slot.writers.fetch_add(1, Ordering::SeqCst);
+        assert!(
+            slot.readers.load(Ordering::SeqCst) == 0,
+            "read/write race on {buf:?}: a read view is outstanding"
+        );
+        // SAFETY: read views are excluded (checked above); overlap between
+        // concurrent write views is governed by the disjoint-write
+        // contract. The transient exclusive borrow here only downcasts.
+        let vec: *mut Vec<T> = unsafe { (*slot.data.get()).downcast_mut::<Vec<T>>() }
+            .expect("device buffer type mismatch");
+        DevWrite { vec, writers: &slot.writers, _marker: PhantomData }
     }
 
     /// Copy host data into an existing buffer.
@@ -149,6 +262,13 @@ impl DeviceMemory {
     /// High-water mark of allocated bytes.
     pub fn peak_bytes(&self) -> usize {
         self.peak_bytes
+    }
+
+    /// Total number of buffer allocations ever performed (`alloc` +
+    /// `upload`). Steady-state code paths (e.g. the frame pipeline's
+    /// buffer pool) assert this stays constant across iterations.
+    pub fn alloc_count(&self) -> u64 {
+        self.alloc_count
     }
 }
 
@@ -318,6 +438,66 @@ mod tests {
         assert_eq!(mem.peak_bytes(), 450);
         mem.free(b);
         assert_eq!(mem.live_bytes(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "read/write race")]
+    fn read_while_write_outstanding_panics() {
+        let mut mem = DeviceMemory::new();
+        let b = mem.alloc::<u32>(4);
+        let _w = mem.write(b);
+        let _r = mem.read(b);
+    }
+
+    #[test]
+    #[should_panic(expected = "read/write race")]
+    fn write_while_read_outstanding_panics() {
+        let mut mem = DeviceMemory::new();
+        let b = mem.alloc::<u32>(4);
+        let _r = mem.read(b);
+        let _w = mem.write(b);
+    }
+
+    #[test]
+    fn disjoint_concurrent_writers_are_allowed() {
+        let mut mem = DeviceMemory::new();
+        let b = mem.alloc::<u32>(8);
+        {
+            let mut w1 = mem.write(b);
+            let mut w2 = mem.write(b);
+            w1[0] = 1;
+            w2[7] = 7;
+        }
+        let r = mem.read(b);
+        assert_eq!((r[0], r[7]), (1, 7));
+    }
+
+    #[test]
+    fn concurrent_reads_from_threads() {
+        let mut mem = DeviceMemory::new();
+        let b = mem.upload(&(0u32..256).collect::<Vec<_>>());
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let mem = &mem;
+                s.spawn(move || {
+                    let r = mem.read(b);
+                    assert_eq!(r[t as usize * 10], t * 10);
+                });
+            }
+        });
+        assert_eq!(mem.read(b).len(), 256);
+    }
+
+    #[test]
+    fn alloc_count_tracks_allocations_not_frees() {
+        let mut mem = DeviceMemory::new();
+        assert_eq!(mem.alloc_count(), 0);
+        let a = mem.alloc::<u32>(4);
+        let b = mem.upload(&[1u8, 2]);
+        assert_eq!(mem.alloc_count(), 2);
+        mem.free(a);
+        mem.free(b);
+        assert_eq!(mem.alloc_count(), 2, "frees do not change the alloc count");
     }
 
     #[test]

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Repo verification: build, test, lint. Offline-friendly — every external
+# dependency is vendored (see vendor/README.md), so no network fetches.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --release --offline
+
+echo "== cargo test -q =="
+cargo test -q --offline --workspace
+
+echo "== cargo clippy --all-targets -- -D warnings =="
+cargo clippy --all-targets --offline -- -D warnings
+
+echo "verify: OK"

@@ -1,0 +1,314 @@
+//! Offline stand-in for the `criterion` crate (see `vendor/README.md`).
+//!
+//! Implements the subset of the criterion API the workspace's benches
+//! use (`benchmark_group`, `bench_function`, `bench_with_input`,
+//! `Bencher::iter`, `Throughput`, `BenchmarkId`, the `criterion_group!`
+//! / `criterion_main!` macros) with a simple fixed-budget measurement
+//! loop: warm up briefly, then time batches until the sample budget is
+//! spent, and print mean/min per-iteration time (plus derived
+//! throughput). There is no statistical analysis, HTML report, or
+//! baseline comparison — the stub exists so `cargo bench` compiles and
+//! produces honest wall-clock numbers offline.
+
+use std::time::{Duration, Instant};
+
+/// Throughput annotation; used to derive elements/sec or bytes/sec.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+    BytesDecimal(u64),
+}
+
+/// Benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// Top-level driver handed to each `criterion_group!` target.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 50, measurement_time: Duration::from_millis(500) }
+    }
+}
+
+impl Criterion {
+    /// Upstream parses CLI args here; the stub accepts and ignores them.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            throughput: None,
+            _parent: std::marker::PhantomData,
+        }
+    }
+
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnMut(&mut Bencher)) {
+        let mut group = self.benchmark_group("");
+        group.bench_function(id, f);
+        group.finish();
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher::new(self.sample_size, self.measurement_time);
+        f(&mut b);
+        self.report(&id, &b);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size, self.measurement_time);
+        f(&mut b, input);
+        self.report(&id, &b);
+        self
+    }
+
+    pub fn finish(self) {}
+
+    fn report(&self, id: &BenchmarkId, b: &Bencher) {
+        let full = if self.name.is_empty() {
+            id.id.clone()
+        } else {
+            format!("{}/{}", self.name, id.id)
+        };
+        let Some(stats) = b.stats() else {
+            println!("{full:<56} no samples");
+            return;
+        };
+        let rate = self.throughput.map(|t| {
+            let per_sec = |n: u64| n as f64 / stats.mean.max(1e-12);
+            match t {
+                Throughput::Elements(n) => format!("  {:>12.3e} elem/s", per_sec(n)),
+                Throughput::Bytes(n) | Throughput::BytesDecimal(n) => {
+                    format!("  {:>12.3e} B/s", per_sec(n))
+                }
+            }
+        });
+        println!(
+            "{full:<56} mean {:>12}  min {:>12}  ({} samples){}",
+            fmt_time(stats.mean),
+            fmt_time(stats.min),
+            stats.samples,
+            rate.unwrap_or_default()
+        );
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+struct Stats {
+    mean: f64,
+    min: f64,
+    samples: usize,
+}
+
+/// Timing loop handed to the bench closure.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    per_iter_secs: Vec<f64>,
+}
+
+impl Bencher {
+    fn new(sample_size: usize, measurement_time: Duration) -> Self {
+        Self { sample_size, measurement_time, per_iter_secs: Vec::new() }
+    }
+
+    /// Time `routine`: warm up, pick a batch size targeting ~1 ms per
+    /// sample, then record `sample_size` samples or until the time
+    /// budget runs out.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up / calibration: how many iterations fit in ~1 ms?
+        let cal_start = Instant::now();
+        let mut cal_iters = 0u64;
+        while cal_start.elapsed() < Duration::from_millis(20) && cal_iters < 1_000_000 {
+            std::hint::black_box(routine());
+            cal_iters += 1;
+        }
+        let per_iter = cal_start.elapsed().as_secs_f64() / cal_iters.max(1) as f64;
+        let batch = ((1e-3 / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+
+        let budget_start = Instant::now();
+        self.per_iter_secs.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            self.per_iter_secs.push(t0.elapsed().as_secs_f64() / batch as f64);
+            if budget_start.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+    }
+
+    /// `iter_batched` with per-sample setup (subset: drops `BatchSize`).
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let budget_start = Instant::now();
+        self.per_iter_secs.clear();
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(input));
+            self.per_iter_secs.push(t0.elapsed().as_secs_f64());
+            if budget_start.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+    }
+
+    fn stats(&self) -> Option<Stats> {
+        if self.per_iter_secs.is_empty() {
+            return None;
+        }
+        let n = self.per_iter_secs.len();
+        let mean = self.per_iter_secs.iter().sum::<f64>() / n as f64;
+        let min = self.per_iter_secs.iter().copied().fold(f64::INFINITY, f64::min);
+        Some(Stats { mean, min, samples: n })
+    }
+}
+
+/// Batch-size hint for `iter_batched`; ignored by the stub.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Re-export expected by some criterion users.
+pub use std::hint::black_box;
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3).measurement_time(Duration::from_millis(30));
+        group.throughput(Throughput::Elements(100));
+        group.bench_function("sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+        });
+        group.bench_with_input(BenchmarkId::new("sum_n", 50), &50u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>());
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,86 @@
+//! Offline stand-in for the `crossbeam` crate (see `vendor/README.md`).
+//!
+//! Provides `crossbeam::channel::bounded` backed by
+//! `std::sync::mpsc::sync_channel`, which has the same bounded,
+//! blocking-producer semantics for the single-producer single-consumer
+//! pipeline this workspace uses.
+
+pub mod channel {
+    use std::sync::mpsc;
+
+    pub use std::sync::mpsc::{RecvError, SendError};
+
+    /// Bounded blocking channel: `send` blocks when `cap` messages are
+    /// queued, errors once the receiver is dropped.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+
+    pub struct Sender<T> {
+        inner: mpsc::SyncSender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender { inner: self.inner.clone() }
+        }
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner.send(value)
+        }
+    }
+
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv()
+        }
+
+        pub fn iter(&self) -> mpsc::Iter<'_, T> {
+            self.inner.iter()
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = mpsc::IntoIter<T>;
+
+        fn into_iter(self) -> Self::IntoIter {
+            self.inner.into_iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn bounded_channel_round_trip() {
+        let (tx, rx) = channel::bounded::<u32>(4);
+        let producer = std::thread::spawn(move || {
+            for i in 0..10 {
+                if tx.send(i).is_err() {
+                    return i;
+                }
+            }
+            10
+        });
+        let got: Vec<u32> = rx.iter().collect();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+        assert_eq!(producer.join().unwrap(), 10);
+    }
+
+    #[test]
+    fn send_fails_after_receiver_drop() {
+        let (tx, rx) = channel::bounded::<u32>(1);
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+}

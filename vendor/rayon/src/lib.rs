@@ -1,0 +1,216 @@
+//! Offline stand-in for the `rayon` crate (see `vendor/README.md`).
+//!
+//! The build container has no crates.io access, so the workspace patches
+//! `rayon` to this crate. It reproduces the *semantics* of the small API
+//! surface the workspace uses — `par_iter().enumerate().fold(..).map(..)
+//! .reduce(..)`, `ThreadPoolBuilder`, `current_num_threads` — but executes
+//! sequentially on the calling thread. Results are identical to a real
+//! rayon run for the fold/reduce shapes used here (a sequential execution
+//! is one valid rayon split); only wall-clock parallelism is lost.
+//!
+//! The GPU simulator's parallel functional phase deliberately does NOT go
+//! through this stub: `fd-gpu` uses `std::thread::scope` directly so host
+//! parallelism survives the offline build (see `fd_gpu::exec`).
+
+use std::cell::Cell;
+
+thread_local! {
+    static POOL_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of threads in the current pool (1 outside any pool, matching
+/// this stub's sequential execution).
+pub fn current_num_threads() -> usize {
+    let n = POOL_THREADS.with(|t| t.get());
+    if n == 0 {
+        1
+    } else {
+        n
+    }
+}
+
+/// Pool construction error (never produced by the stub).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool { num_threads: if self.num_threads == 0 { 1 } else { self.num_threads } })
+    }
+}
+
+/// A "pool" that runs closures on the calling thread while reporting the
+/// configured width through [`current_num_threads`].
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    pub fn install<T>(&self, f: impl FnOnce() -> T) -> T {
+        let prev = POOL_THREADS.with(|t| t.replace(self.num_threads));
+        let out = f();
+        POOL_THREADS.with(|t| t.set(prev));
+        out
+    }
+
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Sequential "parallel iterator": a thin wrapper over a std iterator
+/// providing the rayon combinators the workspace uses.
+pub struct ParIter<I> {
+    inner: I,
+}
+
+impl<I: Iterator> ParIter<I> {
+    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+        ParIter { inner: self.inner.enumerate() }
+    }
+
+    pub fn map<B, F: FnMut(I::Item) -> B>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
+        ParIter { inner: self.inner.map(f) }
+    }
+
+    /// Rayon's `fold`: produces one accumulator per split. The sequential
+    /// stub uses a single split, so the result is a one-element iterator.
+    pub fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> ParIter<std::iter::Once<T>>
+    where
+        ID: Fn() -> T,
+        F: FnMut(T, I::Item) -> T,
+    {
+        let acc = self.inner.fold(identity(), fold_op);
+        ParIter { inner: std::iter::once(acc) }
+    }
+
+    pub fn reduce<ID, F>(self, identity: ID, op: F) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        F: FnMut(I::Item, I::Item) -> I::Item,
+    {
+        let mut op = op;
+        self.inner.fold(identity(), &mut op)
+    }
+
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.inner.for_each(f)
+    }
+
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.inner.collect()
+    }
+
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.inner.sum()
+    }
+}
+
+/// `par_iter` on shared slices/collections.
+pub trait IntoParallelRefIterator<'data> {
+    type Item: 'data;
+    type Iter: Iterator<Item = Self::Item>;
+
+    fn par_iter(&'data self) -> ParIter<Self::Iter>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    type Iter = std::slice::Iter<'data, T>;
+
+    fn par_iter(&'data self) -> ParIter<Self::Iter> {
+        ParIter { inner: self.iter() }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    type Iter = std::slice::Iter<'data, T>;
+
+    fn par_iter(&'data self) -> ParIter<Self::Iter> {
+        ParIter { inner: self.iter() }
+    }
+}
+
+/// `into_par_iter` on owned collections and ranges.
+pub trait IntoParallelIterator {
+    type Item;
+    type Iter: Iterator<Item = Self::Item>;
+
+    fn into_par_iter(self) -> ParIter<Self::Iter>;
+}
+
+impl<T> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = std::vec::IntoIter<T>;
+
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter { inner: self.into_iter() }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Iter = std::ops::Range<usize>;
+
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter { inner: self }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
+}
+
+pub mod iter {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn fold_map_reduce_matches_sequential() {
+        let v: Vec<u64> = (0..100).collect();
+        let best = v
+            .par_iter()
+            .enumerate()
+            .fold(|| (0u64, 0usize), |(acc, _), (i, x)| (acc + x, i))
+            .map(|(sum, last)| (sum, last))
+            .reduce(|| (0, 0), |a, b| (a.0 + b.0, a.1.max(b.1)));
+        assert_eq!(best, (4950, 99));
+    }
+
+    #[test]
+    fn pool_reports_configured_width() {
+        let pool = crate::ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(crate::current_num_threads(), 1);
+        let inside = pool.install(crate::current_num_threads);
+        assert_eq!(inside, 3);
+        assert_eq!(crate::current_num_threads(), 1);
+    }
+}
