@@ -48,7 +48,7 @@ fn bench_pipeline(c: &mut Criterion) {
                     &cascade,
                     DetectorConfig { exec_mode: mode, ..DetectorConfig::default() },
                 );
-                b.iter(|| black_box(det.detect(black_box(&img)).detect_ms))
+                b.iter(|| black_box(det.detect(black_box(&img)).expect("detect").detect_ms))
             });
         }
     }

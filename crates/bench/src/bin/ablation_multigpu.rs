@@ -23,7 +23,7 @@ fn main() {
         let frame = trailer.render_frame(fi);
 
         let mut det = FaceDetector::new(&pair.ours, DetectorConfig::default());
-        let single = det.detect(&frame).detect_ms;
+        let single = det.detect(&frame).expect("detect").detect_ms;
 
         let mut cols = vec![fi.to_string(), format!("{single:.3}")];
         for n_gpus in [2usize, 4] {
@@ -34,7 +34,8 @@ fn main() {
                 &DeviceSpec::gtx470(),
                 &pcie,
                 1.25,
-            );
+            )
+            .expect("multi-gpu frame");
             cols.push(format!("{:.3} (+{:.2} xfer)", r.frame_ms, r.upload_ms));
         }
         rows.push(cols);

@@ -44,7 +44,7 @@ fn main() {
         // (a) The paper's approach: blocked tiled kernels, one stream per
         // scale, concurrent execution (full pipeline time).
         let mut det = FaceDetector::new(&pair.ours, DetectorConfig::default());
-        let concurrent_ms = det.detect(&frame).detect_ms;
+        let concurrent_ms = det.detect(&frame).expect("detect").detect_ms;
 
         // (b) Rearrangement: per level, segments + compaction. Pyramid
         // levels are prepared identically (host-side here; the scale/
@@ -90,7 +90,8 @@ fn main() {
                 let integral = gpu.mem.upload(&inclusive_integral(&filtered));
                 let s = gpu.create_stream();
                 let (_, timelines) =
-                    run_rearranged_level(&mut gpu, &pair.ours, integral, w, h, segment, s);
+                    run_rearranged_level(&mut gpu, &pair.ours, integral, w, h, segment, s)
+                        .expect("rearranged level");
                 rearranged_ms += timelines.iter().map(|t| t.span_us()).sum::<f64>() / 1000.0;
                 gpu.mem.free(integral);
             }

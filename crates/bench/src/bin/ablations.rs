@@ -103,7 +103,7 @@ fn main() {
         let mut ms = 0.0;
         let mut dets = 0usize;
         for i in 0..frames {
-            let r = det.detect(&trailer.render_frame(i));
+            let r = det.detect(&trailer.render_frame(i)).expect("detect");
             ms += r.detect_ms;
             dets += r.detections.len();
         }

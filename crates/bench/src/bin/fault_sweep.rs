@@ -1,0 +1,102 @@
+//! Fault-injection sweep: stream throughput and frame accounting as the
+//! injected fault rate rises. Each sweep point runs the full streaming
+//! pipeline (decode -> detect -> recover) over a generated trailer with
+//! a seeded transient-launch rate `r` on the device and a corrupt-frame
+//! rate `0.4 r` in the decoder (the 5%/2% ratio of the acceptance
+//! scenario), and reports ok/degraded/skipped counts, retries, backoff
+//! and pipelined fps.
+//!
+//! Usage: `fault_sweep [--frames N]` (default 60).
+//! Writes `results/BENCH_fault_sweep.json`.
+
+use fd_bench::cascades::{trained_cascade_pair, TrainingBudget};
+use fd_bench::out::{arg_usize, render_table, write_text};
+use fd_detector::{DetectorConfig, VideoDetector};
+use fd_gpu::FaultPlan;
+use fd_video::{DecodeFaultPlan, HwDecoder, Trailer, TrailerSpec};
+
+const SEED: u64 = 42;
+const RATES: [f64; 5] = [0.0, 0.005, 0.01, 0.02, 0.05];
+
+fn trailer(n_frames: usize) -> Trailer {
+    Trailer::generate(TrailerSpec {
+        width: 160,
+        height: 120,
+        n_frames,
+        seed: 21,
+        face_size: (26.0, 60.0),
+        ..TrailerSpec::default()
+    })
+}
+
+fn main() {
+    let frames = arg_usize("--frames", 60);
+    let pair = trained_cascade_pair(&TrainingBudget::tiny());
+
+    let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
+    for rate in RATES {
+        let device = if rate > 0.0 {
+            Some(FaultPlan::seeded(SEED).with_transient_launch_failures(rate))
+        } else {
+            None
+        };
+        let decode = if rate > 0.0 {
+            Some(DecodeFaultPlan::seeded(SEED).with_corrupt_frames(rate * 0.4))
+        } else {
+            None
+        };
+
+        let mut decoder = HwDecoder::new(trailer(frames));
+        decoder.set_fault_plan(decode);
+        let mut vd = VideoDetector::new(
+            &pair.ours,
+            DetectorConfig { min_neighbors: 1, fault_plan: device, ..DetectorConfig::default() },
+            24.0,
+        )
+        .expect("video detector");
+        let reports = vd.run_stream(decoder);
+        assert_eq!(reports.len(), frames, "every decoded frame must be reported");
+        let s = vd.stats();
+        assert!(s.all_frames_accounted(), "ok + degraded + skipped must equal frames");
+
+        rows.push(vec![
+            format!("{rate:.3}"),
+            format!("{:.2}", s.pipelined_fps()),
+            s.ok_frames.to_string(),
+            s.degraded_frames.to_string(),
+            s.skipped_frames.to_string(),
+            s.retries.to_string(),
+            format!("{:.1}", s.total_backoff_ms),
+        ]);
+        json_rows.push(format!(
+            "    {{ \"transient_launch_rate\": {rate}, \"corrupt_frame_rate\": {}, \
+             \"pipelined_fps\": {:.3}, \"ok\": {}, \"degraded\": {}, \"skipped\": {}, \
+             \"retries\": {}, \"backoff_ms\": {:.2} }}",
+            rate * 0.4,
+            s.pipelined_fps(),
+            s.ok_frames,
+            s.degraded_frames,
+            s.skipped_frames,
+            s.retries,
+            s.total_backoff_ms,
+        ));
+    }
+
+    println!("fault-injection sweep: {frames} frames per point, seed {SEED}\n");
+    println!(
+        "{}",
+        render_table(
+            &["fault rate", "pipelined fps", "ok", "degraded", "skipped", "retries", "backoff ms"],
+            &rows
+        )
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"fault_sweep\",\n  \"frames\": {frames},\n  \"seed\": {SEED},\n  \
+         \"sweep\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n")
+    );
+    let path = write_text("BENCH_fault_sweep.json", &json).unwrap();
+    println!("\nwrote {}", path.display());
+}

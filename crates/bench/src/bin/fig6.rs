@@ -80,7 +80,7 @@ fn main() {
             &pair.ours,
             DetectorConfig { exec_mode: mode, ..DetectorConfig::default() },
         );
-        let r = det.detect(&frame);
+        let r = det.detect(&frame).expect("detect");
         println!(
             "\n=== {name} mode: frame span {:.3} ms, SM occupancy {:.1}% ===",
             r.detect_ms,

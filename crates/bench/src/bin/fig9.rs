@@ -32,7 +32,7 @@ fn evaluate(cascade: &Cascade, ds: &MugshotDataset) -> Vec<FrameEval> {
     ds.images
         .iter()
         .map(|img| {
-            let r = det.detect(&img.image);
+            let r = det.detect(&img.image).expect("detect");
             let truths: Vec<_> = img.truth.iter().cloned().collect();
             match_frame(&r.detections, &truths)
         })

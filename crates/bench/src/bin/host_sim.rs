@@ -50,14 +50,14 @@ fn run(threads: usize, frame: &GrayImage, cascade: &Cascade, frames: usize) -> M
         DetectorConfig { host_threads: Some(threads), ..DetectorConfig::default() },
     );
     // Warm-up frame: builds the buffer pool, pages in everything.
-    let _ = det.detect(frame);
+    let _ = det.detect(frame).expect("detect");
     let mut best_wall = f64::INFINITY;
     let mut blocks = 0u64;
     for _ in 0..3 {
         det.reset_profiler();
         let t = Instant::now();
         for _ in 0..frames {
-            let _ = det.detect(frame);
+            let _ = det.detect(frame).expect("detect");
         }
         let wall_s = t.elapsed().as_secs_f64();
         if wall_s < best_wall {

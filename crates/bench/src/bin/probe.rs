@@ -36,7 +36,7 @@ fn main() {
         let mut hits = 0;
         let mut fps = 0;
         for img in &ds.images {
-            let r = det.detect(&img.image);
+            let r = det.detect(&img.image).expect("detect");
             let truths: Vec<_> = img.truth.iter().cloned().collect();
             let e = fd_eval::roc::match_frame(&r.detections, &truths);
             hits += e.hit_scores.len();
@@ -67,7 +67,7 @@ fn main() {
                 DetectorConfig { exec_mode: mode, ..DetectorConfig::default() },
             );
             let tw = std::time::Instant::now();
-            let r = det.detect(&frame0);
+            let r = det.detect(&frame0).expect("detect");
             eprintln!(
                 "{name:<12} {mode:?}: simulated {:.3} ms, wall {:.2} s, raw {} dets {} groups, util {:.2}",
                 r.detect_ms,

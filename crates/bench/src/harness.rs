@@ -24,7 +24,7 @@ pub fn detect_series(
     let mut detect_ms = Vec::with_capacity(n_frames);
     let mut decode_ms = Vec::with_capacity(n_frames);
     for frame in decoder {
-        let r = detector.detect(&frame.luma);
+        let r = detector.detect(&frame.luma).expect("detect");
         detect_ms.push(r.detect_ms);
         decode_ms.push(frame.decode_ms);
     }
@@ -155,7 +155,7 @@ pub fn run_rejection_surface(
     let mut counts: Vec<Vec<u64>> = Vec::new();
     let mut windows: Vec<u64> = Vec::new();
     for frame in decoder {
-        let r = detector.detect(&frame.luma);
+        let r = detector.detect(&frame.luma).expect("detect");
         let h = r.rejection.expect("stats enabled");
         if counts.is_empty() {
             counts = h.counts.clone();
@@ -197,7 +197,7 @@ pub fn run_counters(cascade: &Cascade, info: &TrailerInfo, n_frames: usize) -> C
     let mut dram_min = f64::INFINITY;
     let mut dram_max = 0.0f64;
     for frame in decoder {
-        let r = detector.detect(&frame.luma);
+        let r = detector.detect(&frame.luma).expect("detect");
         detect_ms.push(r.detect_ms);
         decode_ms.push(frame.decode_ms);
         for e in &r.timeline.events {
@@ -262,7 +262,7 @@ mod tests {
         let mut det = FaceDetector::new(&pair.ours, DetectorConfig::default());
         let mut n = 0;
         for frame in decoder {
-            let r = det.detect(&frame.luma);
+            let r = det.detect(&frame.luma).expect("detect");
             assert!(r.detect_ms > 0.0);
             n += 1;
         }

@@ -4,10 +4,11 @@
 //! the per-frame statistics the paper's evaluation consumes (latency,
 //! per-stage rejection histograms, profiler counters).
 
-use fd_gpu::{DeviceSpec, ExecMode, Gpu, Timeline};
+use fd_gpu::{DeviceSpec, ExecMode, FaultPlan, Gpu, Timeline};
 use fd_haar::Cascade;
 use fd_imgproc::{GrayImage, Rect};
 
+use crate::error::DetectorError;
 use crate::group::{group_detections, Detection, GroupedDetection};
 use crate::pipeline::{FramePipeline, ScaleOutput};
 
@@ -30,6 +31,10 @@ pub struct DetectorConfig {
     /// defers to `FD_SIM_THREADS` or the machine's core count; `Some(1)`
     /// forces sequential execution. Results are identical either way.
     pub host_threads: Option<usize>,
+    /// Deterministic device fault injection (robustness experiments).
+    /// `None` — and any inert plan — leaves behaviour bit-identical to a
+    /// fault-free device.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for DetectorConfig {
@@ -42,6 +47,7 @@ impl Default for DetectorConfig {
             min_neighbors: 2,
             collect_rejection_stats: false,
             host_threads: None,
+            fault_plan: None,
         }
     }
 }
@@ -102,11 +108,19 @@ pub struct FaceDetector {
 }
 
 impl FaceDetector {
+    /// Panicking form of [`Self::try_new`] for static configurations.
     pub fn new(cascade: &Cascade, config: DetectorConfig) -> Self {
+        Self::try_new(cascade, config).unwrap()
+    }
+
+    /// Build a detector, validating the configuration and staging the
+    /// cascade on the device.
+    pub fn try_new(cascade: &Cascade, config: DetectorConfig) -> Result<Self, DetectorError> {
         let mut gpu = Gpu::new(config.device.clone(), config.exec_mode);
         gpu.set_host_threads(config.host_threads);
-        let pipeline = FramePipeline::new(gpu, cascade, config.scale_factor);
-        Self { pipeline, config }
+        gpu.set_fault_plan(config.fault_plan.clone());
+        let pipeline = FramePipeline::try_new(gpu, cascade, config.scale_factor)?;
+        Ok(Self { pipeline, config })
     }
 
     /// The active configuration.
@@ -135,9 +149,37 @@ impl FaceDetector {
         self.pipeline.gpu.reset_profiler();
     }
 
+    /// Attach (or clear) a device fault plan mid-stream.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.config.fault_plan = plan.clone();
+        self.pipeline.gpu.set_fault_plan(plan);
+    }
+
+    /// Device fault statistics since plan attachment.
+    pub fn fault_stats(&self) -> fd_gpu::FaultStats {
+        self.pipeline.gpu.fault_stats()
+    }
+
+    /// The full pyramid plan for a frame (largest level first). A
+    /// deadline controller truncates this and calls
+    /// [`Self::detect_with_plan`] to shed the smallest scales.
+    pub fn pyramid_plan(&self, frame: &GrayImage) -> Result<Vec<(usize, usize)>, DetectorError> {
+        self.pipeline.plan_for(frame)
+    }
+
     /// Detect faces in one luma frame.
-    pub fn detect(&mut self, frame: &GrayImage) -> FrameResult {
-        let (outputs, timeline) = self.pipeline.run_frame(frame);
+    pub fn detect(&mut self, frame: &GrayImage) -> Result<FrameResult, DetectorError> {
+        let plan = self.pipeline.plan_for(frame)?;
+        self.detect_with_plan(frame, &plan)
+    }
+
+    /// [`Self::detect`] over a prefix of the pyramid plan.
+    pub fn detect_with_plan(
+        &mut self,
+        frame: &GrayImage,
+        plan: &[(usize, usize)],
+    ) -> Result<FrameResult, DetectorError> {
+        let (outputs, timeline) = self.pipeline.run_frame_with_plan(frame, plan)?;
         let raw = self.extract_raw(&outputs);
         let detections =
             group_detections(&raw, self.config.overlap_threshold, self.config.min_neighbors);
@@ -146,13 +188,13 @@ impl FaceDetector {
         } else {
             None
         };
-        FrameResult {
+        Ok(FrameResult {
             detections,
             raw,
             detect_ms: timeline.span_us() / 1000.0,
             timeline,
             rejection,
-        }
+        })
     }
 
     fn extract_raw(&self, outputs: &[ScaleOutput]) -> Vec<Detection> {
@@ -241,7 +283,7 @@ mod tests {
             &edge_cascade(2),
             DetectorConfig { min_neighbors: 1, ..DetectorConfig::default() },
         );
-        let r = det.detect(&frame_with_pattern());
+        let r = det.detect(&frame_with_pattern()).unwrap();
         assert!(!r.raw.is_empty(), "pattern must fire raw windows");
         assert!(!r.detections.is_empty());
         // The top detection's window contains the contrast edge (x=30).
@@ -253,7 +295,7 @@ mod tests {
     #[test]
     fn flat_frames_produce_nothing() {
         let mut det = FaceDetector::new(&edge_cascade(2), DetectorConfig::default());
-        let r = det.detect(&GrayImage::from_fn(64, 64, |_, _| 128.0));
+        let r = det.detect(&GrayImage::from_fn(64, 64, |_, _| 128.0)).unwrap();
         assert!(r.raw.is_empty());
         assert!(r.detections.is_empty());
     }
@@ -264,7 +306,7 @@ mod tests {
             &edge_cascade(3),
             DetectorConfig { collect_rejection_stats: true, ..DetectorConfig::default() },
         );
-        let r = det.detect(&frame_with_pattern());
+        let r = det.detect(&frame_with_pattern()).unwrap();
         let hist = r.rejection.expect("enabled");
         for (level, counts) in hist.counts.iter().enumerate() {
             let sum: u64 = counts.iter().sum();
@@ -282,9 +324,9 @@ mod tests {
             &edge_cascade(2),
             DetectorConfig { min_neighbors: 1, ..DetectorConfig::default() },
         );
-        let conc = det.detect(&frame);
+        let conc = det.detect(&frame).unwrap();
         det.set_exec_mode(ExecMode::Serial);
-        let serial = det.detect(&frame);
+        let serial = det.detect(&frame).unwrap();
         assert_eq!(conc.raw, serial.raw);
         assert!(serial.detect_ms >= conc.detect_ms * 0.999);
     }
@@ -292,7 +334,7 @@ mod tests {
     #[test]
     fn timeline_has_one_trace_row_per_launch() {
         let mut det = FaceDetector::new(&edge_cascade(1), DetectorConfig::default());
-        let r = det.detect(&frame_with_pattern());
+        let r = det.detect(&frame_with_pattern()).unwrap();
         // 8 kernels per level.
         assert_eq!(r.timeline.events.len() % 8, 0);
         assert!(r.timeline.events.iter().any(|e| e.kernel_name == "cascade_eval"));

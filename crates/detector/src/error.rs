@@ -1,0 +1,140 @@
+//! Typed errors for the detection pipeline.
+//!
+//! Every fallible step — kernel launches, device memory operations,
+//! decode faults, user-supplied geometry — surfaces as a
+//! [`DetectorError`] instead of a panic, so a streaming caller can
+//! distinguish *transient* faults (worth a bounded retry) from
+//! *unrecoverable* ones (skip the frame, keep the stream alive).
+
+use std::error::Error;
+use std::fmt;
+
+use fd_gpu::{LaunchError, MemoryError};
+use fd_video::DecodeFault;
+
+/// Error produced anywhere in the detection pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DetectorError {
+    /// A kernel launch failed. `level` is the pyramid level whose chain
+    /// was being built (`None` outside per-level work), `frame` the
+    /// stream frame index when known.
+    Launch {
+        kernel: &'static str,
+        level: Option<usize>,
+        frame: Option<usize>,
+        source: LaunchError,
+    },
+    /// A device memory operation failed (constant staging, texture
+    /// binding, host↔device copy).
+    Memory { context: &'static str, source: MemoryError },
+    /// The hardware decoder faulted on a frame.
+    Decode { frame: usize, fault: DecodeFault },
+    /// Frame smaller than the cascade's detection window.
+    FrameTooSmall { width: usize, height: usize, window: usize },
+    /// Pyramid scale factor must be finite and > 1.
+    BadScaleFactor { scale_factor: f64 },
+    /// Playback rate must be finite and > 0.
+    BadPlaybackFps { fps: f64 },
+    /// A structurally invalid configuration (zero GPUs, zero-stage
+    /// segments, unsupported cascade window, ...).
+    InvalidConfig { reason: &'static str },
+}
+
+impl DetectorError {
+    /// `true` when a bounded retry of the same work can succeed (the
+    /// fault-injection layer's transient launch failures).
+    pub fn is_transient(&self) -> bool {
+        matches!(self, Self::Launch { source, .. } if source.is_transient())
+    }
+
+    /// Attach a stream frame index to errors that carry one.
+    pub fn at_frame(mut self, frame_idx: usize) -> Self {
+        match &mut self {
+            Self::Launch { frame, .. } => *frame = Some(frame_idx),
+            Self::Decode { frame, .. } => *frame = frame_idx,
+            _ => {}
+        }
+        self
+    }
+}
+
+impl fmt::Display for DetectorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Launch { kernel, level, frame, source } => {
+                write!(f, "kernel `{kernel}` failed to launch")?;
+                if let Some(l) = level {
+                    write!(f, " at pyramid level {l}")?;
+                }
+                if let Some(fr) = frame {
+                    write!(f, " (frame {fr})")?;
+                }
+                write!(f, ": {source}")
+            }
+            Self::Memory { context, source } => write!(f, "{context}: {source}"),
+            Self::Decode { frame, fault } => {
+                write!(f, "decode fault on frame {frame}: {fault:?}")
+            }
+            Self::FrameTooSmall { width, height, window } => write!(
+                f,
+                "frame {width}x{height} smaller than the {window}-px detection window"
+            ),
+            Self::BadScaleFactor { scale_factor } => {
+                write!(f, "pyramid scale factor must be finite and > 1, got {scale_factor}")
+            }
+            Self::BadPlaybackFps { fps } => {
+                write!(f, "playback fps must be finite and > 0, got {fps}")
+            }
+            Self::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+        }
+    }
+}
+
+impl Error for DetectorError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Launch { source, .. } => Some(source),
+            Self::Memory { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transience_follows_the_launch_error() {
+        let transient = DetectorError::Launch {
+            kernel: "cascade_eval",
+            level: Some(3),
+            frame: None,
+            source: LaunchError::InjectedTransient { kernel: "cascade_eval" },
+        };
+        assert!(transient.is_transient());
+        let timeout = DetectorError::Launch {
+            kernel: "cascade_eval",
+            level: Some(3),
+            frame: None,
+            source: LaunchError::InjectedTimeout { kernel: "cascade_eval" },
+        };
+        assert!(!timeout.is_transient());
+        assert!(!DetectorError::BadPlaybackFps { fps: f64::NAN }.is_transient());
+    }
+
+    #[test]
+    fn at_frame_annotates_launch_errors() {
+        let e = DetectorError::Launch {
+            kernel: "scale_bilinear",
+            level: Some(0),
+            frame: None,
+            source: LaunchError::InjectedTransient { kernel: "scale_bilinear" },
+        }
+        .at_frame(17);
+        let msg = e.to_string();
+        assert!(msg.contains("frame 17"), "{msg}");
+        assert!(msg.contains("scale_bilinear"), "{msg}");
+        assert!(msg.contains("level 0"), "{msg}");
+    }
+}

@@ -26,6 +26,8 @@ use fd_gpu::{BlockCtx, DevBuf, Gpu, Kernel, LaunchConfig, StreamId, Timeline};
 use fd_haar::encode::quantize_cascade;
 use fd_haar::Cascade;
 
+use crate::error::DetectorError;
+
 /// Evaluates cascade stages `[stage_begin, stage_end)` for a dense list
 /// of surviving windows. One thread per work item.
 pub struct CascadeSegmentKernel {
@@ -260,12 +262,16 @@ pub fn run_rearranged_level(
     height: usize,
     stages_per_segment: usize,
     stream: StreamId,
-) -> (usize, Vec<Timeline>) {
-    assert!(stages_per_segment >= 1);
+) -> Result<(usize, Vec<Timeline>), DetectorError> {
+    if stages_per_segment == 0 {
+        return Err(DetectorError::InvalidConfig {
+            reason: "stages_per_segment must be at least 1",
+        });
+    }
     let cascade = Arc::new(quantize_cascade(cascade));
     let window = cascade.window as usize;
     if width < window || height < window {
-        return (0, Vec::new());
+        return Ok((0, Vec::new()));
     }
 
     // Initial dense work list: every valid origin.
@@ -298,7 +304,19 @@ pub fn run_rearranged_level(
             stage_end,
             cascade: Arc::clone(&cascade),
         };
-        gpu.launch(&seg, seg.config(), stream).expect("segment launch");
+        if let Err(source) = gpu.launch(&seg, seg.config(), stream) {
+            gpu.cancel_pending();
+            gpu.mem.free(alive);
+            gpu.mem.free(coords);
+            gpu.mem.free(scores);
+            gpu.mem.free(depth);
+            return Err(DetectorError::Launch {
+                kernel: "cascade_segment",
+                level: None,
+                frame: None,
+                source,
+            });
+        }
 
         // Compact survivors into fresh buffers.
         let coords_out = gpu.mem.alloc::<u32>(n);
@@ -316,7 +334,23 @@ pub fn run_rearranged_level(
             depth_out,
             count_out,
         };
-        gpu.launch(&compact, compact.config(), stream).expect("compact launch");
+        if let Err(source) = gpu.launch(&compact, compact.config(), stream) {
+            gpu.cancel_pending();
+            gpu.mem.free(alive);
+            gpu.mem.free(coords);
+            gpu.mem.free(scores);
+            gpu.mem.free(depth);
+            gpu.mem.free(coords_out);
+            gpu.mem.free(scores_out);
+            gpu.mem.free(depth_out);
+            gpu.mem.free(count_out);
+            return Err(DetectorError::Launch {
+                kernel: "compact",
+                level: None,
+                frame: None,
+                source,
+            });
+        }
         // The relaunch boundary: the host must read the survivor count
         // before sizing the next grid, so the device drains here.
         timelines.push(gpu.synchronize());
@@ -337,7 +371,7 @@ pub fn run_rearranged_level(
     gpu.mem.free(coords);
     gpu.mem.free(scores);
     gpu.mem.free(depth);
-    (n, timelines)
+    Ok((n, timelines))
 }
 
 #[cfg(test)]
@@ -400,7 +434,7 @@ mod tests {
         let integral = gpu.mem.upload(&inclusive_integral(&img));
         let s = gpu.create_stream();
         let (accepts, timelines) =
-            run_rearranged_level(&mut gpu, &c, integral, 64, 48, 2, s);
+            run_rearranged_level(&mut gpu, &c, integral, 64, 48, 2, s).unwrap();
         assert_eq!(accepts, expected);
         assert_eq!(timelines.len(), 2, "4 stages / 2 per segment = 2 relaunches");
     }
@@ -421,7 +455,7 @@ mod tests {
         let mut gpu = Gpu::new(DeviceSpec::gtx470(), ExecMode::Concurrent);
         let integral = gpu.mem.upload(&inclusive_integral(&img));
         let s = gpu.create_stream();
-        let (accepts, _) = run_rearranged_level(&mut gpu, &c, integral, 48, 48, 1, s);
+        let (accepts, _) = run_rearranged_level(&mut gpu, &c, integral, 48, 48, 1, s).unwrap();
         assert_eq!(accepts, expected);
     }
 
@@ -433,7 +467,7 @@ mod tests {
         let integral = gpu.mem.upload(&inclusive_integral(&img));
         let before = gpu.mem.live_bytes();
         let s = gpu.create_stream();
-        let _ = run_rearranged_level(&mut gpu, &c, integral, 48, 48, 2, s);
+        let _ = run_rearranged_level(&mut gpu, &c, integral, 48, 48, 2, s).unwrap();
         assert_eq!(gpu.mem.live_bytes(), before, "work lists must be freed");
     }
 }

@@ -30,6 +30,7 @@
 
 pub mod cpu_ref;
 pub mod detector;
+pub mod error;
 pub mod group;
 pub mod kernels;
 pub mod multi_gpu;
@@ -37,7 +38,11 @@ pub mod pipeline;
 pub mod stream_detector;
 
 pub use detector::{DetectorConfig, FaceDetector, FrameResult, RejectionHistogram};
+pub use error::DetectorError;
 pub use group::{group_detections, s_eyes, Detection, GroupedDetection};
 pub use multi_gpu::{detect_multi_gpu, MultiGpuFrame};
 pub use pipeline::{FramePipeline, ScaleOutput};
-pub use stream_detector::{StreamStats, VideoDetector};
+pub use stream_detector::{
+    DegradeReason, FrameOutcome, FrameReport, RecoveryPolicy, SkipReason, StreamStats,
+    VideoDetector,
+};

@@ -18,6 +18,7 @@ use fd_gpu::{DeviceSpec, ExecMode, Gpu};
 use fd_haar::Cascade;
 use fd_imgproc::{GrayImage, Pyramid};
 
+use crate::error::DetectorError;
 use crate::pipeline::FramePipeline;
 
 /// Result of one multi-GPU frame.
@@ -43,8 +44,10 @@ pub fn detect_multi_gpu(
     spec: &DeviceSpec,
     pcie: &PcieModel,
     scale_factor: f64,
-) -> MultiGpuFrame {
-    assert!(n_gpus >= 1);
+) -> Result<MultiGpuFrame, DetectorError> {
+    if n_gpus == 0 {
+        return Err(DetectorError::InvalidConfig { reason: "n_gpus must be at least 1" });
+    }
     let window = cascade.window as usize;
     let plan = Pyramid::plan(frame.width(), frame.height(), scale_factor, window);
 
@@ -74,8 +77,8 @@ pub fn detect_multi_gpu(
             continue;
         }
         let gpu = Gpu::new(spec.clone(), ExecMode::Concurrent);
-        let mut pipeline = FramePipeline::new(gpu, cascade, device_factor);
-        let (outputs, timeline) = pipeline.run_frame(&scaled);
+        let mut pipeline = FramePipeline::try_new(gpu, cascade, device_factor)?;
+        let (outputs, timeline) = pipeline.run_frame(&scaled)?;
         raw_detections += outputs
             .iter()
             .map(|o| o.hits.iter().filter(|&&h| h != 0).count())
@@ -88,12 +91,12 @@ pub fn detect_multi_gpu(
     let upload_ms =
         n_gpus as f64 * pcie.h2d_us(frame.width() * frame.height() * 3 / 2) / 1000.0;
     let slowest = per_gpu_ms.iter().cloned().fold(0.0f64, f64::max);
-    MultiGpuFrame {
+    Ok(MultiGpuFrame {
         per_gpu_ms,
         upload_ms,
         frame_ms: upload_ms + slowest,
         raw_detections,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -124,7 +127,8 @@ mod tests {
             &DeviceSpec::gtx470(),
             &PcieModel::pcie2_x16(),
             1.25,
-        );
+        )
+        .unwrap();
         assert_eq!(r.per_gpu_ms.len(), 3);
         // GPU 0 holds level 0 and dominates.
         assert!(r.per_gpu_ms[0] >= r.per_gpu_ms[1]);
@@ -141,7 +145,8 @@ mod tests {
             &DeviceSpec::gtx470(),
             &PcieModel::pcie2_x16(),
             1.25,
-        );
+        )
+        .unwrap();
         assert_eq!(r.per_gpu_ms.len(), 1);
         assert!(r.per_gpu_ms[0] > 0.0);
     }
@@ -157,7 +162,8 @@ mod tests {
             &DeviceSpec::gtx470(),
             &PcieModel::pcie2_x16(),
             1.25,
-        );
+        )
+        .unwrap();
         let four = detect_multi_gpu(
             &cascade(),
             &frame(),
@@ -165,7 +171,8 @@ mod tests {
             &DeviceSpec::gtx470(),
             &PcieModel::pcie2_x16(),
             1.25,
-        );
+        )
+        .unwrap();
         let speedup = one.frame_ms / four.frame_ms;
         assert!(speedup < 3.0, "speedup {speedup:.2} should be far below 4x");
     }

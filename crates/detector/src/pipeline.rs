@@ -28,6 +28,7 @@ use fd_haar::encode::{encode_cascade, quantize_cascade};
 use fd_haar::Cascade;
 use fd_imgproc::{GrayImage, Pyramid};
 
+use crate::error::DetectorError;
 use crate::kernels::scan::ScanInput;
 use crate::kernels::{
     CascadeKernel, DisplayKernel, FilterKernel, ScaleKernel, ScanRowsKernel, TransposeKernel,
@@ -114,12 +115,37 @@ pub struct FramePipeline {
 impl FramePipeline {
     /// Stage the (quantized) cascade in constant memory and prepare the
     /// pipeline. `scale_factor` is the pyramid ratio (paper-typical 1.25).
-    pub fn new(mut gpu: Gpu, cascade: &Cascade, scale_factor: f64) -> Self {
-        assert!(scale_factor > 1.0);
+    ///
+    /// Panicking form of [`Self::try_new`], kept for construction paths
+    /// whose inputs are static (benchmarks, examples).
+    pub fn new(gpu: Gpu, cascade: &Cascade, scale_factor: f64) -> Self {
+        Self::try_new(gpu, cascade, scale_factor).unwrap()
+    }
+
+    /// Fallible constructor: validates the scale factor, the cascade
+    /// window and the constant-memory footprint of the encoded cascade.
+    pub fn try_new(
+        mut gpu: Gpu,
+        cascade: &Cascade,
+        scale_factor: f64,
+    ) -> Result<Self, DetectorError> {
+        if !(scale_factor.is_finite() && scale_factor > 1.0) {
+            return Err(DetectorError::BadScaleFactor { scale_factor });
+        }
+        if cascade.window != 24 {
+            return Err(DetectorError::InvalidConfig {
+                reason: "the cascade kernel is specialized for 24-px windows",
+            });
+        }
         let quantized = quantize_cascade(cascade);
         gpu.const_clear();
-        let const_ptr = gpu.const_upload(&encode_cascade(&quantized));
-        Self { gpu, cascade: quantized, const_ptr, scale_factor, pool: None }
+        let const_ptr = gpu
+            .try_const_upload(&encode_cascade(&quantized))
+            .map_err(|source| DetectorError::Memory {
+                context: "staging the encoded cascade in constant memory",
+                source,
+            })?;
+        Ok(Self { gpu, cascade: quantized, const_ptr, scale_factor, pool: None })
     }
 
     /// The quantized cascade the device evaluates.
@@ -177,28 +203,69 @@ impl FramePipeline {
             Some(FramePool { frame_dims: (fw, fh), plan: plan.to_vec(), levels, bytes });
     }
 
+    /// The full pyramid plan this pipeline would run for a `fw x fh`
+    /// frame (largest level first). A deadline controller sheds load by
+    /// truncating this plan's tail and calling
+    /// [`Self::run_frame_with_plan`].
+    pub fn plan_for(&self, frame: &GrayImage) -> Result<Vec<(usize, usize)>, DetectorError> {
+        let window = self.cascade.window as usize;
+        let (fw, fh) = (frame.width(), frame.height());
+        if fw < window || fh < window {
+            return Err(DetectorError::FrameTooSmall { width: fw, height: fh, window });
+        }
+        Ok(Pyramid::plan(fw, fh, self.scale_factor, window))
+    }
+
     /// Run the full pipeline on one luma frame. Returns the per-level
     /// readbacks and the frame's device timeline (its span is the
     /// detection latency).
     ///
     /// Steady-state frames (same geometry as the previous one) reuse the
-    /// pooled buffers and perform no device allocations.
-    pub fn run_frame(&mut self, frame: &GrayImage) -> (Vec<ScaleOutput>, Timeline) {
-        let window = self.cascade.window as usize;
+    /// pooled buffers and perform no device allocations. A failed launch
+    /// cancels the frame's queued work ([`Gpu::cancel_pending`]) so the
+    /// device is clean for a retry; every kernel fully overwrites its
+    /// outputs, so a retried frame is unaffected by the aborted one.
+    pub fn run_frame(
+        &mut self,
+        frame: &GrayImage,
+    ) -> Result<(Vec<ScaleOutput>, Timeline), DetectorError> {
+        let plan = self.plan_for(frame)?;
+        self.run_frame_with_plan(frame, &plan)
+    }
+
+    /// [`Self::run_frame`] restricted to a prefix of the pyramid plan
+    /// (`plan` must be a prefix of [`Self::plan_for`]'s result; the
+    /// deadline controller passes a truncated plan to shed the smallest
+    /// scales).
+    pub fn run_frame_with_plan(
+        &mut self,
+        frame: &GrayImage,
+        plan: &[(usize, usize)],
+    ) -> Result<(Vec<ScaleOutput>, Timeline), DetectorError> {
         let (fw, fh) = (frame.width(), frame.height());
-        assert!(
-            fw >= window && fh >= window,
-            "frame smaller than the detection window"
-        );
-        let plan = Pyramid::plan(fw, fh, self.scale_factor, window);
-        self.ensure_pool(fw, fh, &plan);
-        let pool = self.pool.as_ref().expect("pool built above");
+        if plan.is_empty() {
+            return Err(DetectorError::InvalidConfig { reason: "empty pyramid plan" });
+        }
+        self.ensure_pool(fw, fh, plan);
+        let Some(pool) = self.pool.as_ref() else {
+            return Err(DetectorError::InvalidConfig { reason: "buffer pool missing" });
+        };
         let gpu = &mut self.gpu;
 
         gpu.clear_textures();
-        let tex = gpu.bind_texture(Texture2D::from_data(fw, fh, frame.as_slice().to_vec()));
+        let tex_data = Texture2D::try_from_data(fw, fh, frame.as_slice().to_vec()).map_err(
+            |source| DetectorError::Memory { context: "binding the frame texture", source },
+        )?;
+        let tex = gpu.bind_texture(tex_data);
 
-        for (&(w, h), &(stream, ref bufs)) in plan.iter().zip(&pool.levels) {
+        // A launch failure aborts the frame: cancel everything still
+        // queued so the device (and its profiler) is clean for a retry.
+        let fail = |gpu: &mut Gpu, kernel, level, source| {
+            gpu.cancel_pending();
+            Err(DetectorError::Launch { kernel, level: Some(level), frame: None, source })
+        };
+        for (level, (&(w, h), &(stream, ref bufs))) in plan.iter().zip(&pool.levels).enumerate()
+        {
             let scale = ScaleKernel {
                 src: tex,
                 src_w: fw,
@@ -207,11 +274,15 @@ impl FramePipeline {
                 dst_w: w,
                 dst_h: h,
             };
-            gpu.launch(&scale, scale.config(), stream).expect("scale launch");
+            if let Err(e) = gpu.launch(&scale, scale.config(), stream) {
+                return fail(gpu, "scale_bilinear", level, e);
+            }
 
             let filter =
                 FilterKernel { src: bufs.scaled, dst: bufs.filtered, width: w, height: h };
-            gpu.launch(&filter, filter.config(), stream).expect("filter launch");
+            if let Err(e) = gpu.launch(&filter, filter.config(), stream) {
+                return fail(gpu, "filter_3tap", level, e);
+            }
 
             let scan1 = ScanRowsKernel {
                 input: ScanInput::QuantizeF32(bufs.filtered),
@@ -219,10 +290,14 @@ impl FramePipeline {
                 width: w,
                 height: h,
             };
-            gpu.launch(&scan1, scan1.config(), stream).expect("scan1 launch");
+            if let Err(e) = gpu.launch(&scan1, scan1.config(), stream) {
+                return fail(gpu, "scan_rows", level, e);
+            }
 
             let t1 = TransposeKernel { src: bufs.buf_a, dst: bufs.buf_b, width: w, height: h };
-            gpu.launch(&t1, t1.config(), stream).expect("transpose1 launch");
+            if let Err(e) = gpu.launch(&t1, t1.config(), stream) {
+                return fail(gpu, "transpose", level, e);
+            }
 
             let scan2 = ScanRowsKernel {
                 input: ScanInput::U32(bufs.buf_b),
@@ -230,11 +305,15 @@ impl FramePipeline {
                 width: h,
                 height: w,
             };
-            gpu.launch(&scan2, scan2.config(), stream).expect("scan2 launch");
+            if let Err(e) = gpu.launch(&scan2, scan2.config(), stream) {
+                return fail(gpu, "scan_rows", level, e);
+            }
 
             let t2 =
                 TransposeKernel { src: bufs.buf_a, dst: bufs.integral, width: h, height: w };
-            gpu.launch(&t2, t2.config(), stream).expect("transpose2 launch");
+            if let Err(e) = gpu.launch(&t2, t2.config(), stream) {
+                return fail(gpu, "transpose", level, e);
+            }
 
             let cascade = CascadeKernel::new(
                 &self.cascade,
@@ -245,7 +324,9 @@ impl FramePipeline {
                 bufs.score,
                 self.const_ptr,
             );
-            gpu.launch(&cascade, cascade.config(), stream).expect("cascade launch");
+            if let Err(e) = gpu.launch(&cascade, cascade.config(), stream) {
+                return fail(gpu, "cascade_eval", level, e);
+            }
 
             let display = DisplayKernel {
                 depth: bufs.depth,
@@ -254,7 +335,9 @@ impl FramePipeline {
                 height: h,
                 required_depth: self.cascade.depth(),
             };
-            gpu.launch(&display, display.config(), stream).expect("display launch");
+            if let Err(e) = gpu.launch(&display, display.config(), stream) {
+                return fail(gpu, "display", level, e);
+            }
         }
 
         let timeline = gpu.synchronize();
@@ -271,7 +354,7 @@ impl FramePipeline {
                 hits: gpu.mem.download(bufs.hits),
             });
         }
-        (outputs, timeline)
+        Ok((outputs, timeline))
     }
 }
 
@@ -310,7 +393,7 @@ mod tests {
         let gpu = Gpu::new(DeviceSpec::gtx470(), ExecMode::Concurrent);
         let mut p = FramePipeline::new(gpu, &simple_cascade(), 1.25);
         let frame = test_frame();
-        let (outputs, timeline) = p.run_frame(&frame);
+        let (outputs, timeline) = p.run_frame(&frame).unwrap();
         assert!(outputs.len() >= 4, "96x72 at 1.25 should give several levels");
         assert!(timeline.span_us() > 0.0);
 
@@ -344,7 +427,7 @@ mod tests {
         let run = |mode| {
             let gpu = Gpu::new(DeviceSpec::gtx470(), mode);
             let mut p = FramePipeline::new(gpu, &simple_cascade(), 1.25);
-            let (outputs, timeline) = p.run_frame(&frame);
+            let (outputs, timeline) = p.run_frame(&frame).unwrap();
             (outputs, timeline)
         };
         let (a, ta) = run(ExecMode::Serial);
@@ -366,7 +449,7 @@ mod tests {
     fn hits_are_thresholded_depths() {
         let gpu = Gpu::new(DeviceSpec::gtx470(), ExecMode::Concurrent);
         let mut p = FramePipeline::new(gpu, &simple_cascade(), 1.25);
-        let (outputs, _) = p.run_frame(&test_frame());
+        let (outputs, _) = p.run_frame(&test_frame()).unwrap();
         let req = p.cascade().depth();
         for out in &outputs {
             for (d, h) in out.depth.iter().zip(&out.hits) {
@@ -403,13 +486,13 @@ mod tests {
     fn pool_rebuilds_on_frame_geometry_change() {
         let gpu = Gpu::new(DeviceSpec::gtx470(), ExecMode::Concurrent);
         let mut p = FramePipeline::new(gpu, &simple_cascade(), 1.25);
-        let (a, _) = p.run_frame(&test_frame());
+        let (a, _) = p.run_frame(&test_frame()).unwrap();
         let pool_96x72 = p.pooled_bytes();
         let allocs = p.gpu.mem.alloc_count();
 
         // A differently sized frame frees the old pool and builds a new one.
         let small = GrayImage::from_fn(64, 48, |x, _| (x * 3) as f32);
-        let (b, _) = p.run_frame(&small);
+        let (b, _) = p.run_frame(&small).unwrap();
         assert!(p.gpu.mem.alloc_count() > allocs, "geometry change reallocates");
         assert_eq!(p.gpu.mem.live_bytes(), p.pooled_bytes(), "old pool was freed");
         assert!(p.pooled_bytes() < pool_96x72);
@@ -417,7 +500,7 @@ mod tests {
 
         // Returning to the original geometry rebuilds and still matches the
         // first run's results exactly.
-        let (c, _) = p.run_frame(&test_frame());
+        let (c, _) = p.run_frame(&test_frame()).unwrap();
         assert_eq!(a.len(), c.len());
         for (x, y) in a.iter().zip(&c) {
             assert_eq!(x.depth, y.depth);

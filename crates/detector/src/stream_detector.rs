@@ -7,11 +7,120 @@
 //! overlaps detection of frame `i` (the hardware decoder is
 //! fixed-function logic, independent of the SMs), so the per-frame period
 //! is `max(decode, detect)` after the pipeline fills.
+//!
+//! # Recovery and graceful degradation
+//!
+//! A production stream must survive the faults the simulator can inject
+//! (fd-gpu's `FaultPlan`, fd-video's `DecodeFaultPlan`) without aborting:
+//!
+//! * **Bounded retry** — a *transient* launch failure is retried up to
+//!   [`RecoveryPolicy::max_retries`] times with deterministic exponential
+//!   backoff; every kernel fully overwrites its outputs, so a retried
+//!   frame is unaffected by the aborted attempt.
+//! * **Skip-and-report** — unrecoverable frames (launch timeouts, retry
+//!   exhaustion, dropped decodes) are skipped; the stream keeps going and
+//!   the frame is accounted as [`FrameOutcome::Skipped`] in
+//!   [`StreamStats`].
+//! * **Deadline shedding** — when a sliding window of frames misses the
+//!   playback deadline, the controller sheds the smallest pyramid scales
+//!   (the plan's tail — exactly the levels whose concurrent execution the
+//!   paper shows are cheap, so shedding them trades recall for latency
+//!   predictably) and restores them when headroom returns. Disabled by
+//!   default (`max_shed_levels == 0`), so a fault-free run is
+//!   bit-identical to the pre-recovery detector.
+
+use std::collections::VecDeque;
 
 use fd_haar::Cascade;
 use fd_imgproc::GrayImage;
+use fd_video::{DecodeFault, DecodedFrame};
 
 use crate::detector::{DetectorConfig, FaceDetector, FrameResult};
+use crate::error::DetectorError;
+
+/// How a frame left the stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameOutcome {
+    /// Detection ran at full quality on a clean frame.
+    Ok,
+    /// Detection produced results, but under degraded conditions
+    /// (corrupted input, retried launches, or shed pyramid scales).
+    Degraded,
+    /// No detection results for this frame; the stream continued.
+    Skipped,
+}
+
+/// Why a frame was degraded (a frame can accumulate several reasons).
+#[derive(Debug, Clone, PartialEq)]
+pub enum DegradeReason {
+    /// The decoder flagged the input luma as corrupted.
+    CorruptInput,
+    /// One or more launch attempts failed transiently and were retried.
+    RetriedLaunches { retries: u32 },
+    /// The deadline controller ran a truncated pyramid plan.
+    ShedScales { shed_levels: usize },
+}
+
+/// Why a frame was skipped.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SkipReason {
+    /// The decoder dropped the frame (no picture to detect on).
+    Decode(DecodeFault),
+    /// Detection failed unrecoverably (timeout, retry exhaustion, ...).
+    Detect(DetectorError),
+}
+
+/// Per-frame account of what the recovery layer did.
+#[derive(Debug, Clone)]
+pub struct FrameReport {
+    /// Stream frame index.
+    pub frame: usize,
+    pub outcome: FrameOutcome,
+    pub degraded: Vec<DegradeReason>,
+    pub skipped: Option<SkipReason>,
+    /// Transient-launch retries spent on this frame.
+    pub retries: u32,
+    /// Deterministic backoff charged to this frame, milliseconds.
+    pub backoff_ms: f64,
+    /// Pyramid levels shed by the deadline controller for this frame.
+    pub shed_levels: usize,
+    /// Detection results (`None` when skipped).
+    pub result: Option<FrameResult>,
+}
+
+/// Retry / backoff / shedding parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryPolicy {
+    /// Retries allowed per frame for transient launch failures.
+    pub max_retries: u32,
+    /// Backoff before retry `k` (0-based) is `backoff_base_ms * 2^k` —
+    /// deterministic, no jitter, so fault runs reproduce exactly.
+    pub backoff_base_ms: f64,
+    /// Most pyramid levels the deadline controller may shed (0 disables
+    /// shedding entirely; at least one level always runs).
+    pub max_shed_levels: usize,
+    /// Sliding-window length, in frames, for deadline monitoring.
+    pub deadline_window: usize,
+    /// Shed one more level when at least this fraction of the window
+    /// missed the playback deadline.
+    pub shed_miss_fraction: f64,
+    /// Restore one level when the window's mean detect time falls below
+    /// this fraction of the deadline.
+    pub restore_headroom_fraction: f64,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 3,
+            backoff_base_ms: 2.0,
+            max_shed_levels: 0,
+            deadline_window: 12,
+            shed_miss_fraction: 0.5,
+            restore_headroom_fraction: 0.6,
+        }
+    }
+}
 
 /// Accumulated streaming statistics.
 #[derive(Debug, Clone, Default)]
@@ -23,6 +132,18 @@ pub struct StreamStats {
     pub total_period_ms: f64,
     pub max_detect_ms: f64,
     pub total_detections: usize,
+    /// Frames that completed at full quality.
+    pub ok_frames: usize,
+    /// Frames that completed under degraded conditions.
+    pub degraded_frames: usize,
+    /// Frames skipped (stream continued without results).
+    pub skipped_frames: usize,
+    /// Transient-launch retries across the stream.
+    pub retries: usize,
+    /// Total deterministic backoff charged, milliseconds.
+    pub total_backoff_ms: f64,
+    /// Frames that ran with at least one pyramid level shed.
+    pub shed_frames: usize,
 }
 
 impl StreamStats {
@@ -51,45 +172,244 @@ impl StreamStats {
         }
     }
 
+    /// `true` when every processed frame has exactly one outcome.
+    pub fn all_frames_accounted(&self) -> bool {
+        self.ok_frames + self.degraded_frames + self.skipped_frames == self.frames
+    }
 }
 
-/// A face detector with pipelined-stream accounting.
+/// A face detector with pipelined-stream accounting and recovery.
 pub struct VideoDetector {
     detector: FaceDetector,
     stats: StreamStats,
     deadline_ms: f64,
     missed_deadlines: usize,
+    policy: RecoveryPolicy,
+    /// Levels currently shed by the deadline controller.
+    shed: usize,
+    /// Sliding window of recent effective detect times, milliseconds.
+    window: VecDeque<f64>,
 }
 
 impl VideoDetector {
     /// `playback_fps` sets the display deadline (24 fps -> 41.7 ms).
-    pub fn new(cascade: &Cascade, config: DetectorConfig, playback_fps: f64) -> Self {
-        assert!(playback_fps > 0.0);
-        Self {
-            detector: FaceDetector::new(cascade, config),
+    /// Rejects non-finite or non-positive rates.
+    pub fn new(
+        cascade: &Cascade,
+        config: DetectorConfig,
+        playback_fps: f64,
+    ) -> Result<Self, DetectorError> {
+        if !(playback_fps.is_finite() && playback_fps > 0.0) {
+            return Err(DetectorError::BadPlaybackFps { fps: playback_fps });
+        }
+        Ok(Self {
+            detector: FaceDetector::try_new(cascade, config)?,
             stats: StreamStats::default(),
             deadline_ms: 1000.0 / playback_fps,
             missed_deadlines: 0,
-        }
+            policy: RecoveryPolicy::default(),
+            shed: 0,
+            window: VecDeque::new(),
+        })
+    }
+
+    /// Replace the recovery policy (builder style).
+    pub fn with_policy(mut self, policy: RecoveryPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    pub fn policy(&self) -> &RecoveryPolicy {
+        &self.policy
     }
 
     /// Process one decoded frame (luma plane + its decode latency).
-    pub fn process(&mut self, luma: &GrayImage, decode_ms: f64) -> FrameResult {
-        let r = self.detector.detect(luma);
+    /// Kept for callers that manage decode themselves; routes through the
+    /// same recovery layer as [`Self::process_decoded`].
+    pub fn process(
+        &mut self,
+        luma: &GrayImage,
+        decode_ms: f64,
+    ) -> Result<FrameResult, DetectorError> {
+        let frame = self.stats.frames;
+        let report = self.run_one(frame, luma, decode_ms, None);
+        match report.result {
+            Some(r) => Ok(r),
+            None => Err(match report.skipped {
+                Some(SkipReason::Detect(e)) => e,
+                Some(SkipReason::Decode(fault)) => DetectorError::Decode { frame, fault },
+                None => DetectorError::InvalidConfig { reason: "skip without reason" },
+            }),
+        }
+    }
+
+    /// Process one [`DecodedFrame`] from the hardware decoder, honouring
+    /// its fault flag. Never panics and never aborts the stream: the
+    /// report says what happened.
+    pub fn process_decoded(&mut self, frame: &DecodedFrame) -> FrameReport {
+        self.run_one(frame.index, &frame.luma, frame.decode_ms, frame.fault)
+    }
+
+    /// Drain a whole decoded stream (e.g. an `fd_video::HwDecoder`),
+    /// returning one report per frame.
+    pub fn run_stream<I>(&mut self, frames: I) -> Vec<FrameReport>
+    where
+        I: IntoIterator<Item = DecodedFrame>,
+    {
+        frames.into_iter().map(|f| self.process_decoded(&f)).collect()
+    }
+
+    fn run_one(
+        &mut self,
+        frame_idx: usize,
+        luma: &GrayImage,
+        decode_ms: f64,
+        decode_fault: Option<DecodeFault>,
+    ) -> FrameReport {
+        let mut report = FrameReport {
+            frame: frame_idx,
+            outcome: FrameOutcome::Ok,
+            degraded: Vec::new(),
+            skipped: None,
+            retries: 0,
+            backoff_ms: 0.0,
+            shed_levels: self.shed,
+            result: None,
+        };
+
+        // A dropped frame never reaches the device.
+        if decode_fault == Some(DecodeFault::Dropped) {
+            report.outcome = FrameOutcome::Skipped;
+            report.skipped = Some(SkipReason::Decode(DecodeFault::Dropped));
+            self.account(&report, decode_ms, 0.0);
+            return report;
+        }
+        if decode_fault == Some(DecodeFault::Corrupted) {
+            report.degraded.push(DegradeReason::CorruptInput);
+        }
+
+        // Shed the plan's tail (the smallest scales); always keep level 0.
+        let plan = match self.detector.pyramid_plan(luma) {
+            Ok(p) => p,
+            Err(e) => {
+                report.outcome = FrameOutcome::Skipped;
+                report.skipped = Some(SkipReason::Detect(e.at_frame(frame_idx)));
+                self.account(&report, decode_ms, 0.0);
+                return report;
+            }
+        };
+        let full_len = plan.len();
+        let keep = full_len.saturating_sub(self.shed).max(1);
+        let plan = &plan[..keep];
+        report.shed_levels = full_len - keep;
+
+        // Bounded retry with deterministic exponential backoff.
+        let result = loop {
+            match self.detector.detect_with_plan(luma, plan) {
+                Ok(r) => break Ok(r),
+                Err(e) if e.is_transient() && report.retries < self.policy.max_retries => {
+                    report.backoff_ms +=
+                        self.policy.backoff_base_ms * f64::powi(2.0, report.retries as i32);
+                    report.retries += 1;
+                }
+                Err(e) => break Err(e),
+            }
+        };
+
+        match result {
+            Ok(r) => {
+                if report.retries > 0 {
+                    report
+                        .degraded
+                        .push(DegradeReason::RetriedLaunches { retries: report.retries });
+                }
+                if report.shed_levels > 0 {
+                    report
+                        .degraded
+                        .push(DegradeReason::ShedScales { shed_levels: report.shed_levels });
+                }
+                report.outcome = if report.degraded.is_empty() {
+                    FrameOutcome::Ok
+                } else {
+                    FrameOutcome::Degraded
+                };
+                let detect_ms = r.detect_ms;
+                report.result = Some(r);
+                self.account(&report, decode_ms, detect_ms);
+            }
+            Err(e) => {
+                report.outcome = FrameOutcome::Skipped;
+                report.skipped = Some(SkipReason::Detect(e.at_frame(frame_idx)));
+                self.account(&report, decode_ms, 0.0);
+            }
+        }
+        report
+    }
+
+    /// Fold one frame into the stats and advance the deadline controller.
+    fn account(&mut self, report: &FrameReport, decode_ms: f64, detect_ms: f64) {
+        // Backoff is wall-clock the frame spent waiting on the device.
+        let effective_detect = detect_ms + report.backoff_ms;
         self.stats.frames += 1;
         self.stats.total_decode_ms += decode_ms;
-        self.stats.total_detect_ms += r.detect_ms;
-        self.stats.total_period_ms += decode_ms.max(r.detect_ms);
-        self.stats.max_detect_ms = self.stats.max_detect_ms.max(r.detect_ms);
-        self.stats.total_detections += r.detections.len();
-        if r.detect_ms > self.deadline_ms {
+        self.stats.total_detect_ms += effective_detect;
+        self.stats.total_period_ms += decode_ms.max(effective_detect);
+        self.stats.max_detect_ms = self.stats.max_detect_ms.max(effective_detect);
+        self.stats.retries += report.retries as usize;
+        self.stats.total_backoff_ms += report.backoff_ms;
+        if report.shed_levels > 0 && report.result.is_some() {
+            self.stats.shed_frames += 1;
+        }
+        if let Some(r) = &report.result {
+            self.stats.total_detections += r.detections.len();
+        }
+        match report.outcome {
+            FrameOutcome::Ok => self.stats.ok_frames += 1,
+            FrameOutcome::Degraded => self.stats.degraded_frames += 1,
+            FrameOutcome::Skipped => self.stats.skipped_frames += 1,
+        }
+
+        let missed = effective_detect > self.deadline_ms;
+        if missed && report.result.is_some() {
             self.missed_deadlines += 1;
         }
-        r
+
+        // Deadline controller: only frames that actually ran detection
+        // inform the shed/restore decision.
+        if self.policy.max_shed_levels == 0 || report.result.is_none() {
+            return;
+        }
+        self.window.push_back(effective_detect);
+        while self.window.len() > self.policy.deadline_window {
+            self.window.pop_front();
+        }
+        if self.window.len() < self.policy.deadline_window {
+            return;
+        }
+        let misses =
+            self.window.iter().filter(|&&ms| ms > self.deadline_ms).count() as f64;
+        let miss_fraction = misses / self.window.len() as f64;
+        let mean_ms: f64 = self.window.iter().sum::<f64>() / self.window.len() as f64;
+        if miss_fraction >= self.policy.shed_miss_fraction
+            && self.shed < self.policy.max_shed_levels
+        {
+            self.shed += 1;
+            self.window.clear();
+        } else if self.shed > 0
+            && mean_ms <= self.policy.restore_headroom_fraction * self.deadline_ms
+        {
+            self.shed -= 1;
+            self.window.clear();
+        }
     }
 
     pub fn stats(&self) -> &StreamStats {
         &self.stats
+    }
+
+    /// Pyramid levels the deadline controller is currently shedding.
+    pub fn shed_levels(&self) -> usize {
+        self.shed
     }
 
     /// Frames whose detection missed the playback deadline.
@@ -132,14 +452,20 @@ mod tests {
         GrayImage::from_fn(64, 48, |x, _| (x * 3) as f32)
     }
 
+    fn detector(fps: f64) -> VideoDetector {
+        VideoDetector::new(&cascade(), DetectorConfig::default(), fps).unwrap()
+    }
+
     #[test]
     fn stats_accumulate_across_frames() {
-        let mut vd = VideoDetector::new(&cascade(), DetectorConfig::default(), 24.0);
+        let mut vd = detector(24.0);
         for _ in 0..3 {
-            vd.process(&frame(), 9.0);
+            vd.process(&frame(), 9.0).unwrap();
         }
         let s = vd.stats();
         assert_eq!(s.frames, 3);
+        assert_eq!(s.ok_frames, 3);
+        assert!(s.all_frames_accounted());
         assert!((s.total_decode_ms - 27.0).abs() < 1e-9);
         assert!(s.total_detect_ms > 0.0);
         assert!(s.max_detect_ms > 0.0);
@@ -147,8 +473,8 @@ mod tests {
 
     #[test]
     fn pipelined_fps_uses_the_slower_stage() {
-        let mut vd = VideoDetector::new(&cascade(), DetectorConfig::default(), 24.0);
-        vd.process(&frame(), 50.0); // decode-bound frame
+        let mut vd = detector(24.0);
+        vd.process(&frame(), 50.0).unwrap(); // decode-bound frame
         let s = vd.stats();
         // Period = max(decode, detect) = 50 ms -> 20 fps.
         assert!((s.pipelined_fps() - 20.0).abs() < 1.0);
@@ -159,12 +485,173 @@ mod tests {
     #[test]
     fn deadline_misses_are_counted() {
         // Absurd playback rate so every frame misses.
-        let mut vd = VideoDetector::new(&cascade(), DetectorConfig::default(), 1e9);
-        vd.process(&frame(), 1.0);
+        let mut vd = detector(1e9);
+        vd.process(&frame(), 1.0).unwrap();
         assert_eq!(vd.missed_deadlines(), 1);
         // Relaxed deadline: no misses.
-        let mut ok = VideoDetector::new(&cascade(), DetectorConfig::default(), 0.001);
-        ok.process(&frame(), 1.0);
+        let mut ok = detector(0.001);
+        ok.process(&frame(), 1.0).unwrap();
         assert_eq!(ok.missed_deadlines(), 0);
+    }
+
+    #[test]
+    fn non_finite_playback_fps_is_rejected() {
+        for fps in [0.0, -24.0, f64::NAN, f64::INFINITY] {
+            let r = VideoDetector::new(&cascade(), DetectorConfig::default(), fps);
+            assert!(
+                matches!(r, Err(DetectorError::BadPlaybackFps { .. })),
+                "fps {fps} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn transient_launch_faults_are_retried_and_reported() {
+        // ~32 launches per frame: even a small per-launch rate fires
+        // regularly at the frame level, and a bounded retry recovers.
+        let plan = fd_gpu::FaultPlan::seeded(11).with_transient_launch_failures(0.01);
+        let mut vd = VideoDetector::new(
+            &cascade(),
+            DetectorConfig { fault_plan: Some(plan), ..DetectorConfig::default() },
+            24.0,
+        )
+        .unwrap();
+        let mut retried = 0;
+        let mut recovered = 0;
+        for i in 0..20 {
+            let f = DecodedFrame {
+                index: i,
+                luma: frame(),
+                decode_ms: 9.0,
+                pts_ms: i as f64 * 41.7,
+                fault: None,
+            };
+            let report = vd.process_decoded(&f);
+            retried += report.retries;
+            if report.retries > 0 && report.outcome == FrameOutcome::Degraded {
+                assert!(report
+                    .degraded
+                    .iter()
+                    .any(|d| matches!(d, DegradeReason::RetriedLaunches { .. })));
+                assert!(report.result.is_some());
+                assert!(report.backoff_ms > 0.0);
+                recovered += 1;
+            }
+        }
+        assert!(retried > 0, "a 1% per-launch rate over 20 frames must fire");
+        assert!(recovered > 0, "at least one frame must recover via retry");
+        assert_eq!(vd.stats().retries as u32, retried);
+        assert!(vd.stats().total_backoff_ms > 0.0);
+        assert!(vd.stats().all_frames_accounted());
+        assert!(vd.stats().ok_frames > 0, "most frames stay clean");
+    }
+
+    #[test]
+    fn unrecoverable_timeouts_skip_the_frame_and_keep_the_stream() {
+        let plan = fd_gpu::FaultPlan::seeded(5).with_launch_timeouts(0.15);
+        let mut vd = VideoDetector::new(
+            &cascade(),
+            DetectorConfig { fault_plan: Some(plan), ..DetectorConfig::default() },
+            24.0,
+        )
+        .unwrap();
+        let mut skipped = 0;
+        for i in 0..30 {
+            let f = DecodedFrame {
+                index: i,
+                luma: frame(),
+                decode_ms: 9.0,
+                pts_ms: 0.0,
+                fault: None,
+            };
+            let report = vd.process_decoded(&f);
+            if report.outcome == FrameOutcome::Skipped {
+                assert!(matches!(report.skipped, Some(SkipReason::Detect(_))));
+                assert!(report.result.is_none());
+                skipped += 1;
+            }
+        }
+        assert!(skipped > 0, "15% timeouts over 30 frames must skip some");
+        assert_eq!(vd.stats().skipped_frames, skipped);
+        assert!(vd.stats().all_frames_accounted());
+    }
+
+    #[test]
+    fn dropped_and_corrupt_decodes_are_accounted() {
+        let mut vd = detector(24.0);
+        let dropped = DecodedFrame {
+            index: 0,
+            luma: frame(),
+            decode_ms: 9.0,
+            pts_ms: 0.0,
+            fault: Some(DecodeFault::Dropped),
+        };
+        let r = vd.process_decoded(&dropped);
+        assert_eq!(r.outcome, FrameOutcome::Skipped);
+        assert_eq!(r.skipped, Some(SkipReason::Decode(DecodeFault::Dropped)));
+
+        let corrupt = DecodedFrame {
+            index: 1,
+            luma: frame(),
+            decode_ms: 9.0,
+            pts_ms: 0.0,
+            fault: Some(DecodeFault::Corrupted),
+        };
+        let r = vd.process_decoded(&corrupt);
+        assert_eq!(r.outcome, FrameOutcome::Degraded);
+        assert!(r.degraded.contains(&DegradeReason::CorruptInput));
+        assert!(r.result.is_some(), "corrupt frames still run detection");
+
+        let s = vd.stats();
+        assert_eq!(s.skipped_frames, 1);
+        assert_eq!(s.degraded_frames, 1);
+        assert!(s.all_frames_accounted());
+    }
+
+    #[test]
+    fn deadline_controller_sheds_and_restores_scales() {
+        let mut vd = detector(24.0).with_policy(RecoveryPolicy {
+            max_shed_levels: 2,
+            deadline_window: 4,
+            shed_miss_fraction: 0.5,
+            restore_headroom_fraction: 0.9,
+            ..RecoveryPolicy::default()
+        });
+        // Force misses: shrink the deadline far below any real detect time.
+        vd.deadline_ms = 1e-6;
+        for _ in 0..8 {
+            vd.process(&frame(), 1.0).unwrap();
+        }
+        assert!(vd.shed_levels() > 0, "sustained misses must shed scales");
+        let full_levels = vd.detector().pyramid_plan(&frame()).unwrap().len();
+        let report_plan_len = {
+            let f = DecodedFrame {
+                index: 99,
+                luma: frame(),
+                decode_ms: 1.0,
+                pts_ms: 0.0,
+                fault: None,
+            };
+            let r = vd.process_decoded(&f);
+            r.result.unwrap().timeline.events.len() / 8
+        };
+        assert!(report_plan_len < full_levels, "shed frames run fewer levels");
+
+        // Headroom returns: a huge deadline restores the shed levels.
+        vd.deadline_ms = 1e9;
+        let shed_before = vd.shed_levels();
+        for _ in 0..12 {
+            vd.process(&frame(), 1.0).unwrap();
+        }
+        assert!(vd.shed_levels() < shed_before, "headroom must restore scales");
+    }
+
+    #[test]
+    fn default_policy_never_sheds() {
+        let mut vd = detector(1e9); // every frame misses the deadline
+        for _ in 0..20 {
+            vd.process(&frame(), 1.0).unwrap();
+        }
+        assert_eq!(vd.shed_levels(), 0, "shedding is opt-in");
     }
 }

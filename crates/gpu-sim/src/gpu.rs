@@ -5,8 +5,9 @@ use std::collections::{HashMap, HashSet};
 use crate::cost::CostModel;
 use crate::device::DeviceSpec;
 use crate::exec;
+use crate::fault::{fault_draw, FaultDomain, FaultPlan, FaultStats};
 use crate::kernel::{Kernel, LaunchConfig};
-use crate::memory::{ConstBank, ConstPtr, DeviceMemory, TexId, Texture2D};
+use crate::memory::{ConstBank, ConstPtr, DeviceMemory, MemoryError, TexId, Texture2D};
 use crate::profiler::Profiler;
 use crate::sched::{simulate, ExecMode, LaunchRecord, Timeline};
 use crate::stream::{EventId, StreamId};
@@ -29,6 +30,21 @@ pub enum LaunchError {
     /// Grid exceeds [`MAX_FUNCTIONAL_BLOCKS`] (`requested` saturates at
     /// `u64::MAX` when the block count itself overflows).
     GridTooLarge { requested: u64, limit: u64 },
+    /// Injected fault: the launch timed out on the device. Unrecoverable
+    /// for this launch — retrying draws the same verdict class on real
+    /// hardware (the engine is wedged), so callers should skip the work.
+    InjectedTimeout { kernel: &'static str },
+    /// Injected fault: a transient launch failure (spurious
+    /// `cudaErrorLaunchFailure` under engine contention). A retry is a
+    /// fresh draw and typically succeeds.
+    InjectedTransient { kernel: &'static str },
+}
+
+impl LaunchError {
+    /// Whether a bounded retry of the same launch can reasonably succeed.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, LaunchError::InjectedTransient { .. })
+    }
 }
 
 impl std::fmt::Display for LaunchError {
@@ -43,6 +59,12 @@ impl std::fmt::Display for LaunchError {
             LaunchError::EmptyLaunch => write!(f, "grid and block extents must be non-zero"),
             LaunchError::GridTooLarge { requested, limit } => {
                 write!(f, "grid of {requested} blocks exceeds functional-simulation limit {limit}")
+            }
+            LaunchError::InjectedTimeout { kernel } => {
+                write!(f, "injected fault: launch of `{kernel}` timed out")
+            }
+            LaunchError::InjectedTransient { kernel } => {
+                write!(f, "injected fault: transient launch failure for `{kernel}`")
             }
         }
     }
@@ -74,6 +96,17 @@ pub struct Gpu {
     pending_waits: HashMap<StreamId, Vec<EventId>>,
     fired_events: HashSet<EventId>,
     profiler: Profiler,
+    fault: Option<FaultState>,
+}
+
+/// Per-device fault-injection state: the plan plus the monotone attempt
+/// counter the draws are keyed on.
+struct FaultState {
+    plan: FaultPlan,
+    /// Incremented on every launch attempt (including rejected ones), so
+    /// a retry of a failed launch draws a fresh verdict.
+    attempts: u64,
+    stats: FaultStats,
 }
 
 impl Gpu {
@@ -95,7 +128,41 @@ impl Gpu {
             pending_waits: HashMap::new(),
             fired_events: HashSet::new(),
             profiler: Profiler::new(),
+            fault: None,
         }
+    }
+
+    /// Attach (or detach, with `None`) a fault-injection plan. Launch and
+    /// stall faults are drawn by this device; copy-corruption faults are
+    /// wired into [`Gpu::mem`]. Attaching a plan resets [`Gpu::fault_stats`].
+    /// An [inert](FaultPlan::is_inert) plan leaves every result
+    /// bit-identical to a device without one.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        match &plan {
+            Some(p) if p.copy_corruption_rate > 0.0 => self.mem.set_copy_faults(Some(
+                crate::memory::CopyFaultConfig {
+                    seed: p.seed,
+                    rate: p.copy_corruption_rate,
+                    region_len: p.corrupt_region_len.max(1),
+                },
+            )),
+            _ => self.mem.set_copy_faults(None),
+        }
+        self.fault = plan.map(|plan| FaultState {
+            plan,
+            attempts: 0,
+            stats: FaultStats::default(),
+        });
+    }
+
+    /// The active fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref().map(|f| &f.plan)
+    }
+
+    /// Faults injected by this device since the plan was attached.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault.as_ref().map(|f| f.stats).unwrap_or_default()
     }
 
     /// Current execution mode.
@@ -156,9 +223,16 @@ impl Gpu {
         self.pending_waits.entry(stream).or_default().push(event);
     }
 
-    /// Stage data into constant memory.
+    /// Stage data into constant memory. Panics on bank overflow; use
+    /// [`Gpu::try_const_upload`] for a typed error.
     pub fn const_upload(&mut self, words: &[u32]) -> ConstPtr {
         self.constants.upload(words)
+    }
+
+    /// Stage data into constant memory, reporting overflow as a typed
+    /// error (user-supplied cascades can exceed the 64 KiB bank).
+    pub fn try_const_upload(&mut self, words: &[u32]) -> Result<ConstPtr, MemoryError> {
+        self.constants.try_upload(words)
     }
 
     /// Reset constant memory.
@@ -223,6 +297,38 @@ impl Gpu {
             });
         }
 
+        // Fault injection: each attempt draws an independent verdict per
+        // fault domain, keyed on the monotone attempt counter (so a retry
+        // of a rejected launch draws afresh). A zero rate never draws a
+        // positive verdict, keeping inert plans bit-identical to none.
+        let mut stall_cycles = 0.0f64;
+        if let Some(f) = &mut self.fault {
+            let attempt = f.attempts;
+            f.attempts += 1;
+            f.stats.launch_attempts += 1;
+            let p = &f.plan;
+            if p.launch_timeout_rate > 0.0
+                && fault_draw(p.seed, FaultDomain::LaunchTimeout, attempt) < p.launch_timeout_rate
+            {
+                f.stats.launch_timeouts += 1;
+                return Err(LaunchError::InjectedTimeout { kernel: kernel.name() });
+            }
+            if p.transient_launch_rate > 0.0
+                && fault_draw(p.seed, FaultDomain::LaunchTransient, attempt)
+                    < p.transient_launch_rate
+            {
+                f.stats.transient_launch_failures += 1;
+                return Err(LaunchError::InjectedTransient { kernel: kernel.name() });
+            }
+            if p.stall_rate > 0.0
+                && fault_draw(p.seed, FaultDomain::StreamStall, attempt) < p.stall_rate
+            {
+                f.stats.stream_stalls += 1;
+                // Microseconds -> shader-clock cycles.
+                stall_cycles = p.stall_us * self.spec.clock_ghz * 1e3;
+            }
+        }
+
         let env = exec::LaunchEnv {
             mem: &self.mem,
             constants: &self.constants,
@@ -231,8 +337,17 @@ impl Gpu {
             warp_size: self.spec.warp_size,
         };
         let host_threads = exec::resolve_host_threads(self.host_threads);
-        let exec::FunctionalResult { block_costs, totals } =
+        let exec::FunctionalResult { mut block_costs, totals } =
             exec::run_functional(kernel, &cfg, &env, host_threads, total_blocks);
+
+        if stall_cycles > 0.0 {
+            // A stream stall pins the launch's first block for the stall
+            // duration. Charged as issue cycles so warp residency cannot
+            // hide it (the engine is stalled, not waiting on DRAM); the
+            // timing phase stretches the launch's span while functional
+            // results stay untouched.
+            block_costs[0].issue_cycles += stall_cycles;
+        }
 
         let wait_events = self.pending_waits.remove(&stream).unwrap_or_default();
         self.pending.push(LaunchRecord {
@@ -263,6 +378,17 @@ impl Gpu {
     /// Number of launches queued since the last synchronize.
     pub fn pending_launches(&self) -> usize {
         self.pending.len()
+    }
+
+    /// Discard all queued launches and pending waits without simulating
+    /// them (the recovery path after a failed launch mid-frame: the frame
+    /// is abandoned or retried from scratch, so its partial queue must not
+    /// leak into the next synchronization scope or the profiler).
+    /// Functional memory effects of already-queued launches remain, as on
+    /// a real device; callers that retry must fully overwrite outputs.
+    pub fn cancel_pending(&mut self) {
+        self.pending.clear();
+        self.pending_waits.clear();
     }
 
     /// Run the timing simulation over all queued launches, feed the
@@ -393,6 +519,117 @@ mod tests {
         gpu.synchronize();
         assert_eq!(gpu.profiler().kernels()["double"].launches, 2);
         assert_eq!(gpu.profiler().traces().len(), 2);
+    }
+
+    fn launch_until_verdict(gpu: &mut Gpu, buf: DevBuf<u32>) -> Result<(), LaunchError> {
+        gpu.launch_default(&DoubleKernel { buf }, LaunchConfig::linear(256, 128))
+    }
+
+    #[test]
+    fn inert_fault_plan_is_bit_identical_to_none() {
+        let run = |plan: Option<FaultPlan>| {
+            let mut gpu = Gpu::new(DeviceSpec::gtx470(), ExecMode::Concurrent);
+            gpu.set_fault_plan(plan);
+            let buf = gpu.mem.upload(&(0u32..4096).collect::<Vec<_>>());
+            let s = gpu.create_stream();
+            gpu.launch(&DoubleKernel { buf }, LaunchConfig::linear(4096, 256), s).unwrap();
+            let t = gpu.synchronize();
+            (gpu.mem.download(buf), t.span_us().to_bits(), gpu.profiler().kernels()["double"].clone())
+        };
+        let a = run(None);
+        let b = run(Some(FaultPlan::seeded(99)));
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1, "timeline must be bit-identical under an inert plan");
+        assert_eq!(format!("{:?}", a.2), format!("{:?}", b.2));
+    }
+
+    #[test]
+    fn injected_launch_failures_are_deterministic_and_typed() {
+        let collect = || {
+            let mut gpu = Gpu::new(DeviceSpec::gtx470(), ExecMode::Serial);
+            gpu.set_fault_plan(Some(
+                FaultPlan::seeded(7)
+                    .with_transient_launch_failures(0.2)
+                    .with_launch_timeouts(0.05),
+            ));
+            let buf = gpu.mem.alloc::<u32>(256);
+            let verdicts: Vec<_> = (0..100)
+                .map(|_| match launch_until_verdict(&mut gpu, buf) {
+                    Ok(()) => 0u8,
+                    Err(LaunchError::InjectedTransient { kernel }) => {
+                        assert_eq!(kernel, "double");
+                        1
+                    }
+                    Err(LaunchError::InjectedTimeout { kernel }) => {
+                        assert_eq!(kernel, "double");
+                        2
+                    }
+                    Err(e) => panic!("unexpected error {e}"),
+                })
+                .collect();
+            (verdicts, gpu.fault_stats())
+        };
+        let (va, sa) = collect();
+        let (vb, sb) = collect();
+        assert_eq!(va, vb, "fault sequence must be reproducible");
+        assert_eq!(sa, sb);
+        assert!(sa.transient_launch_failures > 0, "20% over 100 attempts must fire");
+        assert!(sa.launch_timeouts > 0);
+        assert_eq!(sa.launch_attempts, 100);
+        assert!(LaunchError::InjectedTransient { kernel: "k" }.is_transient());
+        assert!(!LaunchError::InjectedTimeout { kernel: "k" }.is_transient());
+    }
+
+    #[test]
+    fn stream_stall_stretches_the_timeline_not_the_results() {
+        let run = |stall_rate| {
+            let mut gpu = Gpu::new(DeviceSpec::gtx470(), ExecMode::Serial);
+            gpu.set_fault_plan(Some(FaultPlan::seeded(3).with_stream_stalls(stall_rate, 2000.0)));
+            let buf = gpu.mem.upload(&(0u32..1024).collect::<Vec<_>>());
+            gpu.launch_default(&DoubleKernel { buf }, LaunchConfig::linear(1024, 256)).unwrap();
+            let t = gpu.synchronize();
+            (gpu.mem.download(buf), t.span_us(), gpu.fault_stats().stream_stalls)
+        };
+        let (data_clean, span_clean, stalls_clean) = run(0.0);
+        let (data_stalled, span_stalled, stalls) = run(1.0);
+        assert_eq!(stalls_clean, 0);
+        assert_eq!(stalls, 1);
+        assert_eq!(data_clean, data_stalled, "stalls are timing-only");
+        assert!(
+            span_stalled > span_clean + 1500.0,
+            "a 2000us stall must dominate: {span_stalled} vs {span_clean}"
+        );
+    }
+
+    #[test]
+    fn cancel_pending_discards_the_queue() {
+        let mut gpu = Gpu::new(DeviceSpec::gtx470(), ExecMode::Serial);
+        let buf = gpu.mem.alloc::<u32>(64);
+        gpu.launch_default(&DoubleKernel { buf }, LaunchConfig::linear(64, 64)).unwrap();
+        assert_eq!(gpu.pending_launches(), 1);
+        gpu.cancel_pending();
+        assert_eq!(gpu.pending_launches(), 0);
+        let t = gpu.synchronize();
+        assert!(t.events.is_empty(), "cancelled launches must not be simulated");
+        assert!(gpu.profiler().kernels().is_empty(), "or profiled");
+    }
+
+    #[test]
+    fn copy_corruption_fires_and_drains() {
+        let mut gpu = Gpu::new(DeviceSpec::gtx470(), ExecMode::Serial);
+        gpu.set_fault_plan(Some(FaultPlan::seeded(11).with_copy_corruption(1.0)));
+        let buf = gpu.mem.upload(&vec![7u32; 512]);
+        let out = gpu.mem.download(buf);
+        let zeroed = out.iter().filter(|&&v| v == 0).count();
+        assert!(zeroed > 0 && zeroed <= 64, "poisoned region zeroed: {zeroed}");
+        let faults = gpu.mem.drain_copy_faults();
+        assert_eq!(faults.len(), 1);
+        assert_eq!(faults[0].buf_id, buf.raw_id());
+        assert_eq!(faults[0].len, zeroed);
+        assert!(gpu.mem.drain_copy_faults().is_empty(), "drain empties the log");
+        // The device copy itself is intact on download corruption.
+        gpu.set_fault_plan(None);
+        assert!(gpu.mem.download(buf).iter().all(|&v| v == 7));
     }
 
     #[test]

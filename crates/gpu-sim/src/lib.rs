@@ -83,6 +83,7 @@ pub mod cost;
 pub mod exec;
 pub mod device;
 pub mod dim;
+pub mod fault;
 pub mod kernel;
 pub mod memory;
 pub mod meter;
@@ -97,9 +98,13 @@ pub use cost::CostModel;
 pub use device::DeviceSpec;
 pub use dim::Dim3;
 pub use exec::THREADS_ENV_VAR;
+pub use fault::{FaultPlan, FaultStats};
 pub use gpu::{Gpu, LaunchError, MAX_FUNCTIONAL_BLOCKS};
 pub use kernel::{BlockCtx, Kernel, LaunchConfig};
-pub use memory::{ConstPtr, DevBuf, DevRead, DevWrite, DeviceMemory, TexId, Texture2D};
+pub use memory::{
+    ConstPtr, CopyFault, CopyFaultConfig, DevBuf, DevRead, DevWrite, DeviceMemory, MemoryError,
+    TexId, Texture2D,
+};
 pub use meter::{KernelCounters, Meter};
 pub use pcie::PcieModel;
 pub use profiler::{KernelProfile, Profiler, TraceEvent};

@@ -36,9 +36,46 @@
 
 use std::any::Any;
 use std::cell::UnsafeCell;
+use std::collections::HashMap;
 use std::marker::PhantomData;
 use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Mutex;
+
+use crate::fault::{fault_bits, fault_draw, FaultDomain};
+
+/// Typed errors for host-visible memory operations that previously
+/// aborted on `assert!` (constant-bank overflow, malformed textures,
+/// copy-size mismatches on user-supplied geometry).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemoryError {
+    /// Constant-memory bank overflow (`cudaMemcpyToSymbol` past 64 KiB).
+    ConstOverflow { used_words: usize, requested_words: usize, capacity_words: usize },
+    /// Texture dimensions and data length disagree, or an extent is zero.
+    BadTexture { width: usize, height: usize, data_len: usize },
+    /// Host↔device copy with mismatched element counts.
+    CopyLengthMismatch { buf_len: usize, host_len: usize },
+}
+
+impl std::fmt::Display for MemoryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemoryError::ConstOverflow { used_words, requested_words, capacity_words } => write!(
+                f,
+                "constant memory overflow: {used_words} + {requested_words} words > {capacity_words}"
+            ),
+            MemoryError::BadTexture { width, height, data_len } => write!(
+                f,
+                "texture {width}x{height} incompatible with {data_len} data elements"
+            ),
+            MemoryError::CopyLengthMismatch { buf_len, host_len } => {
+                write!(f, "copy length mismatch: buffer holds {buf_len}, host side {host_len}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MemoryError {}
 
 /// Scalar element types storable in device buffers.
 pub trait DeviceScalar: Copy + Default + Send + Sync + 'static {}
@@ -81,6 +118,12 @@ impl<T> DevBuf<T> {
 
     pub fn is_empty(&self) -> bool {
         self.len == 0
+    }
+
+    /// The arena slot index, for correlating [`CopyFault`] records with
+    /// the buffers they poisoned.
+    pub fn raw_id(&self) -> usize {
+        self.id
     }
 }
 
@@ -158,6 +201,44 @@ impl<T: DeviceScalar> Drop for DevWrite<'_, T> {
     }
 }
 
+/// Configuration for deterministic corruption of host↔device copies
+/// (normally attached via [`crate::Gpu::set_fault_plan`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CopyFaultConfig {
+    pub seed: u64,
+    /// Per-copy corruption probability in `[0, 1]`.
+    pub rate: f64,
+    /// Poisoned-region length in elements (clamped to the copy).
+    pub region_len: usize,
+}
+
+/// Record of one injected copy corruption: the poisoned region of the
+/// affected buffer. Drained by [`DeviceMemory::drain_copy_faults`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CopyFault {
+    /// Arena slot of the corrupted buffer ([`DevBuf::raw_id`]).
+    pub buf_id: usize,
+    /// First poisoned element.
+    pub start: usize,
+    /// Poisoned element count.
+    pub len: usize,
+}
+
+/// Interior-mutable injector state: copies go through `&self` methods
+/// (`download` is callable while kernels hold views), so the draw counter
+/// and fault log live behind a mutex. Copies only happen from the host
+/// thread; the mutex is uncontended.
+#[derive(Default)]
+struct CopyFaultState {
+    config: Option<CopyFaultConfig>,
+    draws: u64,
+    events: Vec<CopyFault>,
+    /// Poisoned regions per slot, kept until the buffer is fully
+    /// overwritten or freed (the poisoned-region model: corruption is
+    /// sticky, not a one-shot bit flip).
+    poisoned: HashMap<usize, Vec<(usize, usize)>>,
+}
+
 /// The global-memory arena of a simulated device.
 #[derive(Default)]
 pub struct DeviceMemory {
@@ -165,6 +246,7 @@ pub struct DeviceMemory {
     live_bytes: usize,
     peak_bytes: usize,
     alloc_count: u64,
+    copy_faults: Mutex<CopyFaultState>,
 }
 
 impl DeviceMemory {
@@ -202,6 +284,8 @@ impl DeviceMemory {
         slot.live = false;
         self.live_bytes -= slot.bytes;
         *slot.data.get_mut() = Box::new(());
+        let state = self.copy_faults.get_mut().unwrap_or_else(|e| e.into_inner());
+        state.poisoned.remove(&buf.id);
     }
 
     /// Shared view of a buffer (`cudaMemcpyDeviceToHost` without the copy).
@@ -242,16 +326,101 @@ impl DeviceMemory {
         DevWrite { vec, writers: &slot.writers, _marker: PhantomData }
     }
 
-    /// Copy host data into an existing buffer.
-    pub fn upload_into<T: DeviceScalar>(&self, buf: DevBuf<T>, data: &[T]) {
-        let mut dst = self.write(buf);
-        assert_eq!(dst.len(), data.len(), "upload_into length mismatch");
-        dst.copy_from_slice(data);
+    /// Attach (or detach) deterministic copy-corruption injection.
+    /// Attaching resets the draw counter and clears the fault log.
+    pub fn set_copy_faults(&mut self, config: Option<CopyFaultConfig>) {
+        let state = self.copy_faults.get_mut().unwrap_or_else(|e| e.into_inner());
+        *state = CopyFaultState { config, ..CopyFaultState::default() };
     }
 
-    /// Copy a buffer out to a host vector.
+    /// Drain the copy-fault log: every corruption injected since the last
+    /// drain (or plan attachment), in injection order. Callers poll this
+    /// per frame to attribute corrupted readbacks to outputs.
+    pub fn drain_copy_faults(&self) -> Vec<CopyFault> {
+        let mut state = self.copy_faults.lock().unwrap_or_else(|e| e.into_inner());
+        std::mem::take(&mut state.events)
+    }
+
+    /// Whether a buffer currently holds a poisoned region from a
+    /// corrupted `upload_into` (cleared by a clean full overwrite or
+    /// free).
+    pub fn is_poisoned<T: DeviceScalar>(&self, buf: DevBuf<T>) -> bool {
+        let state = self.copy_faults.lock().unwrap_or_else(|e| e.into_inner());
+        state.poisoned.get(&buf.id).is_some_and(|r| !r.is_empty())
+    }
+
+    /// Draw a corruption verdict for one copy touching `buf_id` over
+    /// `len` elements. Returns the poisoned region, if any.
+    fn draw_copy_fault(&self, buf_id: usize, len: usize) -> Option<(usize, usize)> {
+        let mut state = self.copy_faults.lock().unwrap_or_else(|e| e.into_inner());
+        let cfg = state.config?;
+        if cfg.rate <= 0.0 || len == 0 {
+            return None;
+        }
+        let draw_idx = state.draws;
+        state.draws += 1;
+        if fault_draw(cfg.seed, FaultDomain::CopyCorruption, draw_idx) >= cfg.rate {
+            return None;
+        }
+        let span = cfg.region_len.clamp(1, len);
+        let start = (fault_bits(cfg.seed, FaultDomain::CorruptionOffset, draw_idx) as usize)
+            % (len - span + 1);
+        state.events.push(CopyFault { buf_id, start, len: span });
+        Some((start, span))
+    }
+
+    /// Copy host data into an existing buffer. Subject to copy-fault
+    /// injection: a corrupted upload zeroes a region of the destination
+    /// and marks it poisoned. Panics on length mismatch; use
+    /// [`DeviceMemory::try_upload_into`] for a typed error.
+    pub fn upload_into<T: DeviceScalar>(&self, buf: DevBuf<T>, data: &[T]) {
+        self.try_upload_into(buf, data).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible [`DeviceMemory::upload_into`].
+    pub fn try_upload_into<T: DeviceScalar>(
+        &self,
+        buf: DevBuf<T>,
+        data: &[T],
+    ) -> Result<(), MemoryError> {
+        let mut dst = self.write(buf);
+        if dst.len() != data.len() {
+            return Err(MemoryError::CopyLengthMismatch {
+                buf_len: dst.len(),
+                host_len: data.len(),
+            });
+        }
+        dst.copy_from_slice(data);
+        drop(dst);
+        // A clean full overwrite clears previous poison; a corrupted one
+        // re-poisons its region.
+        {
+            let mut state = self.copy_faults.lock().unwrap_or_else(|e| e.into_inner());
+            state.poisoned.remove(&buf.id);
+        }
+        if let Some((start, span)) = self.draw_copy_fault(buf.id, buf.len) {
+            let mut dst = self.write(buf);
+            for v in &mut dst[start..start + span] {
+                *v = T::default();
+            }
+            drop(dst);
+            let mut state = self.copy_faults.lock().unwrap_or_else(|e| e.into_inner());
+            state.poisoned.entry(buf.id).or_default().push((start, span));
+        }
+        Ok(())
+    }
+
+    /// Copy a buffer out to a host vector. Subject to copy-fault
+    /// injection: a corrupted download returns data with a zeroed region
+    /// (the device copy stays intact) and logs a [`CopyFault`].
     pub fn download<T: DeviceScalar>(&self, buf: DevBuf<T>) -> Vec<T> {
-        self.read(buf).clone()
+        let mut out = self.read(buf).clone();
+        if let Some((start, span)) = self.draw_copy_fault(buf.id, out.len()) {
+            for v in &mut out[start..start + span] {
+                *v = T::default();
+            }
+        }
+        out
     }
 
     /// Bytes currently allocated.
@@ -301,18 +470,25 @@ impl ConstBank {
     }
 
     /// Stage words into constant memory; panics when the bank overflows,
-    /// like `cudaMemcpyToSymbol` past 64 KiB fails to compile.
+    /// like `cudaMemcpyToSymbol` past 64 KiB fails to compile. Use
+    /// [`ConstBank::try_upload`] for a typed error.
     pub fn upload(&mut self, data: &[u32]) -> ConstPtr {
-        assert!(
-            self.words.len() + data.len() <= self.capacity_words,
-            "constant memory overflow: {} + {} words > {}",
-            self.words.len(),
-            data.len(),
-            self.capacity_words
-        );
+        self.try_upload(data).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`ConstBank::upload`]: overflow of the 64 KiB bank by a
+    /// user-supplied cascade is reported instead of aborting.
+    pub fn try_upload(&mut self, data: &[u32]) -> Result<ConstPtr, MemoryError> {
+        if self.words.len() + data.len() > self.capacity_words {
+            return Err(MemoryError::ConstOverflow {
+                used_words: self.words.len(),
+                requested_words: data.len(),
+                capacity_words: self.capacity_words,
+            });
+        }
         let offset = self.words.len();
         self.words.extend_from_slice(data);
-        ConstPtr { offset, len: data.len() }
+        Ok(ConstPtr { offset, len: data.len() })
     }
 
     /// Reset the bump allocator (between cascades/configurations).
@@ -348,10 +524,22 @@ pub struct Texture2D {
 }
 
 impl Texture2D {
+    /// Panicking constructor; use [`Texture2D::try_from_data`] when the
+    /// geometry comes from untrusted input.
     pub fn from_data(width: usize, height: usize, data: Vec<f32>) -> Self {
-        assert_eq!(data.len(), width * height, "texture data size mismatch");
-        assert!(width > 0 && height > 0, "texture must be non-empty");
-        Self { width, height, data }
+        Self::try_from_data(width, height, data).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible constructor: rejects zero extents and size mismatches.
+    pub fn try_from_data(
+        width: usize,
+        height: usize,
+        data: Vec<f32>,
+    ) -> Result<Self, MemoryError> {
+        if width == 0 || height == 0 || data.len() != width * height {
+            return Err(MemoryError::BadTexture { width, height, data_len: data.len() });
+        }
+        Ok(Self { width, height, data })
     }
 
     #[inline]

@@ -27,5 +27,5 @@ pub mod trailer;
 
 pub use catalog::{movie_trailers, TrailerInfo};
 pub use nv12::Nv12Frame;
-pub use decoder::{DecodedFrame, HwDecoder};
+pub use decoder::{pipelined_fps, DecodeFault, DecodeFaultPlan, DecodedFrame, HwDecoder};
 pub use trailer::{FaceInstance, Trailer, TrailerSpec};

@@ -55,7 +55,7 @@ fn main() {
         .images
         .iter()
         .map(|img| {
-            let r = detector.detect(&img.image);
+            let r = detector.detect(&img.image).expect("detect");
             let truths: Vec<_> = img.truth.iter().cloned().collect();
             match_frame(&r.detections, &truths)
         })

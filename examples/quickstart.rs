@@ -60,7 +60,7 @@ fn main() {
         &trained.cascade,
         DetectorConfig { min_neighbors: 2, ..DetectorConfig::default() },
     );
-    let result = detector.detect(&scene);
+    let result = detector.detect(&scene).expect("detect");
     println!(
         "detected {} face(s) from {} raw windows in {:.2} simulated ms (SM occupancy {:.0}%)",
         result.detections.len(),

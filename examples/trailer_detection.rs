@@ -58,7 +58,7 @@ fn main() {
         let mut matched = 0usize;
         let mut truths = 0usize;
         for frame in decoder {
-            let r = detector.detect(&frame.luma);
+            let r = detector.detect(&frame.luma).expect("detect");
             let gt = truth_source.faces_at(frame.index);
             truths += gt.len();
             found += r.detections.len();

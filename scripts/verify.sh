@@ -10,6 +10,9 @@ cargo build --release --offline
 echo "== cargo test -q =="
 cargo test -q --offline --workspace
 
+echo "== fault matrix (every fault kind x pipeline stage) =="
+cargo test -q --offline -p fd-detector --test fault_matrix
+
 echo "== cargo clippy --all-targets -- -D warnings =="
 cargo clippy --all-targets --offline -- -D warnings
 

@@ -82,7 +82,7 @@ fn cmd_detect(args: &[String]) {
     let image = pnm::read_pgm(path).unwrap_or_else(|e| fatal(&format!("reading {path}: {e}")));
     let cascade = load_cascade(args);
     let mut detector = FaceDetector::new(&cascade, detector_config(args));
-    let result = detector.detect(&image);
+    let result = detector.detect(&image).expect("detect");
     println!(
         "{}x{}: {} detection(s) from {} raw windows in {:.3} simulated ms ({:?} mode)",
         image.width(),
@@ -176,9 +176,10 @@ fn cmd_trailer(args: &[String]) {
     };
     println!("streaming {frames} frames of '{title}' (1920x1080)...");
     let decoder = HwDecoder::new(info.generate(frames));
-    let mut vd = facedet::detector::VideoDetector::new(&cascade, detector_config(args), 24.0);
+    let mut vd = facedet::detector::VideoDetector::new(&cascade, detector_config(args), 24.0)
+        .expect("video detector");
     for frame in decoder {
-        let r = vd.process(&frame.luma, frame.decode_ms);
+        let r = vd.process(&frame.luma, frame.decode_ms).expect("process");
         println!(
             "  frame {:>3}: decode {:.1} ms | detect {:6.2} ms | {} face(s)",
             frame.index,

@@ -47,7 +47,7 @@
 //!     min_neighbors: 1,
 //!     ..DetectorConfig::default()
 //! });
-//! let result = detector.detect(&frame);
+//! let result = detector.detect(&frame).expect("detect");
 //! assert!(!result.detections.is_empty());
 //! assert!(result.detect_ms > 0.0); // simulated GTX470 time
 //! ```

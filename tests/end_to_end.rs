@@ -62,7 +62,7 @@ fn train_save_load_detect_roundtrip() {
     let mut hits = 0usize;
     let mut fp_images = 0usize;
     for img in &ds.images {
-        let r = det.detect(&img.image);
+        let r = det.detect(&img.image).expect("detect");
         match &img.truth {
             Some(t) => {
                 if r.detections.iter().any(|d| {
@@ -107,7 +107,7 @@ fn trailer_stream_is_deterministic_and_detectable() {
         );
         let mut all = Vec::new();
         for frame in decoder {
-            let r = det.detect(&frame.luma);
+            let r = det.detect(&frame.luma).expect("detect");
             all.push((frame.index, r.raw.len(), r.detect_ms));
         }
         all
@@ -130,7 +130,7 @@ fn roc_evaluation_pipeline_works_end_to_end() {
         .images
         .iter()
         .map(|img| {
-            let r = det.detect(&img.image);
+            let r = det.detect(&img.image).expect("detect");
             let truths: Vec<_> = img.truth.iter().cloned().collect();
             match_frame(&r.detections, &truths)
         })
@@ -154,7 +154,7 @@ fn truncating_stages_trades_false_positives_for_speed() {
     let count_fps = |c: &Cascade| {
         let mut det =
             FaceDetector::new(c, DetectorConfig { min_neighbors: 1, ..Default::default() });
-        ds.images.iter().map(|i| det.detect(&i.image).raw.len()).sum::<usize>()
+        ds.images.iter().map(|i| det.detect(&i.image).expect("detect").raw.len()).sum::<usize>()
     };
     let shallow = count_fps(&cascade.truncated(1));
     let deep = count_fps(&cascade);
@@ -176,7 +176,7 @@ fn rejection_statistics_decay_with_stage() {
     let mut total = vec![0u64; cascade.depth() as usize + 1];
     let mut windows = 0u64;
     for img in &ds.images {
-        let r = det.detect(&img.image);
+        let r = det.detect(&img.image).expect("detect");
         let h = r.rejection.unwrap();
         for counts in &h.counts {
             for (d, c) in counts.iter().enumerate() {

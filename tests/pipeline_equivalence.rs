@@ -50,7 +50,7 @@ fn gpu_pipeline_matches_cpu_reference_depth_maps() {
     let frame = busy_frame();
     let gpu = facedet::gpu::Gpu::new(DeviceSpec::gtx470(), ExecMode::Concurrent);
     let mut pipeline = FramePipeline::new(gpu, &cascade, 1.25);
-    let (outputs, _) = pipeline.run_frame(&frame);
+    let (outputs, _) = pipeline.run_frame(&frame).expect("run_frame");
     let cpu_maps = depth_maps_cpu(&cascade, &frame, 1.25);
 
     assert_eq!(outputs.len(), cpu_maps.len(), "level count");
@@ -77,7 +77,7 @@ fn gpu_raw_detections_equal_cpu_detections() {
         &cascade,
         DetectorConfig { min_neighbors: 1, ..DetectorConfig::default() },
     );
-    let gpu_result = det.detect(&frame);
+    let gpu_result = det.detect(&frame).expect("detect");
     let cpu = detect_cpu(&cascade, &frame, 1.25);
 
     assert_eq!(gpu_result.raw.len(), cpu.len(), "raw window count");
@@ -95,7 +95,7 @@ fn serial_and_concurrent_modes_are_bit_identical_functionally() {
     let run = |mode| {
         let mut det =
             FaceDetector::new(&cascade, DetectorConfig { exec_mode: mode, ..Default::default() });
-        det.detect(&frame)
+        det.detect(&frame).expect("detect")
     };
     let a = run(ExecMode::Serial);
     let b = run(ExecMode::Concurrent);
@@ -114,7 +114,7 @@ fn timeline_accounts_all_pipeline_kernels() {
     let cascade = test_cascade();
     let frame = busy_frame();
     let mut det = FaceDetector::new(&cascade, DetectorConfig::default());
-    let r = det.detect(&frame);
+    let r = det.detect(&frame).expect("detect");
     let names: std::collections::BTreeSet<&str> =
         r.timeline.events.iter().map(|e| e.kernel_name).collect();
     for expected in ["scale", "filter", "scan_rows", "transpose", "cascade_eval", "display"] {

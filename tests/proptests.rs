@@ -213,7 +213,7 @@ proptest! {
             let mut gpu = Gpu::new(DeviceSpec::gtx470(), ExecMode::Concurrent);
             gpu.set_host_threads(Some(host_threads));
             let mut p = FramePipeline::new(gpu, &cascade, 1.25);
-            let (outputs, timeline) = p.run_frame(&frame);
+            let (outputs, timeline) = p.run_frame(&frame).expect("run_frame");
             let counters = p.gpu.profiler().kernels().clone();
             let eff = p.gpu.profiler().branch_efficiency();
             (outputs, timeline, counters, eff)
