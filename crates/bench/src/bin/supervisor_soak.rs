@@ -1,0 +1,184 @@
+//! Supervisor soak: N concurrent sessions x many frames under a mixed
+//! fault plan (transient launches, launch timeouts, corrupt and dropped
+//! decodes), driven through the stream supervisor's round-robin
+//! scheduler. Session 0 is a clean control; fault rates escalate with
+//! the session index.
+//!
+//! Exit criteria (asserted, not just reported):
+//! * every session accounts every accepted frame as Ok/Degraded/Skipped;
+//! * after draining and one full cool-down, **zero** sessions remain
+//!   Quarantined — tripped breakers must recover within their cool-down;
+//! * the memory budget is respected (bytes in use never exceed it).
+//!
+//! Usage: `supervisor_soak [--sessions N] [--frames M]` (default 4 x 500).
+//! Writes `results/BENCH_supervisor_soak.json`.
+
+use fd_bench::cascades::{trained_cascade_pair, TrainingBudget};
+use fd_bench::out::{arg_usize, render_table, write_text};
+use fd_detector::{
+    DetectorConfig, HealthState, RecoveryPolicy, StreamSupervisor, SupervisorConfig,
+};
+use fd_gpu::FaultPlan;
+use fd_video::{DecodeFaultPlan, HwDecoder, Trailer, TrailerSpec};
+
+const SEED: u64 = 42;
+
+fn trailer(session: usize, n_frames: usize) -> Trailer {
+    Trailer::generate(TrailerSpec {
+        width: 160,
+        height: 120,
+        n_frames,
+        seed: 21 + session as u64,
+        face_size: (26.0, 60.0),
+        ..TrailerSpec::default()
+    })
+}
+
+fn main() {
+    let n_sessions = arg_usize("--sessions", 4);
+    let frames = arg_usize("--frames", 500);
+    let pair = trained_cascade_pair(&TrainingBudget::tiny());
+
+    let sup_cfg = SupervisorConfig {
+        breaker_threshold: 3,
+        cooldown_ticks: 6,
+        frame_queue_depth: 8,
+        max_sessions: n_sessions,
+        ..SupervisorConfig::default()
+    };
+    let cooldown = sup_cfg.cooldown_ticks;
+    let budget = sup_cfg.memory_budget_bytes;
+    let mut sup = StreamSupervisor::new(sup_cfg);
+
+    // Session i runs at escalating fault rates; session 0 is clean.
+    let mut streams = Vec::new();
+    for i in 0..n_sessions {
+        let device = if i == 0 {
+            None
+        } else {
+            Some(
+                FaultPlan::seeded(SEED + i as u64)
+                    .with_transient_launch_failures(0.002 * i as f64)
+                    .with_launch_timeouts(0.001 * i as f64),
+            )
+        };
+        let id = sup
+            .admit(
+                &pair.ours,
+                DetectorConfig { min_neighbors: 1, fault_plan: device, ..Default::default() },
+                24.0,
+                RecoveryPolicy::default(),
+                160,
+                120,
+            )
+            .expect("admission within budget");
+        let mut dec = HwDecoder::new(trailer(i, frames));
+        if i > 0 {
+            dec.set_fault_plan(Some(
+                DecodeFaultPlan::seeded(SEED + i as u64)
+                    .with_corrupt_frames(0.02 * i as f64)
+                    .with_dropped_frames(0.01 * i as f64),
+            ));
+        }
+        streams.push((id, dec));
+    }
+    assert!(sup.bytes_in_use() <= budget, "admission respects the budget");
+
+    // Round-robin feed: one frame per session per supervision tick.
+    let mut refused = 0usize;
+    for _ in 0..frames {
+        for (id, dec) in &mut streams {
+            if let Some(frame) = dec.next() {
+                if !sup.enqueue_frame(*id, frame).expect("session is live") {
+                    refused += 1;
+                }
+            }
+        }
+        sup.tick();
+    }
+    sup.drain();
+    // One full cool-down of idle ticks: any breaker still open must
+    // expire (Quarantined -> Restarting) with nothing queued.
+    for _ in 0..=cooldown {
+        sup.tick();
+    }
+
+    let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
+    let mut stuck = 0usize;
+    for (i, (id, _)) in streams.iter().enumerate() {
+        let health = sup.health(*id).expect("session is live");
+        if matches!(health, HealthState::Quarantined { .. }) {
+            stuck += 1;
+        }
+        let s = sup.session_stats(*id).expect("session is live");
+        assert!(s.all_frames_accounted(), "session {i}: every frame accounted");
+        rows.push(vec![
+            i.to_string(),
+            format!("{health:?}"),
+            s.frames.to_string(),
+            s.ok_frames.to_string(),
+            s.degraded_frames.to_string(),
+            s.skipped_frames.to_string(),
+            s.retries.to_string(),
+            format!("{:.2}", s.pipelined_fps()),
+        ]);
+        json_rows.push(format!(
+            "    {{ \"session\": {i}, \"health\": \"{health:?}\", \"frames\": {}, \
+             \"ok\": {}, \"degraded\": {}, \"skipped\": {}, \"retries\": {}, \
+             \"pipelined_fps\": {:.3} }}",
+            s.frames,
+            s.ok_frames,
+            s.degraded_frames,
+            s.skipped_frames,
+            s.retries,
+            s.pipelined_fps(),
+        ));
+    }
+    assert_eq!(stuck, 0, "no session may end the soak stuck in Quarantined");
+
+    let st = sup.stats().clone();
+    println!(
+        "supervisor soak: {n_sessions} sessions x {frames} frames, seed {SEED}, \
+         {} device bytes of {} budgeted\n",
+        sup.bytes_in_use(),
+        budget
+    );
+    println!(
+        "{}",
+        render_table(
+            &["session", "health", "frames", "ok", "degraded", "skipped", "retries", "fps"],
+            &rows
+        )
+    );
+    println!(
+        "fleet: {} processed, {} trips, {} probes ok / {} failed, \
+         {} quarantined-ticks, {} backpressure drops ({refused} refused at enqueue)",
+        st.frames_processed,
+        st.breaker_trips,
+        st.probes_succeeded,
+        st.probes_failed,
+        st.quarantined_ticks,
+        st.backpressure_drops,
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"supervisor_soak\",\n  \"sessions\": {n_sessions},\n  \
+         \"frames\": {frames},\n  \"seed\": {SEED},\n  \"bytes_in_use\": {},\n  \
+         \"memory_budget\": {budget},\n  \"per_session\": [\n{}\n  ],\n  \
+         \"fleet\": {{ \"ticks\": {}, \"frames_processed\": {}, \"breaker_trips\": {}, \
+         \"probes_succeeded\": {}, \"probes_failed\": {}, \"quarantined_ticks\": {}, \
+         \"backpressure_drops\": {}, \"stuck_quarantined\": {stuck} }}\n}}\n",
+        sup.bytes_in_use(),
+        json_rows.join(",\n"),
+        st.ticks,
+        st.frames_processed,
+        st.breaker_trips,
+        st.probes_succeeded,
+        st.probes_failed,
+        st.quarantined_ticks,
+        st.backpressure_drops,
+    );
+    let path = write_text("BENCH_supervisor_soak.json", &json).unwrap();
+    println!("\nwrote {}", path.display());
+}

@@ -114,8 +114,11 @@ impl FaceDetector {
     }
 
     /// Build a detector, validating the configuration and staging the
-    /// cascade on the device.
+    /// cascade on the device. The cascade is semantically validated first
+    /// ([`Cascade::validate`]) so a corrupt or hand-edited model is
+    /// rejected with a typed error before any device state exists.
     pub fn try_new(cascade: &Cascade, config: DetectorConfig) -> Result<Self, DetectorError> {
+        cascade.validate().map_err(|source| DetectorError::InvalidCascade { source })?;
         let mut gpu = Gpu::new(config.device.clone(), config.exec_mode);
         gpu.set_host_threads(config.host_threads);
         gpu.set_fault_plan(config.fault_plan.clone());
@@ -158,6 +161,42 @@ impl FaceDetector {
     /// Device fault statistics since plan attachment.
     pub fn fault_stats(&self) -> fd_gpu::FaultStats {
         self.pipeline.gpu.fault_stats()
+    }
+
+    /// Position in the deterministic fault-draw sequence (checkpointing).
+    pub fn fault_cursor(&self) -> fd_gpu::FaultCursor {
+        self.pipeline.gpu.fault_cursor()
+    }
+
+    /// Fast-forward the fault-draw sequence to `cursor` (resume). A fresh
+    /// detector with the same `FaultPlan` sought to a saved cursor replays
+    /// the remaining fault sequence bit-identically.
+    pub fn seek_fault_cursor(&mut self, cursor: fd_gpu::FaultCursor) {
+        self.pipeline.gpu.seek_fault_cursor(cursor);
+    }
+
+    /// Quarantine hygiene: cancel pending device work and drain latched
+    /// copy faults so a recovering session restarts clean. Returns the
+    /// number of discarded queued launches. Deliberately leaves the fault
+    /// cursor untouched — the draw sequence keeps its position.
+    pub fn cool_down(&mut self) -> usize {
+        self.pipeline.gpu.cool_down()
+    }
+
+    /// Device bytes this detector currently holds (buffer pool + staged
+    /// constant memory).
+    pub fn device_bytes(&self) -> usize {
+        self.pipeline.gpu.device_bytes_in_use()
+    }
+
+    /// Device bytes a `width x height` stream will hold at steady state
+    /// (projected buffer pool + staged cascade), without allocating.
+    pub fn projected_device_bytes(
+        &self,
+        width: usize,
+        height: usize,
+    ) -> Result<usize, DetectorError> {
+        Ok(self.pipeline.projected_pool_bytes(width, height)? + self.pipeline.const_bytes())
     }
 
     /// The full pyramid plan for a frame (largest level first). A

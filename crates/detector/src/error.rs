@@ -10,6 +10,7 @@ use std::error::Error;
 use std::fmt;
 
 use fd_gpu::{LaunchError, MemoryError};
+use fd_haar::CascadeError;
 use fd_video::DecodeFault;
 
 /// Error produced anywhere in the detection pipeline.
@@ -38,6 +39,12 @@ pub enum DetectorError {
     /// A structurally invalid configuration (zero GPUs, zero-stage
     /// segments, unsupported cascade window, ...).
     InvalidConfig { reason: &'static str },
+    /// The cascade failed semantic validation (out-of-window features,
+    /// non-finite thresholds, unsatisfiable stages, ...). Raised by
+    /// [`FaceDetector::try_new`](crate::FaceDetector::try_new) before any
+    /// device state is touched, so a corrupt model can never reach a
+    /// kernel.
+    InvalidCascade { source: CascadeError },
 }
 
 impl DetectorError {
@@ -86,6 +93,7 @@ impl fmt::Display for DetectorError {
                 write!(f, "playback fps must be finite and > 0, got {fps}")
             }
             Self::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            Self::InvalidCascade { source } => write!(f, "invalid cascade: {source}"),
         }
     }
 }
@@ -95,6 +103,7 @@ impl Error for DetectorError {
         match self {
             Self::Launch { source, .. } => Some(source),
             Self::Memory { source, .. } => Some(source),
+            Self::InvalidCascade { source } => Some(source),
             _ => None,
         }
     }

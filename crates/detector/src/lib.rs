@@ -36,6 +36,7 @@ pub mod kernels;
 pub mod multi_gpu;
 pub mod pipeline;
 pub mod stream_detector;
+pub mod supervisor;
 
 pub use detector::{DetectorConfig, FaceDetector, FrameResult, RejectionHistogram};
 pub use error::DetectorError;
@@ -43,6 +44,10 @@ pub use group::{group_detections, s_eyes, Detection, GroupedDetection};
 pub use multi_gpu::{detect_multi_gpu, MultiGpuFrame};
 pub use pipeline::{FramePipeline, ScaleOutput};
 pub use stream_detector::{
-    DegradeReason, FrameOutcome, FrameReport, RecoveryPolicy, SkipReason, StreamStats,
-    VideoDetector,
+    DegradeReason, FrameOutcome, FrameReport, RecoveryPolicy, RecoverySnapshot, SkipReason,
+    StreamStats, VideoDetector,
+};
+pub use supervisor::{
+    CheckpointError, CheckpointHealth, HealthState, SessionCheckpoint, SessionId,
+    StreamSupervisor, SupervisorConfig, SupervisorError, SupervisorStats,
 };

@@ -169,6 +169,23 @@ impl FramePipeline {
         self.pool.as_ref().map_or(0, |p| p.bytes)
     }
 
+    /// Device bytes the buffer pool *would* hold for a `width x height`
+    /// frame, computed without allocating anything. Admission control
+    /// charges sessions against a memory budget with this projection
+    /// before committing device state.
+    pub fn projected_pool_bytes(
+        &self,
+        width: usize,
+        height: usize,
+    ) -> Result<usize, DetectorError> {
+        let window = self.cascade.window as usize;
+        if width < window || height < window {
+            return Err(DetectorError::FrameTooSmall { width, height, window });
+        }
+        let plan = Pyramid::plan(width, height, self.scale_factor, window);
+        Ok(plan.iter().map(|&(w, h)| LevelBufs::bytes(w * h)).sum())
+    }
+
     /// Free the frame-persistent buffer pool, returning its device
     /// memory. The next [`Self::run_frame`] rebuilds it.
     pub fn release_pool(&mut self) {

@@ -123,7 +123,11 @@ impl Default for RecoveryPolicy {
 }
 
 /// Accumulated streaming statistics.
-#[derive(Debug, Clone, Default)]
+///
+/// `PartialEq` compares the `f64` accumulators exactly (not within a
+/// tolerance): the determinism contract is *bit-identity*, and the
+/// checkpoint/resume tests rely on it.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct StreamStats {
     pub frames: usize,
     pub total_decode_ms: f64,
@@ -431,6 +435,43 @@ impl VideoDetector {
     pub fn detector(&self) -> &FaceDetector {
         &self.detector
     }
+
+    /// Capture the mutable streaming state for a checkpoint. Together
+    /// with the construction inputs (cascade, config, playback fps,
+    /// policy) and the device fault cursor, this is everything needed to
+    /// rebuild a `VideoDetector` that continues bit-identically.
+    pub fn snapshot(&self) -> RecoverySnapshot {
+        RecoverySnapshot {
+            stats: self.stats.clone(),
+            shed: self.shed,
+            missed_deadlines: self.missed_deadlines,
+            window: self.window.iter().copied().collect(),
+        }
+    }
+
+    /// Restore streaming state captured by [`Self::snapshot`] into a
+    /// freshly constructed detector (the resume half of checkpointing).
+    pub fn restore(&mut self, snap: &RecoverySnapshot) {
+        self.stats = snap.stats.clone();
+        self.shed = snap.shed;
+        self.missed_deadlines = snap.missed_deadlines;
+        self.window = snap.window.iter().copied().collect();
+    }
+}
+
+/// The mutable streaming state of a [`VideoDetector`], as captured by
+/// [`VideoDetector::snapshot`]. Everything else about a session is either
+/// a construction input or deterministic device state reachable through
+/// [`fd_gpu::FaultCursor`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoverySnapshot {
+    pub stats: StreamStats,
+    /// Pyramid levels currently shed by the deadline controller.
+    pub shed: usize,
+    /// Frames that missed the playback deadline so far.
+    pub missed_deadlines: usize,
+    /// Deadline controller's sliding window of effective detect times.
+    pub window: Vec<f64>,
 }
 
 #[cfg(test)]

@@ -1,0 +1,1102 @@
+//! Multi-stream supervision: circuit breaking, checkpoint/resume and
+//! admission control over concurrent [`VideoDetector`] sessions.
+//!
+//! A deployment of the paper's detector serves many video streams from
+//! one device. The supervisor is the layer that keeps that fleet healthy
+//! without sacrificing the reproduction's determinism contract:
+//!
+//! * **Health state machine** — each session moves through
+//!   `Healthy -> Degraded -> Quarantined -> Restarting` driven by its
+//!   [`FrameOutcome`] history. A circuit breaker counts *consecutive*
+//!   unrecoverable launch failures (timeouts, retry exhaustion); at
+//!   [`SupervisorConfig::breaker_threshold`] the session is quarantined
+//!   for a deterministic number of supervision ticks — simulated cycles,
+//!   never wall clock — with its device cooled down
+//!   ([`FaceDetector::cool_down`]). On expiry the session goes
+//!   half-open: a single-frame probe either restores it or re-arms the
+//!   quarantine.
+//! * **Checkpoint/resume** — [`SessionCheckpoint`] captures everything
+//!   mutable about a session (stream stats, shed level, deadline window,
+//!   breaker state, the device's [`fd_gpu::FaultCursor`]) in a
+//!   line-oriented text format with bit-exact `f64` encoding. Killing a
+//!   session at an arbitrary frame and resuming from its checkpoint
+//!   yields [`StreamStats`] bit-identical to the uninterrupted run.
+//! * **Admission control** — sessions are admitted against a device
+//!   memory budget using the pipeline's allocation projection
+//!   ([`FaceDetector::projected_device_bytes`]); per-session frame queues
+//!   are bounded, and overflow surfaces as backpressure counts in
+//!   [`SupervisorStats`] instead of unbounded growth.
+//!
+//! Scheduling is a deterministic round-robin: [`StreamSupervisor::tick`]
+//! visits sessions in admission order and processes at most one queued
+//! frame each, so a run's interleaving is a pure function of its inputs.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use fd_gpu::FaultCursor;
+use fd_haar::Cascade;
+use fd_video::DecodedFrame;
+
+use crate::detector::DetectorConfig;
+use crate::error::DetectorError;
+use crate::stream_detector::{
+    FrameOutcome, FrameReport, RecoveryPolicy, RecoverySnapshot, SkipReason, StreamStats,
+    VideoDetector,
+};
+
+/// Stable identifier of a supervised session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SessionId(pub usize);
+
+impl fmt::Display for SessionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "session-{}", self.0)
+    }
+}
+
+/// Where a session sits in the supervision state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthState {
+    /// Last processed frame completed at full quality.
+    Healthy,
+    /// Producing results under degraded conditions (retries, shed scales,
+    /// corrupt input, non-breaker skips) or accumulating breaker faults
+    /// below the trip threshold.
+    Degraded,
+    /// Circuit breaker tripped; no frames run until `until_tick`.
+    /// Queued frames are held, not dropped.
+    Quarantined { until_tick: u64 },
+    /// Quarantine expired; the next queued frame is a half-open probe.
+    Restarting,
+}
+
+/// Supervisor-wide policy knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SupervisorConfig {
+    /// Device bytes the whole fleet may hold (projected at admission).
+    pub memory_budget_bytes: usize,
+    /// Bounded depth of each session's frame queue.
+    pub frame_queue_depth: usize,
+    /// Consecutive unrecoverable launch failures that trip the breaker.
+    pub breaker_threshold: u32,
+    /// Quarantine length in supervision ticks (simulated cycles).
+    pub cooldown_ticks: u64,
+    /// Hard cap on concurrently supervised sessions.
+    pub max_sessions: usize,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        Self {
+            // A GTX470 carries 1280 MB; leave headroom for decode surfaces.
+            memory_budget_bytes: 1024 << 20,
+            frame_queue_depth: 8,
+            breaker_threshold: 3,
+            cooldown_ticks: 8,
+            max_sessions: 16,
+        }
+    }
+}
+
+/// Fleet-level counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SupervisorStats {
+    /// Sessions admitted (including resumed ones).
+    pub admitted: usize,
+    /// Sessions rebuilt from a [`SessionCheckpoint`].
+    pub resumed: usize,
+    /// Admissions rejected for exceeding the memory budget.
+    pub rejected_memory: usize,
+    /// Admissions rejected for exceeding `max_sessions`.
+    pub rejected_capacity: usize,
+    /// Frames accepted into session queues.
+    pub frames_enqueued: usize,
+    /// Frames refused because a session queue was full.
+    pub backpressure_drops: usize,
+    /// Frames run through detection.
+    pub frames_processed: usize,
+    /// Circuit-breaker trips across the fleet.
+    pub breaker_trips: usize,
+    /// Session-ticks spent waiting out a quarantine.
+    pub quarantined_ticks: u64,
+    /// Half-open probes that restored a session.
+    pub probes_succeeded: usize,
+    /// Half-open probes that re-armed the quarantine.
+    pub probes_failed: usize,
+    /// Supervision ticks elapsed.
+    pub ticks: u64,
+}
+
+/// Typed supervisor failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SupervisorError {
+    /// Admitting the session would exceed the device memory budget.
+    MemoryBudget { requested: usize, in_use: usize, budget: usize },
+    /// The fleet is at `max_sessions`.
+    Capacity { max_sessions: usize },
+    /// No session with this id (never admitted, or already closed).
+    UnknownSession { session: SessionId },
+    /// Building the session's detector failed (invalid cascade, config).
+    Detector(DetectorError),
+    /// A checkpoint failed to parse.
+    Checkpoint(CheckpointError),
+}
+
+impl fmt::Display for SupervisorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::MemoryBudget { requested, in_use, budget } => write!(
+                f,
+                "admission would need {requested} device bytes with {in_use} of {budget} in use"
+            ),
+            Self::Capacity { max_sessions } => {
+                write!(f, "fleet already holds the maximum of {max_sessions} sessions")
+            }
+            Self::UnknownSession { session } => write!(f, "unknown {session}"),
+            Self::Detector(e) => write!(f, "session construction failed: {e}"),
+            Self::Checkpoint(e) => write!(f, "checkpoint rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SupervisorError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Detector(e) => Some(e),
+            Self::Checkpoint(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Health as stored in a checkpoint: quarantine is expressed as ticks
+/// *remaining*, since absolute tick numbers are meaningless to the
+/// supervisor that resumes the session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointHealth {
+    Healthy,
+    Degraded,
+    Restarting,
+    Quarantined { remaining_ticks: u64 },
+}
+
+/// Error parsing a [`SessionCheckpoint`] text blob.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// Everything mutable about a session, sufficient — together with the
+/// construction inputs (cascade, [`DetectorConfig`], playback fps) — to
+/// resume it bit-identically.
+///
+/// `next_frame` is the number of frames the session has *accounted*
+/// (every frame fed to it yields exactly one report); a caller feeding a
+/// monotone stream seeks its decoder here on resume. Frames still queued
+/// at checkpoint time are not captured — re-feed them from `next_frame`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionCheckpoint {
+    pub session: SessionId,
+    /// Stream cursor: index of the next frame to feed.
+    pub next_frame: usize,
+    /// Admission geometry (frame width, height).
+    pub width: usize,
+    pub height: usize,
+    pub health: CheckpointHealth,
+    /// Consecutive breaker faults accumulated below the trip threshold.
+    pub consecutive_faults: u32,
+    /// Position in the device's deterministic fault-draw sequence.
+    pub fault_cursor: FaultCursor,
+    pub policy: RecoveryPolicy,
+    /// The detector's mutable streaming state (stats, shed, window).
+    pub snapshot: RecoverySnapshot,
+}
+
+/// Bit-exact `f64` encoding for the checkpoint format.
+fn f64_hex(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+fn parse_f64_hex(tok: &str, line: usize) -> Result<f64, CheckpointError> {
+    u64::from_str_radix(tok, 16)
+        .map(f64::from_bits)
+        .map_err(|_| CheckpointError { line, message: format!("bad f64 bits `{tok}`") })
+}
+
+fn parse_num<T: std::str::FromStr>(tok: &str, line: usize, what: &str) -> Result<T, CheckpointError> {
+    tok.parse().map_err(|_| CheckpointError { line, message: format!("bad {what} `{tok}`") })
+}
+
+impl SessionCheckpoint {
+    /// Render the checkpoint as its line-oriented text format. All `f64`
+    /// fields are written as hex bit patterns, so a round-trip is
+    /// bit-exact.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("supervisor-checkpoint v1\n");
+        out.push_str(&format!("session {}\n", self.session.0));
+        out.push_str(&format!("geometry {} {}\n", self.width, self.height));
+        out.push_str(&format!("next_frame {}\n", self.next_frame));
+        match self.health {
+            CheckpointHealth::Healthy => out.push_str("health healthy\n"),
+            CheckpointHealth::Degraded => out.push_str("health degraded\n"),
+            CheckpointHealth::Restarting => out.push_str("health restarting\n"),
+            CheckpointHealth::Quarantined { remaining_ticks } => {
+                out.push_str(&format!("health quarantined {remaining_ticks}\n"));
+            }
+        }
+        out.push_str(&format!("consecutive_faults {}\n", self.consecutive_faults));
+        out.push_str(&format!(
+            "fault_cursor {} {}\n",
+            self.fault_cursor.launch_attempts, self.fault_cursor.copy_draws
+        ));
+        let p = &self.policy;
+        out.push_str(&format!(
+            "policy {} {} {} {} {} {}\n",
+            p.max_retries,
+            f64_hex(p.backoff_base_ms),
+            p.max_shed_levels,
+            p.deadline_window,
+            f64_hex(p.shed_miss_fraction),
+            f64_hex(p.restore_headroom_fraction),
+        ));
+        let s = &self.snapshot.stats;
+        out.push_str(&format!(
+            "stats {} {} {} {} {} {} {} {} {} {} {} {}\n",
+            s.frames,
+            f64_hex(s.total_decode_ms),
+            f64_hex(s.total_detect_ms),
+            f64_hex(s.total_period_ms),
+            f64_hex(s.max_detect_ms),
+            s.total_detections,
+            s.ok_frames,
+            s.degraded_frames,
+            s.skipped_frames,
+            s.retries,
+            f64_hex(s.total_backoff_ms),
+            s.shed_frames,
+        ));
+        out.push_str(&format!("shed {}\n", self.snapshot.shed));
+        out.push_str(&format!("missed_deadlines {}\n", self.snapshot.missed_deadlines));
+        out.push_str(&format!("window {}", self.snapshot.window.len()));
+        for v in &self.snapshot.window {
+            out.push(' ');
+            out.push_str(&f64_hex(*v));
+        }
+        out.push('\n');
+        out
+    }
+
+    /// Parse the text format back into a checkpoint.
+    pub fn from_text(text: &str) -> Result<Self, CheckpointError> {
+        let err = |line: usize, m: &str| CheckpointError { line, message: m.to_string() };
+        let mut lines = text
+            .lines()
+            .enumerate()
+            .map(|(i, l)| (i + 1, l.trim()))
+            .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'));
+        let mut field = |key: &str| -> Result<(usize, Vec<String>), CheckpointError> {
+            let (n, l) = lines
+                .next()
+                .ok_or_else(|| err(0, &format!("unexpected end of input (expected `{key}`)")))?;
+            let toks: Vec<String> = l.split_whitespace().map(str::to_string).collect();
+            if toks[0] != key {
+                return Err(err(n, &format!("expected `{key}`, found `{}`", toks[0])));
+            }
+            Ok((n, toks))
+        };
+
+        let (n, head) = field("supervisor-checkpoint")?;
+        if head.get(1).map(String::as_str) != Some("v1") {
+            return Err(err(n, "unsupported checkpoint version"));
+        }
+        let (n, toks) = field("session")?;
+        let session = SessionId(parse_num(&toks[1], n, "session id")?);
+        let (n, toks) = field("geometry")?;
+        if toks.len() != 3 {
+            return Err(err(n, "geometry needs: geometry <width> <height>"));
+        }
+        let width = parse_num(&toks[1], n, "width")?;
+        let height = parse_num(&toks[2], n, "height")?;
+        let (n, toks) = field("next_frame")?;
+        let next_frame = parse_num(&toks[1], n, "frame cursor")?;
+        let (n, toks) = field("health")?;
+        let health = match toks.get(1).map(String::as_str) {
+            Some("healthy") => CheckpointHealth::Healthy,
+            Some("degraded") => CheckpointHealth::Degraded,
+            Some("restarting") => CheckpointHealth::Restarting,
+            Some("quarantined") => CheckpointHealth::Quarantined {
+                remaining_ticks: parse_num(
+                    toks.get(2).ok_or_else(|| err(n, "quarantined needs remaining ticks"))?,
+                    n,
+                    "remaining ticks",
+                )?,
+            },
+            _ => return Err(err(n, "unknown health state")),
+        };
+        let (n, toks) = field("consecutive_faults")?;
+        let consecutive_faults = parse_num(&toks[1], n, "fault count")?;
+        let (n, toks) = field("fault_cursor")?;
+        if toks.len() != 3 {
+            return Err(err(n, "fault_cursor needs: fault_cursor <launches> <copies>"));
+        }
+        let fault_cursor = FaultCursor {
+            launch_attempts: parse_num(&toks[1], n, "launch cursor")?,
+            copy_draws: parse_num(&toks[2], n, "copy cursor")?,
+        };
+        let (n, toks) = field("policy")?;
+        if toks.len() != 7 {
+            return Err(err(n, "policy needs 6 fields"));
+        }
+        let policy = RecoveryPolicy {
+            max_retries: parse_num(&toks[1], n, "max_retries")?,
+            backoff_base_ms: parse_f64_hex(&toks[2], n)?,
+            max_shed_levels: parse_num(&toks[3], n, "max_shed_levels")?,
+            deadline_window: parse_num(&toks[4], n, "deadline_window")?,
+            shed_miss_fraction: parse_f64_hex(&toks[5], n)?,
+            restore_headroom_fraction: parse_f64_hex(&toks[6], n)?,
+        };
+        let (n, toks) = field("stats")?;
+        if toks.len() != 13 {
+            return Err(err(n, "stats needs 12 fields"));
+        }
+        let stats = StreamStats {
+            frames: parse_num(&toks[1], n, "frames")?,
+            total_decode_ms: parse_f64_hex(&toks[2], n)?,
+            total_detect_ms: parse_f64_hex(&toks[3], n)?,
+            total_period_ms: parse_f64_hex(&toks[4], n)?,
+            max_detect_ms: parse_f64_hex(&toks[5], n)?,
+            total_detections: parse_num(&toks[6], n, "detections")?,
+            ok_frames: parse_num(&toks[7], n, "ok frames")?,
+            degraded_frames: parse_num(&toks[8], n, "degraded frames")?,
+            skipped_frames: parse_num(&toks[9], n, "skipped frames")?,
+            retries: parse_num(&toks[10], n, "retries")?,
+            total_backoff_ms: parse_f64_hex(&toks[11], n)?,
+            shed_frames: parse_num(&toks[12], n, "shed frames")?,
+        };
+        let (n, toks) = field("shed")?;
+        let shed = parse_num(&toks[1], n, "shed")?;
+        let (n, toks) = field("missed_deadlines")?;
+        let missed_deadlines = parse_num(&toks[1], n, "missed deadlines")?;
+        let (n, toks) = field("window")?;
+        let len: usize = parse_num(&toks[1], n, "window length")?;
+        if toks.len() != 2 + len {
+            return Err(err(n, "window length does not match its entries"));
+        }
+        let window = toks[2..]
+            .iter()
+            .map(|t| parse_f64_hex(t, n))
+            .collect::<Result<Vec<f64>, _>>()?;
+        Ok(Self {
+            session,
+            next_frame,
+            width,
+            height,
+            health,
+            consecutive_faults,
+            fault_cursor,
+            policy,
+            snapshot: RecoverySnapshot { stats, shed, missed_deadlines, window },
+        })
+    }
+}
+
+/// One supervised stream.
+struct Session {
+    id: SessionId,
+    vd: VideoDetector,
+    width: usize,
+    height: usize,
+    health: HealthState,
+    /// Consecutive breaker faults since the last clean frame.
+    consecutive: u32,
+    queue: VecDeque<DecodedFrame>,
+    /// Device bytes charged against the budget at admission.
+    charged_bytes: usize,
+}
+
+/// Supervisor over N concurrent [`VideoDetector`] sessions (module docs).
+pub struct StreamSupervisor {
+    config: SupervisorConfig,
+    sessions: Vec<Session>,
+    next_id: usize,
+    tick: u64,
+    bytes_in_use: usize,
+    stats: SupervisorStats,
+}
+
+impl StreamSupervisor {
+    pub fn new(config: SupervisorConfig) -> Self {
+        Self {
+            config,
+            sessions: Vec::new(),
+            next_id: 0,
+            tick: 0,
+            bytes_in_use: 0,
+            stats: SupervisorStats::default(),
+        }
+    }
+
+    /// Admit a new session for a `width x height` stream, charging its
+    /// projected steady-state device footprint against the memory budget
+    /// *before* any frame runs. Rejections are typed and counted.
+    pub fn admit(
+        &mut self,
+        cascade: &Cascade,
+        config: DetectorConfig,
+        playback_fps: f64,
+        policy: RecoveryPolicy,
+        width: usize,
+        height: usize,
+    ) -> Result<SessionId, SupervisorError> {
+        let vd = self.build_detector(cascade, config, playback_fps, policy)?;
+        self.install(vd, width, height, HealthState::Healthy, 0)
+    }
+
+    /// Rebuild a session from a checkpoint. The caller supplies the same
+    /// construction inputs (cascade, config, fps) used originally; the
+    /// checkpoint restores the mutable state and the fault cursor, so the
+    /// resumed session continues the fault sequence and the stream stats
+    /// bit-identically. Device `FaultStats` restart from zero — only the
+    /// *draw sequence* position is part of the determinism contract.
+    pub fn resume(
+        &mut self,
+        ckpt: &SessionCheckpoint,
+        cascade: &Cascade,
+        config: DetectorConfig,
+        playback_fps: f64,
+    ) -> Result<SessionId, SupervisorError> {
+        let mut vd =
+            self.build_detector(cascade, config, playback_fps, ckpt.policy.clone())?;
+        vd.restore(&ckpt.snapshot);
+        vd.detector_mut().seek_fault_cursor(ckpt.fault_cursor);
+        let health = match ckpt.health {
+            CheckpointHealth::Healthy => HealthState::Healthy,
+            CheckpointHealth::Degraded => HealthState::Degraded,
+            CheckpointHealth::Restarting => HealthState::Restarting,
+            CheckpointHealth::Quarantined { remaining_ticks } => {
+                HealthState::Quarantined { until_tick: self.tick + remaining_ticks }
+            }
+        };
+        let id = self.install(vd, ckpt.width, ckpt.height, health, ckpt.consecutive_faults)?;
+        self.stats.resumed += 1;
+        Ok(id)
+    }
+
+    fn build_detector(
+        &self,
+        cascade: &Cascade,
+        config: DetectorConfig,
+        playback_fps: f64,
+        policy: RecoveryPolicy,
+    ) -> Result<VideoDetector, SupervisorError> {
+        Ok(VideoDetector::new(cascade, config, playback_fps)
+            .map_err(SupervisorError::Detector)?
+            .with_policy(policy))
+    }
+
+    fn install(
+        &mut self,
+        vd: VideoDetector,
+        width: usize,
+        height: usize,
+        health: HealthState,
+        consecutive: u32,
+    ) -> Result<SessionId, SupervisorError> {
+        if self.sessions.len() >= self.config.max_sessions {
+            self.stats.rejected_capacity += 1;
+            return Err(SupervisorError::Capacity { max_sessions: self.config.max_sessions });
+        }
+        let projected = vd
+            .detector()
+            .projected_device_bytes(width, height)
+            .map_err(SupervisorError::Detector)?;
+        if self.bytes_in_use + projected > self.config.memory_budget_bytes {
+            self.stats.rejected_memory += 1;
+            return Err(SupervisorError::MemoryBudget {
+                requested: projected,
+                in_use: self.bytes_in_use,
+                budget: self.config.memory_budget_bytes,
+            });
+        }
+        let id = SessionId(self.next_id);
+        self.next_id += 1;
+        self.bytes_in_use += projected;
+        self.stats.admitted += 1;
+        self.sessions.push(Session {
+            id,
+            vd,
+            width,
+            height,
+            health,
+            consecutive,
+            queue: VecDeque::new(),
+            charged_bytes: projected,
+        });
+        Ok(id)
+    }
+
+    /// Offer a frame to a session's bounded queue. Returns `Ok(false)`
+    /// when the queue is full — the frame is refused and counted as a
+    /// backpressure drop, never silently buffered without bound.
+    pub fn enqueue_frame(
+        &mut self,
+        id: SessionId,
+        frame: DecodedFrame,
+    ) -> Result<bool, SupervisorError> {
+        let depth = self.config.frame_queue_depth;
+        let s = self.session_mut(id)?;
+        if s.queue.len() >= depth {
+            self.stats.backpressure_drops += 1;
+            return Ok(false);
+        }
+        s.queue.push_back(frame);
+        self.stats.frames_enqueued += 1;
+        Ok(true)
+    }
+
+    /// One supervision cycle: visit every session in admission order and
+    /// run at most one queued frame each, advancing health per the state
+    /// machine. Returns the reports produced this tick.
+    pub fn tick(&mut self) -> Vec<(SessionId, FrameReport)> {
+        self.tick += 1;
+        self.stats.ticks += 1;
+        let now = self.tick;
+        let mut reports = Vec::new();
+        for s in &mut self.sessions {
+            match s.health {
+                HealthState::Quarantined { until_tick } if now < until_tick => {
+                    self.stats.quarantined_ticks += 1;
+                    continue;
+                }
+                HealthState::Quarantined { .. } => s.health = HealthState::Restarting,
+                _ => {}
+            }
+            let Some(frame) = s.queue.pop_front() else { continue };
+            let probing = s.health == HealthState::Restarting;
+            let report = s.vd.process_decoded(&frame);
+            self.stats.frames_processed += 1;
+            let breaker_fault = matches!(
+                &report.skipped,
+                Some(SkipReason::Detect(DetectorError::Launch { .. }))
+            );
+            if probing {
+                if breaker_fault {
+                    self.stats.probes_failed += 1;
+                    s.vd.detector_mut().cool_down();
+                    s.health =
+                        HealthState::Quarantined { until_tick: now + self.config.cooldown_ticks };
+                } else {
+                    self.stats.probes_succeeded += 1;
+                    s.consecutive = 0;
+                    s.health = if report.outcome == FrameOutcome::Ok {
+                        HealthState::Healthy
+                    } else {
+                        HealthState::Degraded
+                    };
+                }
+            } else if breaker_fault {
+                s.consecutive += 1;
+                if s.consecutive >= self.config.breaker_threshold {
+                    s.consecutive = 0;
+                    self.stats.breaker_trips += 1;
+                    s.vd.detector_mut().cool_down();
+                    s.health =
+                        HealthState::Quarantined { until_tick: now + self.config.cooldown_ticks };
+                } else {
+                    s.health = HealthState::Degraded;
+                }
+            } else {
+                s.consecutive = 0;
+                s.health = if report.outcome == FrameOutcome::Ok {
+                    HealthState::Healthy
+                } else {
+                    HealthState::Degraded
+                };
+            }
+            reports.push((s.id, report));
+        }
+        reports
+    }
+
+    /// Tick until every queue is empty. Quarantines expire
+    /// deterministically and probes consume frames, so this terminates
+    /// for any finite input.
+    pub fn drain(&mut self) -> Vec<(SessionId, FrameReport)> {
+        let mut out = Vec::new();
+        while self.sessions.iter().any(|s| !s.queue.is_empty()) {
+            out.extend(self.tick());
+        }
+        out
+    }
+
+    /// Capture a session's full resumable state.
+    pub fn checkpoint(&self, id: SessionId) -> Result<SessionCheckpoint, SupervisorError> {
+        let s = self.session(id)?;
+        let snapshot = s.vd.snapshot();
+        Ok(SessionCheckpoint {
+            session: s.id,
+            next_frame: snapshot.stats.frames,
+            width: s.width,
+            height: s.height,
+            health: match s.health {
+                HealthState::Healthy => CheckpointHealth::Healthy,
+                HealthState::Degraded => CheckpointHealth::Degraded,
+                HealthState::Restarting => CheckpointHealth::Restarting,
+                HealthState::Quarantined { until_tick } => CheckpointHealth::Quarantined {
+                    remaining_ticks: until_tick.saturating_sub(self.tick),
+                },
+            },
+            consecutive_faults: s.consecutive,
+            fault_cursor: s.vd.detector().fault_cursor(),
+            policy: s.vd.policy().clone(),
+            snapshot,
+        })
+    }
+
+    /// Close a session, refunding its memory charge. Returns its final
+    /// stream stats.
+    pub fn close(&mut self, id: SessionId) -> Result<StreamStats, SupervisorError> {
+        let idx = self
+            .sessions
+            .iter()
+            .position(|s| s.id == id)
+            .ok_or(SupervisorError::UnknownSession { session: id })?;
+        let s = self.sessions.remove(idx);
+        self.bytes_in_use -= s.charged_bytes;
+        Ok(s.vd.stats().clone())
+    }
+
+    fn session(&self, id: SessionId) -> Result<&Session, SupervisorError> {
+        self.sessions
+            .iter()
+            .find(|s| s.id == id)
+            .ok_or(SupervisorError::UnknownSession { session: id })
+    }
+
+    fn session_mut(&mut self, id: SessionId) -> Result<&mut Session, SupervisorError> {
+        self.sessions
+            .iter_mut()
+            .find(|s| s.id == id)
+            .ok_or(SupervisorError::UnknownSession { session: id })
+    }
+
+    pub fn health(&self, id: SessionId) -> Result<HealthState, SupervisorError> {
+        Ok(self.session(id)?.health)
+    }
+
+    pub fn session_stats(&self, id: SessionId) -> Result<&StreamStats, SupervisorError> {
+        Ok(self.session(id)?.vd.stats())
+    }
+
+    /// Frames waiting in a session's queue.
+    pub fn queued_frames(&self, id: SessionId) -> Result<usize, SupervisorError> {
+        Ok(self.session(id)?.queue.len())
+    }
+
+    /// Direct access to a session's detector (fault-plan changes,
+    /// profiler access).
+    pub fn video_detector_mut(
+        &mut self,
+        id: SessionId,
+    ) -> Result<&mut VideoDetector, SupervisorError> {
+        Ok(&mut self.session_mut(id)?.vd)
+    }
+
+    pub fn video_detector(&self, id: SessionId) -> Result<&VideoDetector, SupervisorError> {
+        Ok(&self.session(id)?.vd)
+    }
+
+    /// Ids of live sessions in admission (scheduling) order.
+    pub fn session_ids(&self) -> Vec<SessionId> {
+        self.sessions.iter().map(|s| s.id).collect()
+    }
+
+    pub fn stats(&self) -> &SupervisorStats {
+        &self.stats
+    }
+
+    pub fn config(&self) -> &SupervisorConfig {
+        &self.config
+    }
+
+    pub fn current_tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// Device bytes charged against the budget across live sessions.
+    pub fn bytes_in_use(&self) -> usize {
+        self.bytes_in_use
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fd_gpu::FaultPlan;
+    use fd_haar::{FeatureKind, HaarFeature, Stage, Stump};
+    use fd_imgproc::GrayImage;
+
+    fn cascade() -> Cascade {
+        let f = HaarFeature::from_params(FeatureKind::EdgeH, 6, 4, 6, 8);
+        let mut c = Cascade::new("t", 24);
+        c.stages.push(Stage {
+            stumps: vec![Stump { feature: f, threshold: 8192, left: -1.0, right: 1.0 }],
+            threshold: 0.5,
+        });
+        c
+    }
+
+    fn frame(i: usize) -> DecodedFrame {
+        DecodedFrame {
+            index: i,
+            luma: GrayImage::from_fn(64, 48, |x, y| ((x + y + i) % 251) as f32),
+            decode_ms: 9.0,
+            pts_ms: i as f64 * 41.7,
+            fault: None,
+        }
+    }
+
+    fn supervisor(cfg: SupervisorConfig) -> StreamSupervisor {
+        StreamSupervisor::new(cfg)
+    }
+
+    fn admit_with_plan(
+        sup: &mut StreamSupervisor,
+        plan: Option<FaultPlan>,
+    ) -> SessionId {
+        sup.admit(
+            &cascade(),
+            DetectorConfig { fault_plan: plan, ..DetectorConfig::default() },
+            24.0,
+            RecoveryPolicy::default(),
+            64,
+            48,
+        )
+        .unwrap()
+    }
+
+    /// Every launch times out: each processed frame is a breaker fault.
+    fn always_timeout() -> Option<FaultPlan> {
+        Some(FaultPlan::seeded(1).with_launch_timeouts(1.0))
+    }
+
+    #[test]
+    fn clean_frames_keep_a_session_healthy() {
+        let mut sup = supervisor(SupervisorConfig::default());
+        let id = admit_with_plan(&mut sup, None);
+        for i in 0..3 {
+            sup.enqueue_frame(id, frame(i)).unwrap();
+        }
+        let reports = sup.drain();
+        assert_eq!(reports.len(), 3);
+        assert_eq!(sup.health(id).unwrap(), HealthState::Healthy);
+        assert_eq!(sup.stats().frames_processed, 3);
+        assert_eq!(sup.stats().breaker_trips, 0);
+    }
+
+    #[test]
+    fn degraded_frames_move_health_to_degraded_and_back() {
+        let mut sup = supervisor(SupervisorConfig::default());
+        let id = admit_with_plan(&mut sup, None);
+        // A corrupt decode degrades the frame but produces results.
+        let mut corrupt = frame(0);
+        corrupt.fault = Some(fd_video::DecodeFault::Corrupted);
+        sup.enqueue_frame(id, corrupt).unwrap();
+        sup.tick();
+        assert_eq!(sup.health(id).unwrap(), HealthState::Degraded);
+        // A clean frame restores Healthy.
+        sup.enqueue_frame(id, frame(1)).unwrap();
+        sup.tick();
+        assert_eq!(sup.health(id).unwrap(), HealthState::Healthy);
+    }
+
+    #[test]
+    fn breaker_needs_k_consecutive_faults_to_trip() {
+        let cfg = SupervisorConfig { breaker_threshold: 3, ..SupervisorConfig::default() };
+        let mut sup = supervisor(cfg);
+        let id = admit_with_plan(&mut sup, always_timeout());
+        // Two faults: degraded, not quarantined.
+        for i in 0..2 {
+            sup.enqueue_frame(id, frame(i)).unwrap();
+            sup.tick();
+        }
+        assert_eq!(sup.health(id).unwrap(), HealthState::Degraded);
+        assert_eq!(sup.stats().breaker_trips, 0);
+        // A clean frame resets the consecutive count...
+        sup.video_detector_mut(id).unwrap().detector_mut().set_fault_plan(None);
+        sup.enqueue_frame(id, frame(2)).unwrap();
+        sup.tick();
+        assert_eq!(sup.health(id).unwrap(), HealthState::Healthy);
+        // ...so two more faults still do not trip.
+        sup.video_detector_mut(id).unwrap().detector_mut().set_fault_plan(always_timeout());
+        for i in 3..5 {
+            sup.enqueue_frame(id, frame(i)).unwrap();
+            sup.tick();
+        }
+        assert_eq!(sup.health(id).unwrap(), HealthState::Degraded);
+        // The third consecutive fault trips.
+        sup.enqueue_frame(id, frame(5)).unwrap();
+        sup.tick();
+        assert!(matches!(sup.health(id).unwrap(), HealthState::Quarantined { .. }));
+        assert_eq!(sup.stats().breaker_trips, 1);
+    }
+
+    #[test]
+    fn quarantine_holds_frames_for_the_full_cooldown() {
+        let cfg = SupervisorConfig {
+            breaker_threshold: 1,
+            cooldown_ticks: 4,
+            ..SupervisorConfig::default()
+        };
+        let mut sup = supervisor(cfg);
+        let id = admit_with_plan(&mut sup, always_timeout());
+        sup.enqueue_frame(id, frame(0)).unwrap();
+        sup.tick(); // fault -> immediate trip (threshold 1)
+        let HealthState::Quarantined { until_tick } = sup.health(id).unwrap() else {
+            panic!("expected quarantine");
+        };
+        assert_eq!(until_tick, sup.current_tick() + 4);
+        // Frames enqueued during quarantine are held, not processed.
+        for i in 1..3 {
+            sup.enqueue_frame(id, frame(i)).unwrap();
+        }
+        for _ in 0..3 {
+            let reports = sup.tick();
+            assert!(reports.is_empty(), "quarantined session must not run");
+        }
+        assert_eq!(sup.queued_frames(id).unwrap(), 2);
+        assert!(sup.stats().quarantined_ticks >= 3);
+    }
+
+    #[test]
+    fn half_open_probe_success_restores_the_session() {
+        let cfg = SupervisorConfig {
+            breaker_threshold: 1,
+            cooldown_ticks: 2,
+            ..SupervisorConfig::default()
+        };
+        let mut sup = supervisor(cfg);
+        let id = admit_with_plan(&mut sup, always_timeout());
+        sup.enqueue_frame(id, frame(0)).unwrap();
+        sup.tick(); // trip
+        // Device recovers during the cool-down.
+        sup.video_detector_mut(id).unwrap().detector_mut().set_fault_plan(None);
+        sup.enqueue_frame(id, frame(1)).unwrap();
+        sup.tick(); // still quarantined (tick < until)
+        assert!(matches!(sup.health(id).unwrap(), HealthState::Quarantined { .. }));
+        let reports = sup.tick(); // expiry -> half-open probe runs
+        assert_eq!(reports.len(), 1);
+        assert_eq!(sup.health(id).unwrap(), HealthState::Healthy);
+        assert_eq!(sup.stats().probes_succeeded, 1);
+        assert_eq!(sup.stats().probes_failed, 0);
+    }
+
+    #[test]
+    fn half_open_probe_failure_rearms_the_quarantine() {
+        let cfg = SupervisorConfig {
+            breaker_threshold: 1,
+            cooldown_ticks: 2,
+            ..SupervisorConfig::default()
+        };
+        let mut sup = supervisor(cfg);
+        let id = admit_with_plan(&mut sup, always_timeout());
+        sup.enqueue_frame(id, frame(0)).unwrap();
+        sup.tick(); // trip at tick 1, until_tick 3
+        sup.enqueue_frame(id, frame(1)).unwrap();
+        sup.tick(); // tick 2: quarantined
+        let reports = sup.tick(); // tick 3: probe runs and fails
+        assert_eq!(reports.len(), 1);
+        assert!(matches!(sup.health(id).unwrap(), HealthState::Quarantined { .. }));
+        assert_eq!(sup.stats().probes_failed, 1);
+        // Only the trip counts as a breaker trip; probe failures re-arm.
+        assert_eq!(sup.stats().breaker_trips, 1);
+    }
+
+    #[test]
+    fn restarting_with_an_empty_queue_waits_for_a_probe_frame() {
+        let cfg = SupervisorConfig {
+            breaker_threshold: 1,
+            cooldown_ticks: 1,
+            ..SupervisorConfig::default()
+        };
+        let mut sup = supervisor(cfg);
+        let id = admit_with_plan(&mut sup, always_timeout());
+        sup.enqueue_frame(id, frame(0)).unwrap();
+        sup.tick(); // trip
+        sup.tick(); // expiry with nothing queued
+        assert_eq!(sup.health(id).unwrap(), HealthState::Restarting);
+        sup.video_detector_mut(id).unwrap().detector_mut().set_fault_plan(None);
+        sup.enqueue_frame(id, frame(1)).unwrap();
+        sup.tick(); // the queued frame is the probe
+        assert_eq!(sup.health(id).unwrap(), HealthState::Healthy);
+    }
+
+    #[test]
+    fn admission_rejects_over_memory_budget() {
+        let probe = VideoDetector::new(&cascade(), DetectorConfig::default(), 24.0).unwrap();
+        let one_session = probe.detector().projected_device_bytes(64, 48).unwrap();
+        let cfg = SupervisorConfig {
+            memory_budget_bytes: one_session + one_session / 2,
+            ..SupervisorConfig::default()
+        };
+        let mut sup = supervisor(cfg);
+        let a = admit_with_plan(&mut sup, None);
+        assert_eq!(sup.bytes_in_use(), one_session);
+        let err = sup
+            .admit(
+                &cascade(),
+                DetectorConfig::default(),
+                24.0,
+                RecoveryPolicy::default(),
+                64,
+                48,
+            )
+            .unwrap_err();
+        assert!(matches!(err, SupervisorError::MemoryBudget { .. }));
+        assert_eq!(sup.stats().rejected_memory, 1);
+        // Closing refunds the charge and admission succeeds again.
+        sup.close(a).unwrap();
+        assert_eq!(sup.bytes_in_use(), 0);
+        admit_with_plan(&mut sup, None);
+    }
+
+    #[test]
+    fn admission_rejects_over_session_capacity() {
+        let cfg = SupervisorConfig { max_sessions: 1, ..SupervisorConfig::default() };
+        let mut sup = supervisor(cfg);
+        admit_with_plan(&mut sup, None);
+        let err = sup
+            .admit(
+                &cascade(),
+                DetectorConfig::default(),
+                24.0,
+                RecoveryPolicy::default(),
+                64,
+                48,
+            )
+            .unwrap_err();
+        assert!(matches!(err, SupervisorError::Capacity { max_sessions: 1 }));
+        assert_eq!(sup.stats().rejected_capacity, 1);
+    }
+
+    #[test]
+    fn bounded_queues_refuse_overflow_with_backpressure_counts() {
+        let cfg = SupervisorConfig { frame_queue_depth: 2, ..SupervisorConfig::default() };
+        let mut sup = supervisor(cfg);
+        let id = admit_with_plan(&mut sup, None);
+        assert!(sup.enqueue_frame(id, frame(0)).unwrap());
+        assert!(sup.enqueue_frame(id, frame(1)).unwrap());
+        assert!(!sup.enqueue_frame(id, frame(2)).unwrap(), "third frame must be refused");
+        assert_eq!(sup.stats().backpressure_drops, 1);
+        assert_eq!(sup.stats().frames_enqueued, 2);
+        sup.drain();
+        assert!(sup.enqueue_frame(id, frame(3)).unwrap(), "drained queue accepts again");
+    }
+
+    #[test]
+    fn invalid_cascade_is_rejected_at_admission() {
+        let mut sup = supervisor(SupervisorConfig::default());
+        let empty = Cascade::new("empty", 24);
+        let err = sup
+            .admit(
+                &empty,
+                DetectorConfig::default(),
+                24.0,
+                RecoveryPolicy::default(),
+                64,
+                48,
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SupervisorError::Detector(DetectorError::InvalidCascade { .. })
+        ));
+    }
+
+    #[test]
+    fn supervised_zero_fault_run_matches_independent_sessions() {
+        // Two sessions round-robined through the supervisor produce
+        // StreamStats bit-identical to two independent VideoDetectors.
+        let mut sup = supervisor(SupervisorConfig::default());
+        let a = admit_with_plan(&mut sup, None);
+        let b = admit_with_plan(&mut sup, None);
+        let mut ref_a = VideoDetector::new(&cascade(), DetectorConfig::default(), 24.0).unwrap();
+        let mut ref_b = VideoDetector::new(&cascade(), DetectorConfig::default(), 24.0).unwrap();
+        for i in 0..6 {
+            sup.enqueue_frame(a, frame(i)).unwrap();
+            sup.enqueue_frame(b, frame(i + 100)).unwrap();
+            ref_a.process_decoded(&frame(i));
+            ref_b.process_decoded(&frame(i + 100));
+        }
+        sup.drain();
+        assert_eq!(sup.session_stats(a).unwrap(), ref_a.stats());
+        assert_eq!(sup.session_stats(b).unwrap(), ref_b.stats());
+        assert_eq!(sup.health(a).unwrap(), HealthState::Healthy);
+        assert_eq!(sup.health(b).unwrap(), HealthState::Healthy);
+    }
+
+    #[test]
+    fn checkpoint_text_roundtrip_is_bit_exact() {
+        let cfg = SupervisorConfig { breaker_threshold: 2, ..SupervisorConfig::default() };
+        let mut sup = supervisor(cfg);
+        let id = admit_with_plan(
+            &mut sup,
+            Some(FaultPlan::seeded(9).with_transient_launch_failures(0.02)),
+        );
+        for i in 0..5 {
+            sup.enqueue_frame(id, frame(i)).unwrap();
+        }
+        sup.drain();
+        let ckpt = sup.checkpoint(id).unwrap();
+        let back = SessionCheckpoint::from_text(&ckpt.to_text()).unwrap();
+        assert_eq!(back, ckpt);
+        // Quarantined remaining-ticks survive the round-trip too.
+        let mut q = ckpt.clone();
+        q.health = CheckpointHealth::Quarantined { remaining_ticks: 7 };
+        assert_eq!(SessionCheckpoint::from_text(&q.to_text()).unwrap(), q);
+    }
+
+    #[test]
+    fn corrupt_checkpoints_are_rejected_with_line_numbers() {
+        let mut sup = supervisor(SupervisorConfig::default());
+        let id = admit_with_plan(&mut sup, None);
+        let text = sup.checkpoint(id).unwrap().to_text();
+        // Version mismatch.
+        let bad = text.replace("checkpoint v1", "checkpoint v9");
+        assert!(SessionCheckpoint::from_text(&bad).is_err());
+        // Truncation.
+        let cut: String = text.lines().take(4).collect::<Vec<_>>().join("\n");
+        assert!(SessionCheckpoint::from_text(&cut).is_err());
+        // Mangled f64 bits.
+        let bad = text.replacen("policy 3 ", "policy 3 zz", 1);
+        let e = SessionCheckpoint::from_text(&bad).unwrap_err();
+        assert!(e.line > 0, "{e}");
+        // Window length mismatch.
+        let bad = text.replace("window 0", "window 3");
+        assert!(SessionCheckpoint::from_text(&bad).is_err());
+    }
+
+    #[test]
+    fn unknown_sessions_surface_typed_errors() {
+        let mut sup = supervisor(SupervisorConfig::default());
+        let ghost = SessionId(42);
+        assert!(matches!(
+            sup.enqueue_frame(ghost, frame(0)),
+            Err(SupervisorError::UnknownSession { .. })
+        ));
+        assert!(matches!(sup.health(ghost), Err(SupervisorError::UnknownSession { .. })));
+        assert!(matches!(sup.close(ghost), Err(SupervisorError::UnknownSession { .. })));
+        assert!(matches!(sup.checkpoint(ghost), Err(SupervisorError::UnknownSession { .. })));
+    }
+}

@@ -1,0 +1,189 @@
+//! Checkpoint/resume integration tests for the stream supervisor.
+//!
+//! The contract under test: killing a supervised session at an arbitrary
+//! frame, serializing its [`SessionCheckpoint`] to text, and resuming in
+//! a fresh supervisor (with a fresh decoder sought to the checkpoint's
+//! frame cursor) yields [`StreamStats`] — and a final checkpoint —
+//! **bit-identical** to the uninterrupted run. Holds under zero-rate and
+//! nonzero-rate fault plans (device and decode), at any kill frame, and
+//! at any host thread count.
+
+use fd_detector::{
+    DetectorConfig, RecoveryPolicy, SessionCheckpoint, SessionId, StreamSupervisor,
+    SupervisorConfig,
+};
+use fd_gpu::FaultPlan;
+use fd_haar::{Cascade, FeatureKind, HaarFeature, Stage, Stump};
+use fd_video::{DecodeFaultPlan, HwDecoder, Trailer, TrailerSpec};
+use proptest::prelude::*;
+
+const N_FRAMES: usize = 14;
+
+fn cascade() -> Cascade {
+    let f = HaarFeature::from_params(FeatureKind::EdgeH, 6, 4, 6, 8);
+    let mut c = Cascade::new("t", 24);
+    for _ in 0..3 {
+        c.stages.push(Stage {
+            stumps: vec![Stump { feature: f, threshold: 8192, left: -1.0, right: 1.0 }],
+            threshold: 0.5,
+        });
+    }
+    c
+}
+
+fn decoder(seed: u64, faulty: bool) -> HwDecoder {
+    let mut d = HwDecoder::new(Trailer::generate(TrailerSpec {
+        width: 160,
+        height: 120,
+        n_frames: N_FRAMES,
+        seed: 21,
+        face_size: (26.0, 60.0),
+        ..TrailerSpec::default()
+    }));
+    if faulty {
+        d.set_fault_plan(Some(
+            DecodeFaultPlan::seeded(seed).with_corrupt_frames(0.1).with_dropped_frames(0.05),
+        ));
+    }
+    d
+}
+
+fn device_plan(seed: u64, faulty: bool) -> FaultPlan {
+    let plan = FaultPlan::seeded(seed);
+    if faulty {
+        // Transients exercise the retry path (and its fault-cursor
+        // advance); timeouts exercise skip accounting and the breaker.
+        plan.with_transient_launch_failures(0.004).with_launch_timeouts(0.002)
+    } else {
+        plan // zero-rate: attached but inert
+    }
+}
+
+fn det_config(seed: u64, faulty: bool, host_threads: Option<usize>) -> DetectorConfig {
+    DetectorConfig {
+        min_neighbors: 1,
+        fault_plan: Some(device_plan(seed, faulty)),
+        host_threads,
+        ..DetectorConfig::default()
+    }
+}
+
+fn sup_config() -> SupervisorConfig {
+    SupervisorConfig { breaker_threshold: 2, cooldown_ticks: 3, ..SupervisorConfig::default() }
+}
+
+fn admit(sup: &mut StreamSupervisor, seed: u64, faulty: bool) -> SessionId {
+    sup.admit(&cascade(), det_config(seed, faulty, None), 24.0, RecoveryPolicy::default(), 160, 120)
+        .expect("admission")
+}
+
+/// Feed frames `[from, to)` one at a time, draining after each so every
+/// fed frame is processed (quarantines spin ticks, never drop frames).
+fn feed(sup: &mut StreamSupervisor, id: SessionId, dec: &mut HwDecoder, to: usize) {
+    while dec.stream_position() < to {
+        let frame = dec.next().expect("frame in range");
+        assert!(sup.enqueue_frame(id, frame).unwrap());
+        sup.drain();
+    }
+}
+
+/// Checkpoint with the supervisor-assigned session id masked out, so
+/// uninterrupted and resumed runs (which allocate different ids) compare
+/// on state alone.
+fn masked(mut c: SessionCheckpoint) -> SessionCheckpoint {
+    c.session = SessionId(0);
+    c
+}
+
+/// Run to `N_FRAMES` uninterrupted; checkpoint at the end.
+fn uninterrupted(seed: u64, faulty: bool) -> SessionCheckpoint {
+    let mut sup = StreamSupervisor::new(sup_config());
+    let id = admit(&mut sup, seed, faulty);
+    let mut dec = decoder(seed, faulty);
+    feed(&mut sup, id, &mut dec, N_FRAMES);
+    masked(sup.checkpoint(id).unwrap())
+}
+
+/// Kill at `kill`, round-trip the checkpoint through text, resume in a
+/// fresh supervisor with a fresh decoder sought to the cursor, finish.
+fn killed_and_resumed(seed: u64, faulty: bool, kill: usize) -> SessionCheckpoint {
+    let mut sup = StreamSupervisor::new(sup_config());
+    let id = admit(&mut sup, seed, faulty);
+    let mut dec = decoder(seed, faulty);
+    feed(&mut sup, id, &mut dec, kill);
+    let ckpt = sup.checkpoint(id).unwrap();
+    let text = ckpt.to_text();
+    drop(sup); // the kill: all in-memory state is gone
+
+    let restored = SessionCheckpoint::from_text(&text).expect("checkpoint parses");
+    assert_eq!(restored, ckpt, "text round-trip is bit-exact");
+    let mut sup2 = StreamSupervisor::new(sup_config());
+    let id2 = sup2
+        .resume(&restored, &cascade(), det_config(seed, faulty, None), 24.0)
+        .expect("resume admission");
+    let mut dec2 = decoder(seed, faulty);
+    dec2.seek(restored.next_frame);
+    assert_eq!(dec2.stream_position(), kill, "every fed frame was accounted");
+    feed(&mut sup2, id2, &mut dec2, N_FRAMES);
+    masked(sup2.checkpoint(id2).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn kill_and_resume_matches_uninterrupted_run(
+        kill in 1usize..N_FRAMES,
+        seed in 0u64..1 << 20,
+        faulty in any::<bool>(),
+    ) {
+        let full = uninterrupted(seed, faulty);
+        let resumed = killed_and_resumed(seed, faulty, kill);
+        prop_assert_eq!(&resumed, &full);
+        prop_assert_eq!(resumed.snapshot.stats.frames, N_FRAMES);
+        prop_assert!(resumed.snapshot.stats.all_frames_accounted());
+    }
+}
+
+#[test]
+fn resume_preserves_the_fault_sequence_position() {
+    // With faults on, the draw sequence must continue where it stopped:
+    // a resumed run that restarted the sequence from zero would replay
+    // the early faults and diverge. Killing right after a fault-heavy
+    // prefix is the sharpest probe of the cursor.
+    let seed = 7;
+    let full = uninterrupted(seed, true);
+    for kill in [1, N_FRAMES / 2, N_FRAMES - 1] {
+        let resumed = killed_and_resumed(seed, true, kill);
+        assert_eq!(resumed, full, "kill at {kill}");
+    }
+    assert!(
+        full.fault_cursor.launch_attempts > 0,
+        "the faulty run must actually draw launch verdicts"
+    );
+}
+
+#[test]
+fn host_thread_count_does_not_affect_supervised_results() {
+    // The simulator's functional phase may fan out across host threads;
+    // supervised results must be bit-identical at any width.
+    let run = |threads: Option<usize>| {
+        let mut sup = StreamSupervisor::new(sup_config());
+        let id = sup
+            .admit(
+                &cascade(),
+                det_config(3, true, threads),
+                24.0,
+                RecoveryPolicy::default(),
+                160,
+                120,
+            )
+            .unwrap();
+        let mut dec = decoder(3, true);
+        feed(&mut sup, id, &mut dec, N_FRAMES);
+        masked(sup.checkpoint(id).unwrap())
+    };
+    let sequential = run(Some(1));
+    let parallel = run(Some(4));
+    assert_eq!(sequential, parallel);
+}

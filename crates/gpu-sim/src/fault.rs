@@ -128,6 +128,20 @@ impl FaultPlan {
     }
 }
 
+/// Position in a plan's deterministic draw sequences. Because every
+/// injection verdict is a pure function of `(seed, domain, counter)`,
+/// capturing the counters and seeking a fresh device to them replays the
+/// *remaining* fault sequence exactly — the primitive that makes
+/// checkpoint/resume of a faulted stream bit-identical to the
+/// uninterrupted run (see `fd-detector`'s `SessionCheckpoint`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCursor {
+    /// Launch attempts drawn against the plan ([`crate::Gpu`] side).
+    pub launch_attempts: u64,
+    /// Host↔device copy verdicts drawn ([`crate::DeviceMemory`] side).
+    pub copy_draws: u64,
+}
+
 /// Counts of faults actually injected by a device since plan attachment
 /// (or the last [`crate::Gpu::set_fault_plan`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]

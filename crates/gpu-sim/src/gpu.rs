@@ -5,7 +5,7 @@ use std::collections::{HashMap, HashSet};
 use crate::cost::CostModel;
 use crate::device::DeviceSpec;
 use crate::exec;
-use crate::fault::{fault_draw, FaultDomain, FaultPlan, FaultStats};
+use crate::fault::{fault_draw, FaultCursor, FaultDomain, FaultPlan, FaultStats};
 use crate::kernel::{Kernel, LaunchConfig};
 use crate::memory::{ConstBank, ConstPtr, DeviceMemory, MemoryError, TexId, Texture2D};
 use crate::profiler::Profiler;
@@ -163,6 +163,48 @@ impl Gpu {
     /// Faults injected by this device since the plan was attached.
     pub fn fault_stats(&self) -> FaultStats {
         self.fault.as_ref().map(|f| f.stats).unwrap_or_default()
+    }
+
+    /// Position in the attached plan's deterministic draw sequences
+    /// (zero when no plan is attached). Capture this alongside a stream
+    /// checkpoint: a fresh device seeked to the same cursor replays the
+    /// remaining fault sequence exactly.
+    pub fn fault_cursor(&self) -> FaultCursor {
+        FaultCursor {
+            launch_attempts: self.fault.as_ref().map_or(0, |f| f.attempts),
+            copy_draws: self.mem.copy_fault_draws(),
+        }
+    }
+
+    /// Fast-forward the attached plan's draw counters to `cursor` (a
+    /// checkpoint restore). Fault *statistics* restart at zero — they
+    /// count injections on this device, not on the stream. No-op when no
+    /// plan is attached.
+    pub fn seek_fault_cursor(&mut self, cursor: FaultCursor) {
+        if let Some(f) = &mut self.fault {
+            f.attempts = cursor.launch_attempts;
+        }
+        self.mem.seek_copy_fault_draws(cursor.copy_draws);
+    }
+
+    /// Quarantine hook for a stream supervisor's circuit breaker: discard
+    /// everything queued on the sick device (launches, pending waits) and
+    /// drop stale, unattributed copy-fault records. The fault cursor is
+    /// deliberately *not* touched — cooling down must not shift the
+    /// deterministic fault sequence of subsequent work. Returns the
+    /// number of launches discarded.
+    pub fn cool_down(&mut self) -> usize {
+        let discarded = self.pending.len();
+        self.cancel_pending();
+        self.mem.drain_copy_faults();
+        discarded
+    }
+
+    /// Device memory currently in use: global-memory arena bytes plus the
+    /// staged constant-memory words. The admission-control measure a
+    /// multi-session supervisor charges against its device budget.
+    pub fn device_bytes_in_use(&self) -> usize {
+        self.mem.live_bytes() + self.constants.used_words() * 4
     }
 
     /// Current execution mode.

@@ -98,7 +98,7 @@ pub use cost::CostModel;
 pub use device::DeviceSpec;
 pub use dim::Dim3;
 pub use exec::THREADS_ENV_VAR;
-pub use fault::{FaultPlan, FaultStats};
+pub use fault::{FaultCursor, FaultPlan, FaultStats};
 pub use gpu::{Gpu, LaunchError, MAX_FUNCTIONAL_BLOCKS};
 pub use kernel::{BlockCtx, Kernel, LaunchConfig};
 pub use memory::{

@@ -333,6 +333,21 @@ impl DeviceMemory {
         *state = CopyFaultState { config, ..CopyFaultState::default() };
     }
 
+    /// Copy-corruption verdicts drawn so far (zero when no injector is
+    /// attached). One half of [`crate::FaultCursor`].
+    pub fn copy_fault_draws(&self) -> u64 {
+        self.copy_faults.lock().unwrap_or_else(|e| e.into_inner()).draws
+    }
+
+    /// Fast-forward the copy-corruption draw counter (checkpoint restore;
+    /// see [`crate::Gpu::seek_fault_cursor`]). No-op without an injector.
+    pub fn seek_copy_fault_draws(&mut self, draws: u64) {
+        let state = self.copy_faults.get_mut().unwrap_or_else(|e| e.into_inner());
+        if state.config.is_some() {
+            state.draws = draws;
+        }
+    }
+
     /// Drain the copy-fault log: every corruption injected since the last
     /// drain (or plan attachment), in injection order. Callers poll this
     /// per frame to attribute corrupted readbacks to outputs.

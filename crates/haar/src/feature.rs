@@ -64,6 +64,23 @@ impl FeatureKind {
     pub fn from_id(id: u8) -> Option<FeatureKind> {
         FeatureKind::ALL.get(id as usize).copied()
     }
+
+    /// Bounding box (width, height) of a feature of this kind with cell
+    /// size `(w, h)`, computed without constructing the feature. Untrusted
+    /// loaders check `x + width <= window` with *this* before calling
+    /// [`HaarFeature::from_params`], whose rectangle layout does `u8`
+    /// coordinate arithmetic that would overflow on absurd geometry.
+    pub fn extent_of(&self, w: u8, h: u8) -> (u32, u32) {
+        let (w, h) = (w as u32, h as u32);
+        match self {
+            FeatureKind::EdgeH => (2 * w, h),
+            FeatureKind::EdgeV => (w, 2 * h),
+            FeatureKind::LineH => (3 * w, h),
+            FeatureKind::LineV => (w, 3 * h),
+            FeatureKind::CenterSurround => (3 * w, 3 * h),
+            FeatureKind::Diagonal => (2 * w, 2 * h),
+        }
+    }
 }
 
 /// One weighted rectangle of a feature, in window coordinates.

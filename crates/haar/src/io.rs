@@ -108,6 +108,9 @@ pub fn from_text(text: &str) -> Result<Cascade, ParseError> {
             return Err(err(l, &format!("stage index {idx}, expected {k}")));
         }
         let threshold: f32 = toks[2].parse().map_err(|_| err(l, "bad stage threshold"))?;
+        if !threshold.is_finite() {
+            return Err(err(l, "non-finite stage threshold"));
+        }
         let n_stumps: usize = toks[3].parse().map_err(|_| err(l, "bad stump count"))?;
         let mut stumps = Vec::with_capacity(n_stumps);
         for _ in 0..n_stumps {
@@ -123,6 +126,20 @@ pub fn from_text(text: &str) -> Result<Cascade, ParseError> {
             let threshold: i32 = toks[6].parse().map_err(|_| err(l, "bad threshold"))?;
             let left: f32 = toks[7].parse().map_err(|_| err(l, "bad left leaf"))?;
             let right: f32 = toks[8].parse().map_err(|_| err(l, "bad right leaf"))?;
+            if !(left.is_finite() && right.is_finite()) {
+                return Err(err(l, "non-finite leaf value"));
+            }
+            if p[2] == 0 || p[3] == 0 {
+                return Err(err(l, "zero-area feature"));
+            }
+            // Bounds-check the extent *before* constructing the feature:
+            // `from_params` lays out rectangles with u8 coordinate
+            // arithmetic, which overflows on absurd (but parseable)
+            // geometry like x=200 w=200.
+            let (fw, fh) = kind.extent_of(p[2], p[3]);
+            if p[0] as u32 + fw > window || p[1] as u32 + fh > window {
+                return Err(err(l, "feature escapes the window"));
+            }
             let feature = HaarFeature::from_params(kind, p[0], p[1], p[2], p[3]);
             if !feature.fits(window) {
                 return Err(err(l, "feature escapes the window"));
@@ -131,6 +148,13 @@ pub fn from_text(text: &str) -> Result<Cascade, ParseError> {
         }
         cascade.stages.push(Stage { stumps, threshold });
     }
+    // Parsing checked token shapes line by line; the semantic pass rejects
+    // whatever a well-formed file can still get wrong (empty cascade,
+    // absurd thresholds, unsatisfiable stages) before the cascade can
+    // reach any evaluation path.
+    cascade
+        .validate()
+        .map_err(|e| ParseError { line: 0, message: format!("cascade validation: {e}") })?;
     Ok(cascade)
 }
 

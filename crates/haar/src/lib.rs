@@ -27,7 +27,7 @@ pub mod io;
 pub mod soft;
 pub mod stump;
 
-pub use cascade::{Cascade, CascadeEval, Stage};
+pub use cascade::{Cascade, CascadeError, CascadeEval, Stage};
 pub use encode::{decode_stump, encode_stump, PackedStump};
 pub use enumerate::{enumerate_features, enumerate_kind, table1_counts, EnumerationRule};
 pub use feature::{FeatureKind, HaarFeature, HaarRect};

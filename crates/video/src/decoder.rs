@@ -195,6 +195,23 @@ impl HwDecoder {
     pub fn remaining(&self) -> usize {
         self.trailer.spec.n_frames - self.next
     }
+
+    /// Index of the next frame the iterator will emit. Together with
+    /// [`HwDecoder::seek`] this makes the streaming cursor resumable:
+    /// because `decode_frame` is a pure function of the frame index, a
+    /// fresh decoder sought to `stream_position()` continues
+    /// bit-identically. (Named to avoid colliding with
+    /// `Iterator::position`, which shadows inherent methods on `&mut`
+    /// receivers via the blanket `impl Iterator for &mut I`.)
+    pub fn stream_position(&self) -> usize {
+        self.next
+    }
+
+    /// Move the streaming cursor so the next emitted frame is `frame`
+    /// (clamped to end-of-stream).
+    pub fn seek(&mut self, frame: usize) {
+        self.next = frame.min(self.trailer.spec.n_frames);
+    }
 }
 
 impl Iterator for HwDecoder {
@@ -339,6 +356,38 @@ mod tests {
                 assert_ne!(a.luma.as_slice(), clean.as_slice(), "frame {f} not garbled");
             }
         }
+    }
+
+    #[test]
+    fn seek_resumes_the_stream_bit_identically() {
+        let mut full = HwDecoder::new(trailer());
+        full.set_fault_plan(Some(DecodeFaultPlan::seeded(7).with_corrupt_frames(0.3)));
+        let all: Vec<DecodedFrame> = full.by_ref().collect();
+
+        let mut resumed = HwDecoder::new(trailer());
+        resumed.set_fault_plan(Some(DecodeFaultPlan::seeded(7).with_corrupt_frames(0.3)));
+        for _ in 0..5 {
+            resumed.next();
+        }
+        let at = resumed.stream_position();
+        assert_eq!(at, 5);
+        // Simulate a restart: fresh decoder sought to the saved cursor.
+        let mut fresh = HwDecoder::new(trailer());
+        fresh.set_fault_plan(Some(DecodeFaultPlan::seeded(7).with_corrupt_frames(0.3)));
+        fresh.seek(at);
+        assert_eq!(fresh.remaining(), 12 - 5);
+        for (i, f) in fresh.enumerate() {
+            let reference = &all[at + i];
+            assert_eq!(f.index, reference.index);
+            assert_eq!(f.luma.as_slice(), reference.luma.as_slice());
+            assert_eq!(f.decode_ms.to_bits(), reference.decode_ms.to_bits());
+            assert_eq!(f.fault, reference.fault);
+        }
+        // Seeking past the end clamps: iterator is immediately exhausted.
+        let mut past = HwDecoder::new(trailer());
+        past.seek(usize::MAX);
+        assert_eq!(past.remaining(), 0);
+        assert!(past.next().is_none());
     }
 
     #[test]

@@ -13,6 +13,12 @@ cargo test -q --offline --workspace
 echo "== fault matrix (every fault kind x pipeline stage) =="
 cargo test -q --offline -p fd-detector --test fault_matrix
 
+echo "== supervisor soak (breakers must recover; asserts zero stuck in Quarantined) =="
+# Scratch results dir: the soak step validates invariants, it must not
+# clobber the committed full-length results/BENCH_supervisor_soak.json.
+FD_RESULTS_DIR="$(mktemp -d)" \
+  cargo run --release --offline -q -p fd-bench --bin supervisor_soak -- --sessions 3 --frames 120
+
 echo "== cargo clippy --all-targets -- -D warnings =="
 cargo clippy --all-targets --offline -- -D warnings
 

@@ -62,7 +62,9 @@ pub use fd_video as video;
 
 /// The most common imports in one place.
 pub mod prelude {
-    pub use fd_detector::{DetectorConfig, FaceDetector, FrameResult, GroupedDetection};
+    pub use fd_detector::{
+        DetectorConfig, FaceDetector, FrameResult, GroupedDetection, RecoveryPolicy,
+    };
     pub use fd_gpu::{DeviceSpec, ExecMode};
     pub use fd_haar::{Cascade, FeatureKind, HaarFeature, Stage, Stump};
     pub use fd_imgproc::{GrayImage, IntegralImage, Rect, RgbImage};
