@@ -1,6 +1,6 @@
 //! # fd-bench — the experiment harness
 //!
-//! One binary per table/figure of the paper (see DESIGN.md §5):
+//! One binary per table/figure of the paper (see DESIGN.md §8):
 //!
 //! | target | regenerates |
 //! |---|---|
@@ -24,6 +24,7 @@
 
 pub mod cascades;
 pub mod harness;
+pub mod loadgen;
 pub mod out;
 
 pub use cascades::{trained_cascade_pair, CascadePair, TrainingBudget};

@@ -1,0 +1,207 @@
+//! Deterministic load generators for the serving benchmarks.
+//!
+//! Two standard shapes drive [`fd_serve::DetectionServer`]:
+//!
+//! * **open loop** — arrivals follow a Poisson process of a fixed
+//!   offered rate, independent of completions (models external traffic;
+//!   exposes saturation because the queue keeps growing when the offered
+//!   rate exceeds capacity);
+//! * **closed loop** — a fixed number of virtual clients each keep one
+//!   request in flight and resubmit after an optional think time
+//!   (models a worker pool; throughput self-limits at capacity).
+//!
+//! Both are seeded and purely arithmetic, so a given (seed, rate, n)
+//! always produces the identical arrival pattern and therefore — by the
+//! server's determinism — the identical serving run.
+
+use fd_imgproc::GrayImage;
+use fd_serve::{DetectionServer, Priority, RequestOutcome};
+
+/// Minimal 64-bit LCG (Knuth's MMIX multiplier), good enough for
+/// inter-arrival sampling and frame variation without pulling a full
+/// RNG into the bench path.
+#[derive(Debug, Clone)]
+pub struct Lcg {
+    state: u64,
+}
+
+impl Lcg {
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1) }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self
+            .state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.state
+    }
+
+    /// Uniform in the open interval (0, 1).
+    pub fn next_f64(&mut self) -> f64 {
+        let bits = self.next_u64() >> 11; // 53 significant bits
+        (bits as f64 + 0.5) / (1u64 << 53) as f64
+    }
+}
+
+/// `n` Poisson arrival times (virtual µs, ascending from 0) at
+/// `rate_rps` requests per second: inter-arrivals are exponential via
+/// inverse-CDF sampling of the seeded [`Lcg`].
+pub fn exponential_arrivals_us(seed: u64, n: usize, rate_rps: f64) -> Vec<f64> {
+    assert!(rate_rps > 0.0, "offered rate must be positive");
+    let mut rng = Lcg::new(seed);
+    let mut t = 0.0;
+    (0..n)
+        .map(|_| {
+            t += -rng.next_f64().ln() / rate_rps * 1e6;
+            t
+        })
+        .collect()
+}
+
+/// A small deterministic test frame: a dark/bright vertical edge pair
+/// (the pattern the bench cascades fire on) at a seed-dependent
+/// horizontal shift. All variants share one geometry so they batch.
+pub fn pattern_frame(w: usize, h: usize, variant: u64) -> GrayImage {
+    let shift = (variant % 8) as usize;
+    GrayImage::from_fn(w, h, |x, y| {
+        let x = x + shift;
+        if (20..30).contains(&x) && (h / 4..3 * h / 4).contains(&y) {
+            10.0
+        } else if (30..40).contains(&x) && (h / 4..3 * h / 4).contains(&y) {
+            245.0
+        } else {
+            120.0
+        }
+    })
+}
+
+/// Submit an open-loop request pattern: `n` frames of `w`x`h` arriving
+/// per [`exponential_arrivals_us`], all in `priority` with a fixed
+/// `slo_us`. Call before `server.run()`.
+pub fn submit_open_loop(
+    server: &mut DetectionServer,
+    seed: u64,
+    n: usize,
+    rate_rps: f64,
+    w: usize,
+    h: usize,
+    priority: Priority,
+    slo_us: f64,
+) {
+    let mut rng = Lcg::new(seed ^ 0xF0F0);
+    for arrival in exponential_arrivals_us(seed, n, rate_rps) {
+        let frame = pattern_frame(w, h, rng.next_u64());
+        server
+            .submit(frame, priority, arrival, slo_us)
+            .expect("open-loop submission is valid");
+    }
+}
+
+/// Drive `clients` virtual clients through the server until
+/// `total_requests` have been submitted and every outcome is in: each
+/// client keeps one request in flight, resubmitting `think_us` after its
+/// previous completion. Returns the number of requests that were served
+/// (vs shed/rejected/failed).
+#[allow(clippy::too_many_arguments)]
+pub fn run_closed_loop(
+    server: &mut DetectionServer,
+    seed: u64,
+    clients: usize,
+    total_requests: usize,
+    think_us: f64,
+    w: usize,
+    h: usize,
+    priority: Priority,
+    slo_us: f64,
+) -> usize {
+    assert!(clients > 0, "need at least one client");
+    let mut rng = Lcg::new(seed);
+    let mut submitted = 0usize;
+    let mut in_flight = 0usize;
+    let mut served = 0usize;
+    let mut done = 0usize;
+    while submitted < clients.min(total_requests) {
+        server
+            .submit(pattern_frame(w, h, rng.next_u64()), priority, server.now_us(), slo_us)
+            .expect("closed-loop submission is valid");
+        submitted += 1;
+        in_flight += 1;
+    }
+    while done < total_requests && in_flight > 0 {
+        while server.step() {}
+        for c in server.take_completed() {
+            in_flight -= 1;
+            done += 1;
+            if matches!(c.outcome, RequestOutcome::Served { .. }) {
+                served += 1;
+            }
+            if submitted < total_requests {
+                let arrival = server.now_us() + think_us;
+                server
+                    .submit(pattern_frame(w, h, rng.next_u64()), priority, arrival, slo_us)
+                    .expect("closed-loop resubmission is valid");
+                submitted += 1;
+                in_flight += 1;
+            }
+        }
+    }
+    served
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fd_detector::DetectorConfig;
+    use fd_haar::{Cascade, FeatureKind, HaarFeature, Stage, Stump};
+    use fd_serve::ServeConfig;
+
+    fn edge_cascade() -> Cascade {
+        let f = HaarFeature::from_params(FeatureKind::EdgeH, 6, 4, 6, 8);
+        let mut c = Cascade::new("edge", 24);
+        c.stages.push(Stage {
+            stumps: vec![Stump { feature: f, threshold: 8192, left: -1.0, right: 1.0 }],
+            threshold: 0.5,
+        });
+        c
+    }
+
+    fn server() -> DetectionServer {
+        let det = DetectorConfig { min_neighbors: 1, ..DetectorConfig::default() };
+        DetectionServer::new(&edge_cascade(), det, ServeConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn exponential_arrivals_are_seeded_ascending_and_rate_scaled() {
+        let a = exponential_arrivals_us(7, 200, 1000.0);
+        let b = exponential_arrivals_us(7, 200, 1000.0);
+        assert_eq!(a, b, "same seed, same pattern");
+        assert!(a.windows(2).all(|w| w[0] < w[1]), "strictly ascending");
+        let c = exponential_arrivals_us(8, 200, 1000.0);
+        assert_ne!(a, c, "different seed, different pattern");
+        // Mean inter-arrival ~ 1000 µs at 1000 rps (loose tolerance).
+        let mean = a.last().unwrap() / a.len() as f64;
+        assert!((500.0..2000.0).contains(&mean), "mean {mean} µs");
+    }
+
+    #[test]
+    fn open_loop_run_serves_every_request() {
+        let mut s = server();
+        submit_open_loop(&mut s, 11, 20, 2000.0, 64, 48, Priority::Standard, 1e9);
+        s.run();
+        assert_eq!(s.stats().served, 20);
+        assert!(s.stats().throughput_rps() > 0.0);
+    }
+
+    #[test]
+    fn closed_loop_self_limits_and_serves_the_quota() {
+        let mut s = server();
+        let served =
+            run_closed_loop(&mut s, 3, 4, 25, 0.0, 64, 48, Priority::Standard, 1e9);
+        assert_eq!(served, 25);
+        assert_eq!(s.stats().served, 25);
+        assert_eq!(s.stats().submitted, 25);
+        assert!(s.stats().max_queue_depth <= 4, "never more than the client count");
+    }
+}

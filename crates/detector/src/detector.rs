@@ -236,6 +236,52 @@ impl FaceDetector {
         })
     }
 
+    /// Detect faces in a batch of same-geometry luma frames submitted as
+    /// **one** device submission: per pyramid level, each kernel is
+    /// launched once for the whole batch ([`fd_gpu::Gpu::launch_batched`])
+    /// so the batch pays a single launch-overhead chain and its blocks
+    /// co-schedule across SMs. This is the entry point `fd-serve`'s
+    /// dynamic batcher drives; a batch of one is bit-identical to
+    /// [`Self::detect`].
+    ///
+    /// Returns one [`FrameResult`] per input frame, in input order. All
+    /// results share the submission's device timeline, and `detect_ms`
+    /// is the *batch* latency (every request in the batch completes when
+    /// the submission drains).
+    pub fn detect_batch(
+        &mut self,
+        frames: &[&GrayImage],
+    ) -> Result<Vec<FrameResult>, DetectorError> {
+        let Some(first) = frames.first() else {
+            return Err(DetectorError::InvalidConfig { reason: "empty frame batch" });
+        };
+        let plan = self.pipeline.plan_for(first)?;
+        let (batch_outputs, timeline) = self.pipeline.run_batch_with_plan(frames, &plan)?;
+        Ok(batch_outputs
+            .iter()
+            .map(|outputs| {
+                let raw = self.extract_raw(outputs);
+                let detections = group_detections(
+                    &raw,
+                    self.config.overlap_threshold,
+                    self.config.min_neighbors,
+                );
+                let rejection = if self.config.collect_rejection_stats {
+                    Some(self.histogram(outputs))
+                } else {
+                    None
+                };
+                FrameResult {
+                    detections,
+                    raw,
+                    detect_ms: timeline.span_us() / 1000.0,
+                    timeline: timeline.clone(),
+                    rejection,
+                }
+            })
+            .collect())
+    }
+
     fn extract_raw(&self, outputs: &[ScaleOutput]) -> Vec<Detection> {
         let window = self.pipeline.cascade().window as usize;
         let mut raw = Vec::new();
@@ -368,6 +414,37 @@ mod tests {
         let serial = det.detect(&frame).unwrap();
         assert_eq!(conc.raw, serial.raw);
         assert!(serial.detect_ms >= conc.detect_ms * 0.999);
+    }
+
+    #[test]
+    fn detect_batch_of_one_matches_detect_bitwise() {
+        let frame = frame_with_pattern();
+        let cfg = DetectorConfig { min_neighbors: 1, ..DetectorConfig::default() };
+        let mut det = FaceDetector::new(&edge_cascade(2), cfg.clone());
+        let single = det.detect(&frame).unwrap();
+        let mut det = FaceDetector::new(&edge_cascade(2), cfg);
+        let batch = det.detect_batch(&[&frame]).unwrap();
+        assert_eq!(batch.len(), 1);
+        assert_eq!(single.raw, batch[0].raw);
+        assert_eq!(single.detections.len(), batch[0].detections.len());
+        assert_eq!(single.detect_ms.to_bits(), batch[0].detect_ms.to_bits());
+    }
+
+    #[test]
+    fn detect_batch_matches_per_frame_detection() {
+        let frames = [frame_with_pattern(), GrayImage::from_fn(80, 60, |_, _| 128.0)];
+        let cfg = DetectorConfig { min_neighbors: 1, ..DetectorConfig::default() };
+        let mut det = FaceDetector::new(&edge_cascade(2), cfg.clone());
+        let singles: Vec<_> = frames.iter().map(|f| det.detect(f).unwrap()).collect();
+        let mut det = FaceDetector::new(&edge_cascade(2), cfg);
+        let refs: Vec<&GrayImage> = frames.iter().collect();
+        let batch = det.detect_batch(&refs).unwrap();
+        assert_eq!(batch.len(), 2);
+        for (s, b) in singles.iter().zip(&batch) {
+            assert_eq!(s.raw, b.raw);
+        }
+        assert!(!batch[0].raw.is_empty());
+        assert!(batch[1].raw.is_empty());
     }
 
     #[test]

@@ -119,7 +119,7 @@ mod tests {
     }
 
     #[test]
-    fn levels_are_partitioned_across_devices() {
+    fn levels_are_partitioned_across_devices() -> Result<(), DetectorError> {
         let r = detect_multi_gpu(
             &cascade(),
             &frame(),
@@ -127,17 +127,17 @@ mod tests {
             &DeviceSpec::gtx470(),
             &PcieModel::pcie2_x16(),
             1.25,
-        )
-        .unwrap();
+        )?;
         assert_eq!(r.per_gpu_ms.len(), 3);
         // GPU 0 holds level 0 and dominates.
         assert!(r.per_gpu_ms[0] >= r.per_gpu_ms[1]);
         assert!(r.per_gpu_ms[0] >= r.per_gpu_ms[2]);
         assert!(r.frame_ms > r.per_gpu_ms[0], "upload must add latency");
+        Ok(())
     }
 
     #[test]
-    fn single_gpu_case_matches_plain_pipeline_shape() {
+    fn single_gpu_case_matches_plain_pipeline_shape() -> Result<(), DetectorError> {
         let r = detect_multi_gpu(
             &cascade(),
             &frame(),
@@ -145,14 +145,14 @@ mod tests {
             &DeviceSpec::gtx470(),
             &PcieModel::pcie2_x16(),
             1.25,
-        )
-        .unwrap();
+        )?;
         assert_eq!(r.per_gpu_ms.len(), 1);
         assert!(r.per_gpu_ms[0] > 0.0);
+        Ok(())
     }
 
     #[test]
-    fn adding_gpus_hits_diminishing_returns() {
+    fn adding_gpus_hits_diminishing_returns() -> Result<(), DetectorError> {
         // The scale-0 chain pins GPU 0: going 1 -> 4 GPUs cannot yield a
         // 4x frame-latency improvement (Hefenbrock's imbalance problem).
         let one = detect_multi_gpu(
@@ -162,8 +162,7 @@ mod tests {
             &DeviceSpec::gtx470(),
             &PcieModel::pcie2_x16(),
             1.25,
-        )
-        .unwrap();
+        )?;
         let four = detect_multi_gpu(
             &cascade(),
             &frame(),
@@ -171,9 +170,9 @@ mod tests {
             &DeviceSpec::gtx470(),
             &PcieModel::pcie2_x16(),
             1.25,
-        )
-        .unwrap();
+        )?;
         let speedup = one.frame_ms / four.frame_ms;
         assert!(speedup < 3.0, "speedup {speedup:.2} should be far below 4x");
+        Ok(())
     }
 }

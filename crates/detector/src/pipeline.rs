@@ -93,13 +93,30 @@ impl LevelBufs {
     }
 }
 
-/// The frame-persistent buffer pool (module docs): per-level workspaces
-/// and streams, valid for one frame geometry.
+/// The frame-persistent buffer pool (module docs): per-level streams and
+/// per-request-slot workspaces, valid for one frame geometry.
+///
+/// `slots[s][level]` holds the workspaces request-slot `s` uses at
+/// pyramid level `level`. Single-frame detection only ever touches slot
+/// 0; a batched submission of B frames occupies slots `0..B`, and the
+/// pool grows (and then keeps) as many slots as the largest batch seen,
+/// so steady-state serving is allocation-free just like steady-state
+/// video decoding.
 struct FramePool {
     frame_dims: (usize, usize),
     plan: Vec<(usize, usize)>,
-    levels: Vec<(StreamId, LevelBufs)>,
+    /// One stream per pyramid level, shared by every request slot (the
+    /// batched launch path fuses the slots of one level into one grid).
+    streams: Vec<StreamId>,
+    slots: Vec<Vec<LevelBufs>>,
     bytes: usize,
+}
+
+impl FramePool {
+    /// Device bytes of one request slot under `plan`.
+    fn slot_bytes(plan: &[(usize, usize)]) -> usize {
+        plan.iter().map(|&(w, h)| LevelBufs::bytes(w * h)).sum()
+    }
 }
 
 /// The GPU face-detection pipeline bound to one cascade.
@@ -190,34 +207,43 @@ impl FramePipeline {
     /// memory. The next [`Self::run_frame`] rebuilds it.
     pub fn release_pool(&mut self) {
         if let Some(pool) = self.pool.take() {
-            for (_, bufs) in pool.levels {
-                bufs.free(&mut self.gpu.mem);
+            for slot in pool.slots {
+                for bufs in slot {
+                    bufs.free(&mut self.gpu.mem);
+                }
             }
         }
     }
 
-    /// Ensure the pool matches `plan` for a `fw x fh` frame, rebuilding it
-    /// on geometry change.
-    fn ensure_pool(&mut self, fw: usize, fh: usize, plan: &[(usize, usize)]) {
+    /// Ensure the pool matches `plan` for a `fw x fh` frame with at least
+    /// `batch` request slots, rebuilding on geometry change and growing
+    /// (never shrinking) the slot count on demand.
+    fn ensure_pool(&mut self, fw: usize, fh: usize, plan: &[(usize, usize)], batch: usize) {
         let reusable = self
             .pool
             .as_ref()
             .is_some_and(|p| p.frame_dims == (fw, fh) && p.plan == plan);
-        if reusable {
-            return;
+        if !reusable {
+            self.release_pool();
+            let gpu = &mut self.gpu;
+            let streams = plan.iter().map(|_| gpu.create_stream()).collect();
+            self.pool = Some(FramePool {
+                frame_dims: (fw, fh),
+                plan: plan.to_vec(),
+                streams,
+                slots: Vec::new(),
+                bytes: 0,
+            });
         }
-        self.release_pool();
-        let gpu = &mut self.gpu;
-        let mut bytes = 0;
-        let levels = plan
-            .iter()
-            .map(|&(w, h)| {
-                bytes += LevelBufs::bytes(w * h);
-                (gpu.create_stream(), LevelBufs::alloc(&mut gpu.mem, w * h))
-            })
-            .collect();
-        self.pool =
-            Some(FramePool { frame_dims: (fw, fh), plan: plan.to_vec(), levels, bytes });
+        let Some(pool) = self.pool.as_mut() else { return };
+        while pool.slots.len() < batch {
+            pool.slots.push(
+                plan.iter()
+                    .map(|&(w, h)| LevelBufs::alloc(&mut self.gpu.mem, w * h))
+                    .collect(),
+            );
+            pool.bytes += FramePool::slot_bytes(plan);
+        }
     }
 
     /// The full pyramid plan this pipeline would run for a `fw x fh`
@@ -259,119 +285,201 @@ impl FramePipeline {
         frame: &GrayImage,
         plan: &[(usize, usize)],
     ) -> Result<(Vec<ScaleOutput>, Timeline), DetectorError> {
-        let (fw, fh) = (frame.width(), frame.height());
+        let (mut batch, timeline) = self.run_batch_with_plan(&[frame], plan)?;
+        let Some(outputs) = batch.pop() else {
+            return Err(DetectorError::InvalidConfig { reason: "batch produced no output" });
+        };
+        Ok((outputs, timeline))
+    }
+
+    /// Run the pipeline on a *batch* of same-geometry luma frames as one
+    /// device submission: at every pyramid level, each of the eight
+    /// kernels is launched once for the whole batch
+    /// ([`Gpu::launch_batched`], the batch stacked on `grid.z`), so B
+    /// requests pay the launch overhead of one and their blocks
+    /// co-schedule across SMs. This is the entry point the `fd-serve`
+    /// dynamic batcher drives; a batch of one is bit-identical to
+    /// [`Self::run_frame_with_plan`].
+    ///
+    /// Returns one `Vec<ScaleOutput>` per input frame (in input order)
+    /// plus the shared device timeline of the submission. All frames
+    /// must share one geometry; `plan` must be a prefix of
+    /// [`Self::plan_for`] of that geometry.
+    pub fn run_batch_with_plan(
+        &mut self,
+        frames: &[&GrayImage],
+        plan: &[(usize, usize)],
+    ) -> Result<(Vec<Vec<ScaleOutput>>, Timeline), DetectorError> {
+        let Some(first) = frames.first() else {
+            return Err(DetectorError::InvalidConfig { reason: "empty frame batch" });
+        };
+        let (fw, fh) = (first.width(), first.height());
+        if frames.iter().any(|f| (f.width(), f.height()) != (fw, fh)) {
+            return Err(DetectorError::InvalidConfig {
+                reason: "all frames of a batched submission must share one geometry",
+            });
+        }
         if plan.is_empty() {
             return Err(DetectorError::InvalidConfig { reason: "empty pyramid plan" });
         }
-        self.ensure_pool(fw, fh, plan);
+        self.ensure_pool(fw, fh, plan, frames.len());
         let Some(pool) = self.pool.as_ref() else {
             return Err(DetectorError::InvalidConfig { reason: "buffer pool missing" });
         };
         let gpu = &mut self.gpu;
 
         gpu.clear_textures();
-        let tex_data = Texture2D::try_from_data(fw, fh, frame.as_slice().to_vec()).map_err(
-            |source| DetectorError::Memory { context: "binding the frame texture", source },
-        )?;
-        let tex = gpu.bind_texture(tex_data);
+        let mut texs = Vec::with_capacity(frames.len());
+        for frame in frames {
+            let tex_data = Texture2D::try_from_data(fw, fh, frame.as_slice().to_vec())
+                .map_err(|source| DetectorError::Memory {
+                    context: "binding the frame texture",
+                    source,
+                })?;
+            texs.push(gpu.bind_texture(tex_data));
+        }
 
-        // A launch failure aborts the frame: cancel everything still
+        // A launch failure aborts the whole batch: cancel everything still
         // queued so the device (and its profiler) is clean for a retry.
         let fail = |gpu: &mut Gpu, kernel, level, source| {
             gpu.cancel_pending();
             Err(DetectorError::Launch { kernel, level: Some(level), frame: None, source })
         };
-        for (level, (&(w, h), &(stream, ref bufs))) in plan.iter().zip(&pool.levels).enumerate()
-        {
-            let scale = ScaleKernel {
-                src: tex,
-                src_w: fw,
-                src_h: fh,
-                dst: bufs.scaled,
-                dst_w: w,
-                dst_h: h,
-            };
-            if let Err(e) = gpu.launch(&scale, scale.config(), stream) {
+        let slots = &pool.slots[..frames.len()];
+        for (level, (&(w, h), &stream)) in plan.iter().zip(&pool.streams).enumerate() {
+            let scales: Vec<_> = texs
+                .iter()
+                .zip(slots)
+                .map(|(&tex, slot)| ScaleKernel {
+                    src: tex,
+                    src_w: fw,
+                    src_h: fh,
+                    dst: slot[level].scaled,
+                    dst_w: w,
+                    dst_h: h,
+                })
+                .collect();
+            if let Err(e) = gpu.launch_batched(&scales, scales[0].config(), stream) {
                 return fail(gpu, "scale_bilinear", level, e);
             }
 
-            let filter =
-                FilterKernel { src: bufs.scaled, dst: bufs.filtered, width: w, height: h };
-            if let Err(e) = gpu.launch(&filter, filter.config(), stream) {
+            let filters: Vec<_> = slots
+                .iter()
+                .map(|slot| FilterKernel {
+                    src: slot[level].scaled,
+                    dst: slot[level].filtered,
+                    width: w,
+                    height: h,
+                })
+                .collect();
+            if let Err(e) = gpu.launch_batched(&filters, filters[0].config(), stream) {
                 return fail(gpu, "filter_3tap", level, e);
             }
 
-            let scan1 = ScanRowsKernel {
-                input: ScanInput::QuantizeF32(bufs.filtered),
-                output: bufs.buf_a,
-                width: w,
-                height: h,
-            };
-            if let Err(e) = gpu.launch(&scan1, scan1.config(), stream) {
+            let scan1s: Vec<_> = slots
+                .iter()
+                .map(|slot| ScanRowsKernel {
+                    input: ScanInput::QuantizeF32(slot[level].filtered),
+                    output: slot[level].buf_a,
+                    width: w,
+                    height: h,
+                })
+                .collect();
+            if let Err(e) = gpu.launch_batched(&scan1s, scan1s[0].config(), stream) {
                 return fail(gpu, "scan_rows", level, e);
             }
 
-            let t1 = TransposeKernel { src: bufs.buf_a, dst: bufs.buf_b, width: w, height: h };
-            if let Err(e) = gpu.launch(&t1, t1.config(), stream) {
+            let t1s: Vec<_> = slots
+                .iter()
+                .map(|slot| TransposeKernel {
+                    src: slot[level].buf_a,
+                    dst: slot[level].buf_b,
+                    width: w,
+                    height: h,
+                })
+                .collect();
+            if let Err(e) = gpu.launch_batched(&t1s, t1s[0].config(), stream) {
                 return fail(gpu, "transpose", level, e);
             }
 
-            let scan2 = ScanRowsKernel {
-                input: ScanInput::U32(bufs.buf_b),
-                output: bufs.buf_a,
-                width: h,
-                height: w,
-            };
-            if let Err(e) = gpu.launch(&scan2, scan2.config(), stream) {
+            let scan2s: Vec<_> = slots
+                .iter()
+                .map(|slot| ScanRowsKernel {
+                    input: ScanInput::U32(slot[level].buf_b),
+                    output: slot[level].buf_a,
+                    width: h,
+                    height: w,
+                })
+                .collect();
+            if let Err(e) = gpu.launch_batched(&scan2s, scan2s[0].config(), stream) {
                 return fail(gpu, "scan_rows", level, e);
             }
 
-            let t2 =
-                TransposeKernel { src: bufs.buf_a, dst: bufs.integral, width: h, height: w };
-            if let Err(e) = gpu.launch(&t2, t2.config(), stream) {
+            let t2s: Vec<_> = slots
+                .iter()
+                .map(|slot| TransposeKernel {
+                    src: slot[level].buf_a,
+                    dst: slot[level].integral,
+                    width: h,
+                    height: w,
+                })
+                .collect();
+            if let Err(e) = gpu.launch_batched(&t2s, t2s[0].config(), stream) {
                 return fail(gpu, "transpose", level, e);
             }
 
-            let cascade = CascadeKernel::new(
-                &self.cascade,
-                bufs.integral,
-                w,
-                h,
-                bufs.depth,
-                bufs.score,
-                self.const_ptr,
-            );
-            if let Err(e) = gpu.launch(&cascade, cascade.config(), stream) {
+            let cascades: Vec<_> = slots
+                .iter()
+                .map(|slot| {
+                    CascadeKernel::new(
+                        &self.cascade,
+                        slot[level].integral,
+                        w,
+                        h,
+                        slot[level].depth,
+                        slot[level].score,
+                        self.const_ptr,
+                    )
+                })
+                .collect();
+            if let Err(e) = gpu.launch_batched(&cascades, cascades[0].config(), stream) {
                 return fail(gpu, "cascade_eval", level, e);
             }
 
-            let display = DisplayKernel {
-                depth: bufs.depth,
-                hits: bufs.hits,
-                width: w,
-                height: h,
-                required_depth: self.cascade.depth(),
-            };
-            if let Err(e) = gpu.launch(&display, display.config(), stream) {
+            let displays: Vec<_> = slots
+                .iter()
+                .map(|slot| DisplayKernel {
+                    depth: slot[level].depth,
+                    hits: slot[level].hits,
+                    width: w,
+                    height: h,
+                    required_depth: self.cascade.depth(),
+                })
+                .collect();
+            if let Err(e) = gpu.launch_batched(&displays, displays[0].config(), stream) {
                 return fail(gpu, "display", level, e);
             }
         }
 
         let timeline = gpu.synchronize();
 
-        let mut outputs = Vec::with_capacity(plan.len());
-        for (level, (&(w, h), (_, bufs))) in plan.iter().zip(&pool.levels).enumerate() {
-            outputs.push(ScaleOutput {
-                level,
-                width: w,
-                height: h,
-                scale: self.scale_factor.powi(level as i32),
-                depth: gpu.mem.download(bufs.depth),
-                score: gpu.mem.download(bufs.score),
-                hits: gpu.mem.download(bufs.hits),
-            });
+        let mut batch_outputs = Vec::with_capacity(frames.len());
+        for slot in slots {
+            let mut outputs = Vec::with_capacity(plan.len());
+            for (level, &(w, h)) in plan.iter().enumerate() {
+                outputs.push(ScaleOutput {
+                    level,
+                    width: w,
+                    height: h,
+                    scale: self.scale_factor.powi(level as i32),
+                    depth: gpu.mem.download(slot[level].depth),
+                    score: gpu.mem.download(slot[level].score),
+                    hits: gpu.mem.download(slot[level].hits),
+                });
+            }
+            batch_outputs.push(outputs);
         }
-        Ok((outputs, timeline))
+        Ok((batch_outputs, timeline))
     }
 }
 
@@ -497,6 +605,119 @@ mod tests {
         p.release_pool();
         assert_eq!(p.gpu.mem.live_bytes(), 0, "release_pool returns everything");
         assert_eq!(p.pooled_bytes(), 0);
+    }
+
+    #[test]
+    fn batch_of_one_is_bit_identical_to_run_frame() {
+        let frame = test_frame();
+        let gpu = Gpu::new(DeviceSpec::gtx470(), ExecMode::Concurrent);
+        let mut p = FramePipeline::new(gpu, &simple_cascade(), 1.25);
+        let (single, ts) = p.run_frame(&frame).unwrap();
+        let gpu = Gpu::new(DeviceSpec::gtx470(), ExecMode::Concurrent);
+        let mut p = FramePipeline::new(gpu, &simple_cascade(), 1.25);
+        let plan = p.plan_for(&frame).unwrap();
+        let (batch, tb) = p.run_batch_with_plan(&[&frame], &plan).unwrap();
+        assert_eq!(batch.len(), 1);
+        for (a, b) in single.iter().zip(&batch[0]) {
+            assert_eq!(a.depth, b.depth);
+            assert_eq!(
+                a.score.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                b.score.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+            assert_eq!(a.hits, b.hits);
+        }
+        assert_eq!(ts.span_us().to_bits(), tb.span_us().to_bits(), "same timeline");
+    }
+
+    #[test]
+    fn batch_matches_per_frame_runs_functionally() {
+        let frames: Vec<GrayImage> = (0..3)
+            .map(|k| {
+                GrayImage::from_fn(96, 72, |x, y| {
+                    let (x, y) = (x + 5 * k, y + 3 * k);
+                    if (20..32).contains(&x) && (10..34).contains(&y) {
+                        10.0
+                    } else if (32..44).contains(&x) && (10..34).contains(&y) {
+                        250.0
+                    } else {
+                        100.0
+                    }
+                })
+            })
+            .collect();
+        let gpu = Gpu::new(DeviceSpec::gtx470(), ExecMode::Concurrent);
+        let mut p = FramePipeline::new(gpu, &simple_cascade(), 1.25);
+        let singles: Vec<_> = frames.iter().map(|f| p.run_frame(f).unwrap().0).collect();
+
+        let gpu = Gpu::new(DeviceSpec::gtx470(), ExecMode::Concurrent);
+        let mut p = FramePipeline::new(gpu, &simple_cascade(), 1.25);
+        let plan = p.plan_for(&frames[0]).unwrap();
+        let refs: Vec<&GrayImage> = frames.iter().collect();
+        let (batch, _) = p.run_batch_with_plan(&refs, &plan).unwrap();
+
+        assert_eq!(batch.len(), singles.len());
+        for (single, batched) in singles.iter().zip(&batch) {
+            for (a, b) in single.iter().zip(batched) {
+                assert_eq!(a.depth, b.depth);
+                assert_eq!(a.hits, b.hits);
+            }
+        }
+    }
+
+    #[test]
+    fn batched_launches_cut_the_per_request_latency() {
+        let frame = test_frame();
+        let refs4 = [&frame, &frame, &frame, &frame];
+        let gpu = Gpu::new(DeviceSpec::gtx470(), ExecMode::Concurrent);
+        let mut p = FramePipeline::new(gpu, &simple_cascade(), 1.25);
+        let plan = p.plan_for(&frame).unwrap();
+        let (_, t1) = p.run_batch_with_plan(&[&frame], &plan).unwrap();
+        let (_, t4) = p.run_batch_with_plan(&refs4, &plan).unwrap();
+        assert!(
+            t4.span_us() < 4.0 * t1.span_us(),
+            "a 4-batch must beat 4 sequential frames: {} vs 4x{}",
+            t4.span_us(),
+            t1.span_us()
+        );
+    }
+
+    #[test]
+    fn batch_slots_are_pooled_and_steady_state_allocation_free() {
+        let frame = test_frame();
+        let refs: Vec<&GrayImage> = vec![&frame; 4];
+        let gpu = Gpu::new(DeviceSpec::gtx470(), ExecMode::Concurrent);
+        let mut p = FramePipeline::new(gpu, &simple_cascade(), 1.25);
+        let plan = p.plan_for(&frame).unwrap();
+        let _ = p.run_batch_with_plan(&refs, &plan).unwrap();
+        let live = p.gpu.mem.live_bytes();
+        let allocs = p.gpu.mem.alloc_count();
+        assert_eq!(p.pooled_bytes(), live, "pool owns all live memory");
+        for _ in 0..3 {
+            let _ = p.run_batch_with_plan(&refs, &plan).unwrap();
+            // Smaller batches reuse a prefix of the slots.
+            let _ = p.run_frame(&frame).unwrap();
+        }
+        assert_eq!(p.gpu.mem.alloc_count(), allocs, "steady-state batches are allocation-free");
+        assert_eq!(p.gpu.mem.live_bytes(), live);
+        p.release_pool();
+        assert_eq!(p.gpu.mem.live_bytes(), 0);
+    }
+
+    #[test]
+    fn batch_rejects_mixed_geometries_and_empty_batches() {
+        let gpu = Gpu::new(DeviceSpec::gtx470(), ExecMode::Concurrent);
+        let mut p = FramePipeline::new(gpu, &simple_cascade(), 1.25);
+        let a = test_frame();
+        let b = GrayImage::from_fn(64, 48, |x, _| x as f32);
+        let plan = p.plan_for(&a).unwrap();
+        assert!(matches!(
+            p.run_batch_with_plan(&[&a, &b], &plan),
+            Err(DetectorError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            p.run_batch_with_plan(&[], &plan),
+            Err(DetectorError::InvalidConfig { .. })
+        ));
     }
 
     #[test]

@@ -38,6 +38,9 @@ pub enum LaunchError {
     /// `cudaErrorLaunchFailure` under engine contention). A retry is a
     /// fresh draw and typically succeeds.
     InjectedTransient { kernel: &'static str },
+    /// A batched launch's per-part grid must be flat (`grid.z == 1`):
+    /// the batch dimension itself is stacked on `z`.
+    BatchedGridDepth { z: u32 },
 }
 
 impl LaunchError {
@@ -65,6 +68,9 @@ impl std::fmt::Display for LaunchError {
             }
             LaunchError::InjectedTransient { kernel } => {
                 write!(f, "injected fault: transient launch failure for `{kernel}`")
+            }
+            LaunchError::BatchedGridDepth { z } => {
+                write!(f, "batched launch requires a flat per-part grid, got depth {z}")
             }
         }
     }
@@ -406,6 +412,34 @@ impl Gpu {
         });
         self.launch_counter += 1;
         Ok(())
+    }
+
+    /// Launch N homogeneous kernels as **one** device launch (see
+    /// [`crate::batch`]): the parts share `part_cfg`'s geometry and the
+    /// batch dimension is stacked on `grid.z`. One launch overhead is
+    /// paid for the whole batch and the scheduler sees a single large
+    /// grid, so small per-request kernels fill the device instead of
+    /// serializing behind each other in a stream.
+    ///
+    /// A batch of one is bit-identical to [`Gpu::launch`] of the single
+    /// part — results, counters and timeline (asserted by tests). The
+    /// parts must be mutually independent (disjoint output buffers), as
+    /// concurrent blocks of one launch always must.
+    pub fn launch_batched<K: Kernel>(
+        &mut self,
+        parts: &[K],
+        part_cfg: LaunchConfig,
+        stream: StreamId,
+    ) -> Result<(), LaunchError> {
+        if parts.is_empty() {
+            return Err(LaunchError::EmptyLaunch);
+        }
+        if part_cfg.grid.z != 1 {
+            return Err(LaunchError::BatchedGridDepth { z: part_cfg.grid.z });
+        }
+        let batched = crate::batch::BatchedKernel::new(parts, part_cfg);
+        let cfg = batched.stacked_config(part_cfg);
+        self.launch(&batched, cfg, stream)
     }
 
     /// Launch into the default stream.

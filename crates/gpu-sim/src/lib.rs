@@ -79,6 +79,7 @@
 //! assert!(timeline.span_us() > 0.0);
 //! ```
 
+pub mod batch;
 pub mod cost;
 pub mod exec;
 pub mod device;
@@ -94,6 +95,7 @@ pub mod stream;
 
 mod gpu;
 
+pub use batch::BatchedKernel;
 pub use cost::CostModel;
 pub use device::DeviceSpec;
 pub use dim::Dim3;

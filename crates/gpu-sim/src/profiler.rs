@@ -126,6 +126,33 @@ impl Profiler {
         }
         out
     }
+
+    /// Render the trace in the Chrome trace-event format (a JSON array of
+    /// `"ph": "X"` complete events) for `chrome://tracing` / Perfetto.
+    /// Timestamps and durations are already in microseconds — the
+    /// viewer's native unit — and the stream index becomes the thread
+    /// lane, so batched-vs-serial request timelines can be eyeballed
+    /// side by side.
+    pub fn render_chrome_trace(&self) -> String {
+        let mut out = String::from("[");
+        for (i, e) in self.traces.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n  {{\"name\":\"{}\",\"cat\":\"kernel\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\
+                 \"pid\":0,\"tid\":{},\"args\":{{\"launch\":{},\"blocks\":{}}}}}",
+                e.kernel_name,
+                e.t_start_us,
+                e.duration_us(),
+                e.stream.index(),
+                e.launch_idx,
+                e.blocks,
+            ));
+        }
+        out.push_str("\n]\n");
+        out
+    }
 }
 
 #[cfg(test)]
@@ -181,5 +208,36 @@ mod tests {
         let s = p.render_trace();
         assert!(s.contains("scale"));
         assert!(s.lines().count() == 2);
+    }
+
+    #[test]
+    fn chrome_trace_is_a_json_array_of_complete_events() {
+        let mut p = Profiler::new();
+        p.absorb(&[ev("scale", 3, 1.0, 2.5, 0), ev("cascade", 1, 2.5, 10.0, 64)]);
+        let s = p.render_chrome_trace();
+
+        // Shape: one JSON array, one object per trace row, comma-separated.
+        assert!(s.starts_with('['));
+        assert!(s.trim_end().ends_with(']'));
+        assert_eq!(s.matches("\"name\"").count(), p.traces().len());
+        assert_eq!(s.matches("\"ph\":\"X\"").count(), p.traces().len());
+        assert_eq!(s.matches("},").count(), p.traces().len() - 1, "comma-separated");
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+        assert_eq!(s.matches('[').count(), s.matches(']').count());
+        assert_eq!(s.matches('"').count() % 2, 0, "quotes must balance");
+
+        // Content: µs timestamps/durations and the stream as the lane.
+        assert!(s.contains("\"name\":\"scale\""));
+        assert!(s.contains("\"ts\":1.000"));
+        assert!(s.contains("\"dur\":1.500"));
+        assert!(s.contains("\"tid\":3"));
+        assert!(s.contains("\"name\":\"cascade\""));
+        assert!(s.contains("\"dur\":7.500"));
+    }
+
+    #[test]
+    fn chrome_trace_of_empty_profiler_is_an_empty_array() {
+        let p = Profiler::new();
+        assert_eq!(p.render_chrome_trace(), "[\n]\n");
     }
 }

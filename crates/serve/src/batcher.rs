@@ -1,0 +1,202 @@
+//! Dynamic batch formation: when to dispatch, and what to dispatch.
+//!
+//! The batcher generalizes the paper's per-scale stream concurrency to
+//! *cross-request* concurrency: pending single-image requests that share
+//! a frame geometry are coalesced into one device submission, where each
+//! pyramid-level kernel launches once for the whole batch
+//! ([`fd_gpu::Gpu::launch_batched`]). The policy is the classic
+//! max-batch / max-wait trade-off:
+//!
+//! * **dispatch now** when the EDF head's geometry already has
+//!   `max_batch_size` joinable requests queued (a full batch gains
+//!   nothing by waiting);
+//! * **dispatch now** when the longest-waiting queued request has waited
+//!   `max_wait_us` (bounded batching delay — the head must not starve
+//!   for stragglers);
+//! * **dispatch now** when no future arrivals remain (nobody can join;
+//!   waiting only adds latency);
+//! * otherwise **wait** until the earliest of the forced-dispatch time
+//!   and the next arrival.
+//!
+//! With batching disabled the effective batch size is 1 and dispatch is
+//! immediate, which degenerates to plain EDF serving — the baseline the
+//! determinism proptests compare against bit-for-bit.
+
+use crate::queue::RequestQueue;
+use crate::request::DetectionRequest;
+
+/// Batch-formation policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchPolicy {
+    /// Master switch; `false` serves strictly one request per submission
+    /// with no added waiting.
+    pub enabled: bool,
+    /// Most requests fused into one device submission.
+    pub max_batch_size: usize,
+    /// Longest a queued request may wait for co-batchable arrivals
+    /// before the head is dispatched regardless, in virtual µs.
+    pub max_wait_us: f64,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        Self { enabled: true, max_batch_size: 8, max_wait_us: 2000.0 }
+    }
+}
+
+impl BatchPolicy {
+    /// The batch-size cap this policy actually enforces.
+    pub fn effective_max(&self) -> usize {
+        if self.enabled {
+            self.max_batch_size.max(1)
+        } else {
+            1
+        }
+    }
+}
+
+/// What the scheduler should do at the current virtual instant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BatchDecision {
+    /// Form a batch around the EDF head and submit it now.
+    Dispatch,
+    /// Sleep until this virtual time (a forced-dispatch point or the
+    /// next arrival), then re-decide. Always strictly in the future.
+    WaitUntil(f64),
+}
+
+/// Pure decision logic over the queue state — owns no requests itself,
+/// so the server's borrow structure stays simple and every decision is a
+/// function of (queue, clock, arrival horizon) only.
+#[derive(Debug, Clone)]
+pub struct DynamicBatcher {
+    policy: BatchPolicy,
+}
+
+impl DynamicBatcher {
+    pub fn new(policy: BatchPolicy) -> Self {
+        Self { policy }
+    }
+
+    pub fn policy(&self) -> &BatchPolicy {
+        &self.policy
+    }
+
+    /// Decide whether to dispatch at `now_us`. `next_arrival_us` is the
+    /// earliest future submission (strictly after `now_us`), or `None`
+    /// when the arrival calendar is exhausted. The queue must be
+    /// non-empty.
+    pub fn decide(
+        &self,
+        queue: &RequestQueue,
+        now_us: f64,
+        next_arrival_us: Option<f64>,
+    ) -> BatchDecision {
+        let Some(head) = queue.peek_edf() else {
+            return BatchDecision::Dispatch; // vacuous; the server never asks
+        };
+        let max = self.policy.effective_max();
+        if !self.policy.enabled || queue.count_geometry(head.geometry()) >= max {
+            return BatchDecision::Dispatch;
+        }
+        let oldest = queue.earliest_arrival_us().unwrap_or(now_us);
+        let force_at = oldest + self.policy.max_wait_us;
+        if now_us >= force_at {
+            return BatchDecision::Dispatch;
+        }
+        match next_arrival_us {
+            None => BatchDecision::Dispatch,
+            Some(arrival) => BatchDecision::WaitUntil(arrival.min(force_at)),
+        }
+    }
+
+    /// Remove the batch to dispatch: the EDF head plus up to
+    /// `max_batch_size - 1` same-geometry requests in EDF order.
+    pub fn form(&self, queue: &mut RequestQueue) -> Vec<DetectionRequest> {
+        let Some(geometry) = queue.peek_edf().map(|r| r.geometry()) else {
+            return Vec::new();
+        };
+        queue.take_batch(geometry, self.policy.effective_max())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{Priority, RequestId};
+    use fd_imgproc::GrayImage;
+
+    fn req(seq: u64, arrival_us: f64, deadline_us: f64, w: usize) -> DetectionRequest {
+        DetectionRequest {
+            id: RequestId(seq),
+            priority: Priority::Standard,
+            arrival_us,
+            deadline_us,
+            frame: GrayImage::from_fn(w, 4, |_, _| 0.0),
+            seq,
+        }
+    }
+
+    fn queue_with(reqs: Vec<DetectionRequest>) -> RequestQueue {
+        let mut q = RequestQueue::new(64);
+        for r in reqs {
+            q.offer(r).unwrap();
+        }
+        q
+    }
+
+    #[test]
+    fn full_batch_dispatches_immediately() {
+        let b = DynamicBatcher::new(BatchPolicy { max_batch_size: 2, ..BatchPolicy::default() });
+        let q = queue_with(vec![req(0, 0.0, 1e6, 8), req(1, 0.0, 1e6, 8)]);
+        assert_eq!(b.decide(&q, 0.0, Some(50.0)), BatchDecision::Dispatch);
+    }
+
+    #[test]
+    fn partial_batch_waits_for_the_next_arrival() {
+        let b = DynamicBatcher::new(BatchPolicy {
+            max_batch_size: 4,
+            max_wait_us: 1000.0,
+            ..BatchPolicy::default()
+        });
+        let q = queue_with(vec![req(0, 0.0, 1e6, 8)]);
+        assert_eq!(b.decide(&q, 0.0, Some(300.0)), BatchDecision::WaitUntil(300.0));
+        // ... but never past the forced-dispatch point.
+        assert_eq!(b.decide(&q, 0.0, Some(5000.0)), BatchDecision::WaitUntil(1000.0));
+        // Once the head has waited max_wait, dispatch regardless.
+        assert_eq!(b.decide(&q, 1000.0, Some(5000.0)), BatchDecision::Dispatch);
+    }
+
+    #[test]
+    fn exhausted_arrivals_dispatch_immediately() {
+        let b = DynamicBatcher::new(BatchPolicy::default());
+        let q = queue_with(vec![req(0, 0.0, 1e6, 8)]);
+        assert_eq!(b.decide(&q, 0.0, None), BatchDecision::Dispatch);
+    }
+
+    #[test]
+    fn disabled_batching_is_immediate_single_dispatch() {
+        let b = DynamicBatcher::new(BatchPolicy { enabled: false, ..BatchPolicy::default() });
+        assert_eq!(b.policy().effective_max(), 1);
+        let mut q = queue_with(vec![req(0, 0.0, 1e6, 8), req(1, 0.0, 2e6, 8)]);
+        assert_eq!(b.decide(&q, 0.0, Some(10.0)), BatchDecision::Dispatch);
+        let batch = b.form(&mut q);
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].id, RequestId(0));
+    }
+
+    #[test]
+    fn form_takes_the_heads_geometry_only() {
+        let b = DynamicBatcher::new(BatchPolicy::default());
+        let mut q = queue_with(vec![
+            req(0, 0.0, 100.0, 8),
+            req(1, 0.0, 50.0, 16), // head (earliest deadline), 16-wide
+            req(2, 0.0, 75.0, 16),
+            req(3, 0.0, 60.0, 8),
+        ]);
+        let batch = b.form(&mut q);
+        let ids: Vec<_> = batch.iter().map(|r| r.id.0).collect();
+        assert_eq!(ids, [1, 2], "head geometry, EDF order");
+        assert_eq!(q.len(), 2);
+    }
+}

@@ -1,0 +1,58 @@
+//! fd-serve: deterministic request-serving frontend for the detector.
+//!
+//! Where `fd_detector::StreamSupervisor` manages long-lived *video
+//! streams*, this crate serves independent one-shot detection
+//! *requests*, the way an inference service would:
+//!
+//! * [`RequestQueue`] — bounded admission per [`Priority`] class, so
+//!   bulk traffic cannot crowd out interactive requests;
+//! * [`DynamicBatcher`] — coalesces pending same-geometry requests into
+//!   one shared device submission (each pyramid-level kernel launches
+//!   once for the whole batch via `fd_gpu::Gpu::launch_batched`),
+//!   trading a bounded `max_wait_us` of queueing delay for large
+//!   per-launch overhead savings;
+//! * SLO scheduling — every request carries a deadline; dispatch is
+//!   earliest-deadline-first, and requests whose deadline passes while
+//!   queued are deterministically shed instead of wasting device time;
+//! * [`ServeStats`] — latency quantiles (p50/p95/p99 in virtual µs),
+//!   queue-depth high-water marks, shed/reject and batch-occupancy
+//!   accounting.
+//!
+//! Everything runs on a virtual clock against the simulated GPU: a
+//! serving run is a pure function of its submissions and configuration,
+//! bit-identical across runs and across `FD_SIM_THREADS` settings.
+//!
+//! ```
+//! use fd_serve::{DetectionServer, Priority, ServeConfig};
+//! use fd_detector::DetectorConfig;
+//! # use fd_haar::{Cascade, FeatureKind, HaarFeature, Stage, Stump};
+//! # use fd_imgproc::GrayImage;
+//! # let mut cascade = Cascade::new("demo", 24);
+//! # cascade.stages.push(Stage {
+//! #     stumps: vec![Stump {
+//! #         feature: HaarFeature::from_params(FeatureKind::EdgeH, 6, 4, 6, 8),
+//! #         threshold: 8192, left: -1.0, right: 1.0 }],
+//! #     threshold: 0.5 });
+//!
+//! let mut server = DetectionServer::new(
+//!     &cascade, DetectorConfig::default(), ServeConfig::default())?;
+//! let frame = GrayImage::from_fn(64, 48, |x, y| ((x * 3 + y) % 251) as f32);
+//! server.submit(frame, Priority::Interactive, 0.0, 50_000.0)?;
+//! server.run();
+//! assert_eq!(server.stats().served, 1);
+//! # Ok::<(), fd_serve::ServeError>(())
+//! ```
+
+pub mod batcher;
+pub mod queue;
+pub mod request;
+pub mod server;
+pub mod stats;
+
+pub use batcher::{BatchDecision, BatchPolicy, DynamicBatcher};
+pub use queue::RequestQueue;
+pub use request::{DetectionRequest, Priority, RequestId};
+pub use server::{
+    CompletedRequest, DetectionServer, RequestOutcome, ServeConfig, ServeError,
+};
+pub use stats::{LatencyHistogram, ServeStats};

@@ -1,0 +1,639 @@
+//! The virtual-clock serving loop: arrivals → queue → batch → device.
+//!
+//! [`DetectionServer`] owns a [`FaceDetector`] and advances a virtual
+//! clock in microseconds. Submissions go onto an *arrival calendar*
+//! (they may be scheduled at any time at or after the current instant);
+//! the event loop then alternates between ingesting due arrivals,
+//! shedding already-late queued requests, and asking the
+//! [`DynamicBatcher`] whether to dispatch the EDF head's batch or sleep
+//! to the next decision point. Device time comes from the simulated
+//! timeline of each submission, so the entire run — latencies, shed
+//! sets, batch compositions, statistics — is a deterministic function
+//! of the submissions and the configuration, bit-identical at any
+//! `FD_SIM_THREADS`.
+
+use fd_detector::{DetectorConfig, DetectorError, FaceDetector, FrameResult};
+use fd_haar::Cascade;
+use fd_imgproc::GrayImage;
+
+use crate::batcher::{BatchDecision, BatchPolicy, DynamicBatcher};
+use crate::queue::RequestQueue;
+use crate::request::{DetectionRequest, Priority, RequestId};
+use crate::stats::ServeStats;
+
+/// Serving-side configuration (the wrapped detector has its own
+/// [`DetectorConfig`]).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Queue slots per priority class.
+    pub queue_depth_per_class: usize,
+    /// Dynamic batching policy.
+    pub batch: BatchPolicy,
+    /// Shed queued requests whose deadline has passed instead of running
+    /// them late (deterministic load shedding). Disabling serves
+    /// everything, however late.
+    pub shed_late: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self { queue_depth_per_class: 64, batch: BatchPolicy::default(), shed_late: true }
+    }
+}
+
+/// Errors surfaced by the serving layer itself.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// A submission carried a non-finite or past arrival time, or a
+    /// non-positive SLO.
+    InvalidSubmission { reason: &'static str },
+    /// Building the wrapped detector failed.
+    Detector(DetectorError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::InvalidSubmission { reason } => {
+                write!(f, "invalid submission: {reason}")
+            }
+            ServeError::Detector(e) => write!(f, "detector construction failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Detector(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// How one request's life ended.
+#[derive(Debug, Clone)]
+pub enum RequestOutcome {
+    /// Ran on the device and produced a detection result.
+    Served {
+        /// When its batch was submitted.
+        dispatched_us: f64,
+        /// When its batch drained (= completion of every member).
+        completed_us: f64,
+        /// Requests sharing the submission.
+        batch_size: usize,
+        /// The detection output.
+        result: FrameResult,
+    },
+    /// Shed while queued: its deadline passed before dispatch.
+    ShedLate {
+        /// Virtual instant of the shed decision.
+        shed_us: f64,
+    },
+    /// Refused at arrival: its priority class's queue was full.
+    RejectedQueueFull,
+    /// Its batch's device submission failed.
+    Failed {
+        dispatched_us: f64,
+        error: DetectorError,
+    },
+}
+
+/// A finished request: identity, timing and outcome.
+#[derive(Debug, Clone)]
+pub struct CompletedRequest {
+    pub id: RequestId,
+    pub priority: Priority,
+    pub arrival_us: f64,
+    pub deadline_us: f64,
+    pub outcome: RequestOutcome,
+}
+
+impl CompletedRequest {
+    /// Arrival-to-completion latency for served requests.
+    pub fn latency_us(&self) -> Option<f64> {
+        match &self.outcome {
+            RequestOutcome::Served { completed_us, .. } => Some(completed_us - self.arrival_us),
+            _ => None,
+        }
+    }
+
+    /// Whether a served request made its deadline.
+    pub fn met_deadline(&self) -> Option<bool> {
+        match &self.outcome {
+            RequestOutcome::Served { completed_us, .. } => {
+                Some(*completed_us <= self.deadline_us)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Deterministic request-serving frontend over one detector/device (see
+/// module docs). One-shot requests only; long-lived video sessions stay
+/// with `fd_detector::StreamSupervisor`.
+pub struct DetectionServer {
+    detector: FaceDetector,
+    queue: RequestQueue,
+    batcher: DynamicBatcher,
+    shed_late: bool,
+    now_us: f64,
+    next_seq: u64,
+    /// Future submissions, kept sorted by (arrival, seq) *descending* so
+    /// the next one pops off the back in O(1).
+    arrivals: Vec<DetectionRequest>,
+    completed: Vec<CompletedRequest>,
+    stats: ServeStats,
+}
+
+impl DetectionServer {
+    /// Build a server around a fresh detector for `cascade`.
+    pub fn new(
+        cascade: &Cascade,
+        detector_config: DetectorConfig,
+        config: ServeConfig,
+    ) -> Result<Self, ServeError> {
+        let detector =
+            FaceDetector::try_new(cascade, detector_config).map_err(ServeError::Detector)?;
+        Ok(Self::from_detector(detector, config))
+    }
+
+    /// Build a server around an existing detector (and therefore its
+    /// simulated device).
+    pub fn from_detector(detector: FaceDetector, config: ServeConfig) -> Self {
+        Self {
+            detector,
+            queue: RequestQueue::new(config.queue_depth_per_class),
+            batcher: DynamicBatcher::new(config.batch),
+            shed_late: config.shed_late,
+            now_us: 0.0,
+            next_seq: 0,
+            arrivals: Vec::new(),
+            completed: Vec::new(),
+            stats: ServeStats::default(),
+        }
+    }
+
+    /// The current virtual time, µs.
+    pub fn now_us(&self) -> f64 {
+        self.now_us
+    }
+
+    /// The wrapped detector (profiler access, device inspection).
+    pub fn detector(&self) -> &FaceDetector {
+        &self.detector
+    }
+
+    /// Requests on the arrival calendar plus requests queued.
+    pub fn pending(&self) -> usize {
+        self.arrivals.len() + self.queue.len()
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &ServeStats {
+        &self.stats
+    }
+
+    /// Finished requests, in completion order.
+    pub fn completed(&self) -> &[CompletedRequest] {
+        &self.completed
+    }
+
+    /// Drain the finished-request log (closed-loop generators resubmit
+    /// from these).
+    pub fn take_completed(&mut self) -> Vec<CompletedRequest> {
+        std::mem::take(&mut self.completed)
+    }
+
+    /// Schedule a detection request: `frame` arrives at `arrival_us`
+    /// (which must not lie in the past) with deadline
+    /// `arrival_us + slo_us`. Returns the request's id; its outcome
+    /// appears in [`Self::completed`] once the clock passes it.
+    pub fn submit(
+        &mut self,
+        frame: GrayImage,
+        priority: Priority,
+        arrival_us: f64,
+        slo_us: f64,
+    ) -> Result<RequestId, ServeError> {
+        if !arrival_us.is_finite() || arrival_us < self.now_us {
+            return Err(ServeError::InvalidSubmission {
+                reason: "arrival time must be finite and not in the past",
+            });
+        }
+        if !slo_us.is_finite() || slo_us <= 0.0 {
+            return Err(ServeError::InvalidSubmission {
+                reason: "SLO must be finite and positive",
+            });
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let id = RequestId(seq);
+        let req = DetectionRequest {
+            id,
+            priority,
+            arrival_us,
+            deadline_us: arrival_us + slo_us,
+            frame,
+            seq,
+        };
+        // Insert keeping descending (arrival, seq) so pop() yields the
+        // earliest; ties resolve by submission order.
+        let pos = self
+            .arrivals
+            .partition_point(|r| {
+                r.arrival_us
+                    .total_cmp(&req.arrival_us)
+                    .then(r.seq.cmp(&req.seq))
+                    .is_gt()
+            });
+        self.arrivals.insert(pos, req);
+        self.stats.submitted += 1;
+        Ok(id)
+    }
+
+    /// Run the event loop until the arrival calendar and the queue are
+    /// both empty. Device failures mark the affected requests
+    /// [`RequestOutcome::Failed`] and serving continues.
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Advance the event loop by one action (ingest, shed, wait or
+    /// dispatch). Returns `false` when idle with nothing pending —
+    /// closed-loop drivers interleave [`Self::submit`] between steps.
+    pub fn step(&mut self) -> bool {
+        self.ingest_due();
+        if self.queue.is_empty() {
+            let Some(next) = self.arrivals.last() else {
+                return false;
+            };
+            // Idle: jump to the next arrival.
+            self.now_us = self.now_us.max(next.arrival_us);
+            self.ingest_due();
+            return true;
+        }
+        if self.shed_late {
+            let late = self.queue.take_late(self.now_us);
+            if !late.is_empty() {
+                for req in late {
+                    self.stats.shed_late += 1;
+                    self.completed.push(CompletedRequest {
+                        id: req.id,
+                        priority: req.priority,
+                        arrival_us: req.arrival_us,
+                        deadline_us: req.deadline_us,
+                        outcome: RequestOutcome::ShedLate { shed_us: self.now_us },
+                    });
+                }
+                return true;
+            }
+        }
+        let next_arrival = self.arrivals.last().map(|r| r.arrival_us);
+        match self.batcher.decide(&self.queue, self.now_us, next_arrival) {
+            BatchDecision::WaitUntil(t) => {
+                self.now_us = self.now_us.max(t);
+            }
+            BatchDecision::Dispatch => {
+                self.dispatch();
+            }
+        }
+        true
+    }
+
+    /// Move arrivals whose time has come into the queue, rejecting into
+    /// the completion log when a class is full.
+    fn ingest_due(&mut self) {
+        while self.arrivals.last().is_some_and(|r| r.arrival_us <= self.now_us) {
+            let Some(req) = self.arrivals.pop() else { break };
+            if let Err(req) = self.queue.offer(req) {
+                self.stats.rejected_full += 1;
+                self.stats.rejected_per_class[req.priority.index()] += 1;
+                self.completed.push(CompletedRequest {
+                    id: req.id,
+                    priority: req.priority,
+                    arrival_us: req.arrival_us,
+                    deadline_us: req.deadline_us,
+                    outcome: RequestOutcome::RejectedQueueFull,
+                });
+            }
+        }
+        self.stats.max_queue_depth = self.stats.max_queue_depth.max(self.queue.len());
+    }
+
+    /// Submit the EDF head's batch to the device and complete its
+    /// members at the submission's drain time.
+    fn dispatch(&mut self) {
+        let batch = self.batcher.form(&mut self.queue);
+        if batch.is_empty() {
+            return;
+        }
+        let dispatched_us = self.now_us;
+        let frames: Vec<&GrayImage> = batch.iter().map(|r| &r.frame).collect();
+        match self.detector.detect_batch(&frames) {
+            Ok(results) => {
+                let span_us = results.first().map_or(0.0, |r| r.timeline.span_us());
+                self.now_us += span_us;
+                self.stats.gpu_busy_us += span_us;
+                self.stats.batches += 1;
+                self.stats.batched_requests += batch.len() as u64;
+                let batch_size = batch.len();
+                for (req, result) in batch.into_iter().zip(results) {
+                    let latency = self.now_us - req.arrival_us;
+                    self.stats.served += 1;
+                    self.stats.latency.record(latency);
+                    self.stats.latency_per_class[req.priority.index()].record(latency);
+                    if self.now_us <= req.deadline_us {
+                        self.stats.deadline_met += 1;
+                    } else {
+                        self.stats.deadline_missed += 1;
+                    }
+                    self.completed.push(CompletedRequest {
+                        id: req.id,
+                        priority: req.priority,
+                        arrival_us: req.arrival_us,
+                        deadline_us: req.deadline_us,
+                        outcome: RequestOutcome::Served {
+                            dispatched_us,
+                            completed_us: self.now_us,
+                            batch_size,
+                            result,
+                        },
+                    });
+                }
+                self.stats.makespan_us = self.stats.makespan_us.max(self.now_us);
+            }
+            Err(error) => {
+                // The submission was rejected before consuming device
+                // time; its members fail, the server keeps serving.
+                for req in batch {
+                    self.stats.failed += 1;
+                    self.completed.push(CompletedRequest {
+                        id: req.id,
+                        priority: req.priority,
+                        arrival_us: req.arrival_us,
+                        deadline_us: req.deadline_us,
+                        outcome: RequestOutcome::Failed {
+                            dispatched_us,
+                            error: error.clone(),
+                        },
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fd_haar::{FeatureKind, HaarFeature, Stage, Stump};
+
+    fn edge_cascade() -> Cascade {
+        let f = HaarFeature::from_params(FeatureKind::EdgeH, 6, 4, 6, 8);
+        let mut c = Cascade::new("edge", 24);
+        c.stages.push(Stage {
+            stumps: vec![Stump { feature: f, threshold: 8192, left: -1.0, right: 1.0 }],
+            threshold: 0.5,
+        });
+        c
+    }
+
+    fn pattern_frame(w: usize, h: usize, shift: usize) -> GrayImage {
+        GrayImage::from_fn(w, h, |x, y| {
+            let x = x + shift;
+            if (20..30).contains(&x) && (14..34).contains(&y) {
+                5.0
+            } else if (30..40).contains(&x) && (14..34).contains(&y) {
+                250.0
+            } else {
+                120.0
+            }
+        })
+    }
+
+    fn server(config: ServeConfig) -> DetectionServer {
+        let det_cfg = DetectorConfig { min_neighbors: 1, ..DetectorConfig::default() };
+        DetectionServer::new(&edge_cascade(), det_cfg, config).unwrap()
+    }
+
+    #[test]
+    fn single_request_is_served_with_service_latency() {
+        let mut s = server(ServeConfig::default());
+        let id = s
+            .submit(pattern_frame(64, 48, 0), Priority::Interactive, 100.0, 1e6)
+            .unwrap();
+        s.run();
+        assert_eq!(s.completed().len(), 1);
+        let c = &s.completed()[0];
+        assert_eq!(c.id, id);
+        let RequestOutcome::Served { completed_us, batch_size, ref result, .. } = c.outcome
+        else {
+            panic!("expected served, got {:?}", c.outcome);
+        };
+        assert_eq!(batch_size, 1);
+        assert!(completed_us > 100.0);
+        assert!(!result.raw.is_empty(), "pattern fires windows");
+        assert_eq!(c.latency_us(), Some(completed_us - 100.0));
+        assert_eq!(s.stats().served, 1);
+        assert_eq!(s.stats().mean_batch_occupancy(), 1.0);
+        assert!(s.stats().throughput_rps() > 0.0);
+    }
+
+    #[test]
+    fn simultaneous_arrivals_batch_up_to_the_cap() {
+        let mut s = server(ServeConfig {
+            batch: BatchPolicy { max_batch_size: 4, ..BatchPolicy::default() },
+            ..ServeConfig::default()
+        });
+        for _ in 0..6 {
+            s.submit(pattern_frame(64, 48, 0), Priority::Standard, 0.0, 1e9).unwrap();
+        }
+        s.run();
+        assert_eq!(s.stats().served, 6);
+        assert_eq!(s.stats().batches, 2, "4 + 2");
+        assert_eq!(s.stats().max_queue_depth, 6);
+        assert!(s.stats().mean_batch_occupancy() > 2.9);
+    }
+
+    #[test]
+    fn mixed_geometries_batch_separately() {
+        let mut s = server(ServeConfig::default());
+        s.submit(pattern_frame(64, 48, 0), Priority::Standard, 0.0, 1e9).unwrap();
+        s.submit(pattern_frame(96, 72, 0), Priority::Standard, 0.0, 1e9).unwrap();
+        s.submit(pattern_frame(64, 48, 2), Priority::Standard, 0.0, 1e9).unwrap();
+        s.run();
+        assert_eq!(s.stats().served, 3);
+        assert_eq!(s.stats().batches, 2, "64x48 pair fuses, 96x72 runs alone");
+    }
+
+    #[test]
+    fn edf_dispatches_tightest_deadline_first() {
+        let mut s = server(ServeConfig {
+            batch: BatchPolicy { enabled: false, ..BatchPolicy::default() },
+            ..ServeConfig::default()
+        });
+        let loose = s.submit(pattern_frame(64, 48, 0), Priority::Bulk, 0.0, 9e8).unwrap();
+        let tight = s.submit(pattern_frame(64, 48, 1), Priority::Bulk, 0.0, 1e6).unwrap();
+        s.run();
+        let order: Vec<_> = s.completed().iter().map(|c| c.id).collect();
+        assert_eq!(order, [tight, loose]);
+    }
+
+    #[test]
+    fn late_requests_are_shed_deterministically() {
+        let mut s = server(ServeConfig {
+            batch: BatchPolicy { enabled: false, ..BatchPolicy::default() },
+            ..ServeConfig::default()
+        });
+        // The first request's service time pushes the clock well past the
+        // second's deadline before it even arrives, so it is shed, never
+        // run. (Frame service here is on the order of hundreds of µs.)
+        let a = s.submit(pattern_frame(96, 72, 0), Priority::Standard, 0.0, 1e9).unwrap();
+        let b = s.submit(pattern_frame(96, 72, 1), Priority::Standard, 10.0, 1.0).unwrap();
+        s.run();
+        let by_id = |id| s.completed().iter().find(|c| c.id == id).unwrap();
+        assert!(matches!(by_id(a).outcome, RequestOutcome::Served { .. }));
+        assert!(matches!(by_id(b).outcome, RequestOutcome::ShedLate { .. }));
+        assert_eq!(s.stats().shed_late, 1);
+        assert_eq!(s.stats().served, 1);
+    }
+
+    #[test]
+    fn shedding_disabled_serves_late_requests() {
+        let mut s = server(ServeConfig {
+            shed_late: false,
+            batch: BatchPolicy { enabled: false, ..BatchPolicy::default() },
+            ..ServeConfig::default()
+        });
+        s.submit(pattern_frame(96, 72, 0), Priority::Standard, 0.0, 1e9).unwrap();
+        s.submit(pattern_frame(96, 72, 1), Priority::Standard, 10.0, 1.0).unwrap();
+        s.run();
+        assert_eq!(s.stats().served, 2);
+        assert_eq!(s.stats().shed_late, 0);
+        assert_eq!(s.stats().deadline_missed, 1);
+    }
+
+    #[test]
+    fn full_class_queue_rejects_at_arrival() {
+        let mut s = server(ServeConfig {
+            queue_depth_per_class: 2,
+            batch: BatchPolicy { max_batch_size: 2, max_wait_us: 1e9, enabled: true },
+            ..ServeConfig::default()
+        });
+        // Four bulk arrivals at t=0; depth 2 → two rejected. Interactive
+        // still admitted.
+        for _ in 0..4 {
+            s.submit(pattern_frame(64, 48, 0), Priority::Bulk, 0.0, 1e9).unwrap();
+        }
+        s.submit(pattern_frame(64, 48, 0), Priority::Interactive, 0.0, 1e9).unwrap();
+        s.run();
+        assert_eq!(s.stats().rejected_full, 2);
+        assert_eq!(s.stats().rejected_per_class, [0, 0, 2]);
+        assert_eq!(s.stats().served, 3);
+    }
+
+    #[test]
+    fn submissions_in_the_past_are_invalid() {
+        let mut s = server(ServeConfig::default());
+        s.submit(pattern_frame(64, 48, 0), Priority::Standard, 100.0, 1e6).unwrap();
+        s.run();
+        assert!(s.now_us() > 100.0);
+        let err = s.submit(pattern_frame(64, 48, 0), Priority::Standard, 0.0, 1e6);
+        assert!(matches!(err, Err(ServeError::InvalidSubmission { .. })));
+        let err = s.submit(pattern_frame(64, 48, 0), Priority::Standard, f64::NAN, 1e6);
+        assert!(matches!(err, Err(ServeError::InvalidSubmission { .. })));
+        let err = s.submit(pattern_frame(64, 48, 0), Priority::Standard, s.now_us(), 0.0);
+        assert!(matches!(err, Err(ServeError::InvalidSubmission { .. })));
+    }
+
+    #[test]
+    fn device_failures_fail_the_batch_not_the_server() {
+        // A frame smaller than the 24-px cascade window fails planning at
+        // dispatch; the next request still gets served.
+        let mut s = server(ServeConfig {
+            batch: BatchPolicy { enabled: false, ..BatchPolicy::default() },
+            ..ServeConfig::default()
+        });
+        let bad = s
+            .submit(GrayImage::from_fn(8, 8, |_, _| 0.0), Priority::Standard, 0.0, 1e9)
+            .unwrap();
+        let good = s.submit(pattern_frame(64, 48, 0), Priority::Standard, 0.0, 2e9).unwrap();
+        s.run();
+        let by_id = |id| s.completed().iter().find(|c| c.id == id).unwrap();
+        assert!(matches!(by_id(bad).outcome, RequestOutcome::Failed { .. }));
+        assert!(matches!(by_id(good).outcome, RequestOutcome::Served { .. }));
+        assert_eq!(s.stats().failed, 1);
+        assert_eq!(s.stats().served, 1);
+    }
+
+    #[test]
+    fn open_loop_run_is_bit_identical_across_host_threads() {
+        let run = |threads: usize| {
+            let det_cfg = DetectorConfig {
+                min_neighbors: 1,
+                host_threads: Some(threads),
+                ..DetectorConfig::default()
+            };
+            let mut s = DetectionServer::new(&edge_cascade(), det_cfg, ServeConfig::default())
+                .unwrap();
+            for i in 0..10u64 {
+                s.submit(
+                    pattern_frame(64, 48, (i % 4) as usize),
+                    Priority::ALL[(i % 3) as usize],
+                    (i * 700) as f64,
+                    40_000.0,
+                )
+                .unwrap();
+            }
+            s.run();
+            s.completed()
+                .iter()
+                .map(|c| {
+                    let (kind, t) = match &c.outcome {
+                        RequestOutcome::Served { completed_us, result, .. } => {
+                            (0u8, completed_us.to_bits() ^ result.raw.len() as u64)
+                        }
+                        RequestOutcome::ShedLate { shed_us } => (1, shed_us.to_bits()),
+                        RequestOutcome::RejectedQueueFull => (2, 0),
+                        RequestOutcome::Failed { .. } => (3, 0),
+                    };
+                    (c.id, kind, t)
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn closed_loop_driving_via_step_makes_progress() {
+        let mut s = server(ServeConfig::default());
+        let mut submitted = 0usize;
+        let mut in_flight = 0usize;
+        for _ in 0..3 {
+            s.submit(pattern_frame(64, 48, 0), Priority::Standard, 0.0, 1e9).unwrap();
+            submitted += 1;
+            in_flight += 1;
+        }
+        let mut served_total = 0usize;
+        let mut rounds = 0;
+        while in_flight > 0 && rounds < 100 {
+            while s.step() {}
+            for c in s.take_completed() {
+                assert!(matches!(c.outcome, RequestOutcome::Served { .. }));
+                in_flight -= 1;
+                served_total += 1;
+                // Zero-think-time resubmission, 9 submissions total.
+                if submitted < 9 {
+                    s.submit(pattern_frame(64, 48, 0), Priority::Standard, s.now_us(), 1e9)
+                        .unwrap();
+                    submitted += 1;
+                    in_flight += 1;
+                }
+            }
+            rounds += 1;
+        }
+        assert_eq!(served_total, 9);
+        assert_eq!(s.stats().served, 9);
+    }
+}

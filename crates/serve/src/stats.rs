@@ -1,0 +1,163 @@
+//! Serving statistics: latency histograms, shed/batch-occupancy and
+//! queue-depth accounting. All times are virtual microseconds.
+
+use crate::request::Priority;
+
+/// Exact latency histogram: keeps every sample and answers quantiles by
+/// sorted rank. Serving runs are bounded (one sample per served
+/// request), so exactness is affordable and keeps the quantiles — and
+/// therefore the benches' pass/fail assertions — fully deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyHistogram {
+    samples_us: Vec<f64>,
+}
+
+impl LatencyHistogram {
+    pub fn record(&mut self, latency_us: f64) {
+        self.samples_us.push(latency_us);
+    }
+
+    pub fn len(&self) -> usize {
+        self.samples_us.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.samples_us.is_empty()
+    }
+
+    /// The `q`-quantile (0 < q <= 1) by nearest-rank; 0 when empty.
+    pub fn quantile_us(&self, q: f64) -> f64 {
+        if self.samples_us.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples_us.clone();
+        sorted.sort_by(f64::total_cmp);
+        let rank = (q * sorted.len() as f64).ceil() as usize;
+        sorted[rank.clamp(1, sorted.len()) - 1]
+    }
+
+    pub fn p50_us(&self) -> f64 {
+        self.quantile_us(0.50)
+    }
+
+    pub fn p95_us(&self) -> f64 {
+        self.quantile_us(0.95)
+    }
+
+    pub fn p99_us(&self) -> f64 {
+        self.quantile_us(0.99)
+    }
+
+    pub fn max_us(&self) -> f64 {
+        self.samples_us.iter().copied().fold(0.0, f64::max)
+    }
+
+    pub fn mean_us(&self) -> f64 {
+        if self.samples_us.is_empty() {
+            return 0.0;
+        }
+        self.samples_us.iter().sum::<f64>() / self.samples_us.len() as f64
+    }
+}
+
+/// Aggregate accounting for one serving run.
+#[derive(Debug, Clone, Default)]
+pub struct ServeStats {
+    /// Requests submitted to the arrival calendar.
+    pub submitted: u64,
+    /// Requests served to completion.
+    pub served: u64,
+    /// Requests shed because their deadline passed while queued.
+    pub shed_late: u64,
+    /// Requests refused at arrival because their class queue was full.
+    pub rejected_full: u64,
+    /// Per-class breakdown of `rejected_full` (indexed by
+    /// [`Priority::index`]).
+    pub rejected_per_class: [u64; 3],
+    /// Requests whose batch failed on the device.
+    pub failed: u64,
+    /// Served requests that completed by their deadline.
+    pub deadline_met: u64,
+    /// Served requests that completed after their deadline.
+    pub deadline_missed: u64,
+    /// Device submissions dispatched.
+    pub batches: u64,
+    /// Requests carried by those submissions (occupancy numerator).
+    pub batched_requests: u64,
+    /// High-water mark of total queued requests.
+    pub max_queue_depth: usize,
+    /// Virtual µs the device spent executing submissions.
+    pub gpu_busy_us: f64,
+    /// Virtual time of the last completion.
+    pub makespan_us: f64,
+    /// Queueing + service latency of served requests.
+    pub latency: LatencyHistogram,
+    /// Per-class latency (indexed by [`Priority::index`]).
+    pub latency_per_class: [LatencyHistogram; 3],
+}
+
+impl ServeStats {
+    /// Mean requests per device submission (1.0 = batching bought
+    /// nothing, `max_batch_size` = perfectly full batches).
+    pub fn mean_batch_occupancy(&self) -> f64 {
+        if self.batches == 0 {
+            return 0.0;
+        }
+        self.batched_requests as f64 / self.batches as f64
+    }
+
+    /// Served requests per virtual second.
+    pub fn throughput_rps(&self) -> f64 {
+        if self.makespan_us <= 0.0 {
+            return 0.0;
+        }
+        self.served as f64 / (self.makespan_us / 1e6)
+    }
+
+    /// Latency histogram of one priority class.
+    pub fn class_latency(&self, class: Priority) -> &LatencyHistogram {
+        &self.latency_per_class[class.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_use_nearest_rank() {
+        let mut h = LatencyHistogram::default();
+        for v in [50.0, 10.0, 30.0, 20.0, 40.0] {
+            h.record(v);
+        }
+        assert_eq!(h.p50_us(), 30.0);
+        assert_eq!(h.quantile_us(0.2), 10.0);
+        assert_eq!(h.p99_us(), 50.0);
+        assert_eq!(h.max_us(), 50.0);
+        assert_eq!(h.mean_us(), 30.0);
+        assert_eq!(h.len(), 5);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeroes() {
+        let h = LatencyHistogram::default();
+        assert!(h.is_empty());
+        assert_eq!(h.p99_us(), 0.0);
+        assert_eq!(h.mean_us(), 0.0);
+    }
+
+    #[test]
+    fn occupancy_and_throughput_derive_from_counters() {
+        let stats = ServeStats {
+            served: 20,
+            batches: 5,
+            batched_requests: 20,
+            makespan_us: 2_000_000.0,
+            ..ServeStats::default()
+        };
+        assert_eq!(stats.mean_batch_occupancy(), 4.0);
+        assert_eq!(stats.throughput_rps(), 10.0);
+        assert_eq!(ServeStats::default().mean_batch_occupancy(), 0.0);
+        assert_eq!(ServeStats::default().throughput_rps(), 0.0);
+    }
+}

@@ -19,6 +19,12 @@ echo "== supervisor soak (breakers must recover; asserts zero stuck in Quarantin
 FD_RESULTS_DIR="$(mktemp -d)" \
   cargo run --release --offline -q -p fd-bench --bin supervisor_soak -- --sessions 3 --frames 120
 
+echo "== serve load (asserts batched p99 <= unbatched p99 and >= 1.5x throughput at saturation) =="
+# Scratch results dir, same reasoning as the soak step: the committed
+# results/BENCH_serve_load.json stays the full-length run.
+FD_RESULTS_DIR="$(mktemp -d)" \
+  cargo run --release --offline -q -p fd-bench --bin serve_load -- --requests 150
+
 echo "== cargo clippy --all-targets -- -D warnings =="
 cargo clippy --all-targets --offline -- -D warnings
 

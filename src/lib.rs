@@ -20,6 +20,9 @@
 //!   H.264 decoder model;
 //! * [`detector`] (`fd-detector`) — the paper's pipeline and the public
 //!   [`prelude::FaceDetector`] API;
+//! * [`serve`] (`fd-serve`) — a deterministic request-serving frontend
+//!   with dynamic cross-request batching and SLO-aware (EDF + shedding)
+//!   scheduling on a virtual clock;
 //! * [`eval`] (`fd-eval`) — Hungarian-matched TPR/FP accuracy evaluation.
 //!
 //! ## Quickstart
@@ -58,6 +61,7 @@ pub use fd_eval as eval;
 pub use fd_gpu as gpu;
 pub use fd_haar as haar;
 pub use fd_imgproc as imgproc;
+pub use fd_serve as serve;
 pub use fd_video as video;
 
 /// The most common imports in one place.
@@ -68,4 +72,5 @@ pub mod prelude {
     pub use fd_gpu::{DeviceSpec, ExecMode};
     pub use fd_haar::{Cascade, FeatureKind, HaarFeature, Stage, Stump};
     pub use fd_imgproc::{GrayImage, IntegralImage, Rect, RgbImage};
+    pub use fd_serve::{BatchPolicy, DetectionServer, Priority, ServeConfig, ServeStats};
 }
