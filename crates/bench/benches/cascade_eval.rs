@@ -90,7 +90,8 @@ fn bench_gpu_kernel(c: &mut Criterion) {
                 let k = fd_detector::kernels::CascadeKernel::new(
                     &cascade, integral, w, h, depth, score, cp,
                 );
-                gpu.launch_default(&k, k.config()).unwrap();
+                let cfg = k.config();
+        gpu.launch_default(k, cfg).unwrap();
                 black_box(gpu.synchronize().span_us())
             })
         });

@@ -74,7 +74,8 @@ fn main() {
                 );
                 let s = gpu.create_stream();
                 streams.push(s);
-                gpu.launch(&k, k.config(), s).unwrap();
+                let cfg = k.config();
+                gpu.launch(k, cfg, s).unwrap();
             }
             cascade_only_ms = gpu.synchronize().span_us() / 1000.0;
         }

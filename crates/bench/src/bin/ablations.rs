@@ -55,7 +55,8 @@ fn main() {
         if !compressed {
             k = k.with_uncompressed_records();
         }
-        gpu.launch_default(&k, k.config()).unwrap();
+        let cfg = k.config();
+        gpu.launch_default(k, cfg).unwrap();
         let t = gpu.synchronize();
         let ev = &t.events[0];
         kernel_rows.push(vec![

@@ -4,7 +4,7 @@
 //! the per-frame statistics the paper's evaluation consumes (latency,
 //! per-stage rejection histograms, profiler counters).
 
-use fd_gpu::{DeviceSpec, ExecMode, FaultPlan, Gpu, Timeline};
+use fd_gpu::{DeviceSpec, ExecMode, FaultPlan, Gpu, HostExec, Timeline};
 use fd_haar::Cascade;
 use fd_imgproc::{GrayImage, Rect};
 
@@ -31,6 +31,11 @@ pub struct DetectorConfig {
     /// defers to `FD_SIM_THREADS` or the machine's core count; `Some(1)`
     /// forces sequential execution. Results are identical either way.
     pub host_threads: Option<usize>,
+    /// Host execution engine for the simulator's functional phase.
+    /// `None` defers to `FD_SIM_HOST_EXEC`, then to the asynchronous
+    /// deferred-drain engine. Results are bit-identical either way; only
+    /// host wall-clock differs.
+    pub host_exec: Option<HostExec>,
     /// Deterministic device fault injection (robustness experiments).
     /// `None` — and any inert plan — leaves behaviour bit-identical to a
     /// fault-free device.
@@ -47,6 +52,7 @@ impl Default for DetectorConfig {
             min_neighbors: 2,
             collect_rejection_stats: false,
             host_threads: None,
+            host_exec: None,
             fault_plan: None,
         }
     }
@@ -121,6 +127,7 @@ impl FaceDetector {
         cascade.validate().map_err(|source| DetectorError::InvalidCascade { source })?;
         let mut gpu = Gpu::new(config.device.clone(), config.exec_mode);
         gpu.set_host_threads(config.host_threads);
+        gpu.set_host_exec(config.host_exec);
         gpu.set_fault_plan(config.fault_plan.clone());
         let pipeline = FramePipeline::try_new(gpu, cascade, config.scale_factor)?;
         Ok(Self { pipeline, config })

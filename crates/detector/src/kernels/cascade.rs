@@ -343,6 +343,10 @@ impl Kernel for CascadeKernel {
         let covered_h = (h - by).min(b);
         ctx.meter.global_store(8 * (covered_w * covered_h) as u64);
     }
+
+    fn access(&self, set: &mut fd_gpu::AccessSet) {
+        set.reads(self.integral).writes(self.depth_out).writes(self.score_out);
+    }
 }
 
 #[cfg(test)]
@@ -389,7 +393,8 @@ mod tests {
         let score = gpu.mem.alloc::<f32>(w * h);
         let cp = gpu.const_upload(&encode_cascade(c));
         let k = CascadeKernel::new(c, integral, w, h, depth, score, cp);
-        gpu.launch_default(&k, k.config()).unwrap();
+        let cfg = k.config();
+        gpu.launch_default(k, cfg).unwrap();
         let t = gpu.synchronize();
         (gpu.mem.download(depth), gpu.mem.download(score), t)
     }

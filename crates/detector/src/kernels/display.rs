@@ -74,6 +74,10 @@ impl Kernel for DisplayKernel {
         ctx.meter.branches(warps, warp_divergent);
         let _ = hit_count;
     }
+
+    fn access(&self, set: &mut fd_gpu::AccessSet) {
+        set.reads(self.depth).writes(self.hits);
+    }
 }
 
 #[cfg(test)]
@@ -86,7 +90,8 @@ mod tests {
         let d = gpu.mem.upload(depth);
         let hits = gpu.mem.alloc::<u32>(w * h);
         let k = DisplayKernel { depth: d, hits, width: w, height: h, required_depth: req };
-        gpu.launch_default(&k, k.config()).unwrap();
+        let cfg = k.config();
+        gpu.launch_default(k, cfg).unwrap();
         gpu.synchronize();
         gpu.mem.download(hits)
     }

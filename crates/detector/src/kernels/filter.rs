@@ -83,6 +83,10 @@ impl Kernel for FilterKernel {
         ctx.meter.alu(10 * warps);
         ctx.meter.global_store(4 * covered);
     }
+
+    fn access(&self, set: &mut fd_gpu::AccessSet) {
+        set.reads(self.src).writes(self.dst);
+    }
 }
 
 #[cfg(test)]
@@ -97,7 +101,8 @@ mod tests {
         let sbuf = gpu.mem.upload(src.as_slice());
         let dbuf = gpu.mem.alloc::<f32>(src.width() * src.height());
         let k = FilterKernel { src: sbuf, dst: dbuf, width: src.width(), height: src.height() };
-        gpu.launch_default(&k, k.config()).unwrap();
+        let cfg = k.config();
+        gpu.launch_default(k, cfg).unwrap();
         gpu.synchronize();
         gpu.mem.download(dbuf)
     }

@@ -181,6 +181,18 @@ impl Kernel for CascadeSegmentKernel {
         ctx.meter.alu(m_alu);
         ctx.meter.branches(m_branches, m_divergent);
     }
+
+    fn access(&self, set: &mut fd_gpu::AccessSet) {
+        // scores/alive are read-modify-write; depth is write-only here but
+        // carries prior segments' values in unwritten lanes (WAW ordering).
+        set.reads(self.integral)
+            .reads(self.coords)
+            .reads(self.scores)
+            .reads(self.alive)
+            .writes(self.scores)
+            .writes(self.alive)
+            .writes(self.depth);
+    }
 }
 
 /// Stream-compaction kernel: rebuilds the dense work list from survivor
@@ -248,6 +260,17 @@ impl Kernel for CompactKernel {
             ctx.syncthreads();
         }
     }
+
+    fn access(&self, set: &mut fd_gpu::AccessSet) {
+        set.reads(self.coords_in)
+            .reads(self.scores_in)
+            .reads(self.depth_in)
+            .reads(self.alive)
+            .writes(self.coords_out)
+            .writes(self.scores_out)
+            .writes(self.depth_out)
+            .writes(self.count_out);
+    }
 }
 
 /// Run one pyramid level with the rearrangement strategy: segments of
@@ -304,7 +327,8 @@ pub fn run_rearranged_level(
             stage_end,
             cascade: Arc::clone(&cascade),
         };
-        if let Err(source) = gpu.launch(&seg, seg.config(), stream) {
+        let seg_cfg = seg.config();
+        if let Err(source) = gpu.launch(seg, seg_cfg, stream) {
             gpu.cancel_pending();
             gpu.mem.free(alive);
             gpu.mem.free(coords);
@@ -334,7 +358,8 @@ pub fn run_rearranged_level(
             depth_out,
             count_out,
         };
-        if let Err(source) = gpu.launch(&compact, compact.config(), stream) {
+        let compact_cfg = compact.config();
+        if let Err(source) = gpu.launch(compact, compact_cfg, stream) {
             gpu.cancel_pending();
             gpu.mem.free(alive);
             gpu.mem.free(coords);

@@ -65,6 +65,12 @@ impl Kernel for ScaleKernel {
         ctx.meter.alu(6 * covered.div_ceil(warp));
         ctx.meter.global_store(4 * covered);
     }
+
+    fn access(&self, set: &mut fd_gpu::AccessSet) {
+        // The source is a texture; texture state is flushed ahead of any
+        // host-side mutation, so only the buffer write needs declaring.
+        set.writes(self.dst);
+    }
 }
 
 #[cfg(test)]
@@ -90,7 +96,8 @@ mod tests {
             dst_w: dw,
             dst_h: dh,
         };
-        gpu.launch_default(&k, k.config()).unwrap();
+        let cfg = k.config();
+        gpu.launch_default(k, cfg).unwrap();
         gpu.synchronize();
         gpu.mem.download(dst)
     }
@@ -121,7 +128,8 @@ mod tests {
         let tex = gpu.bind_texture(Texture2D::from_data(32, 32, src.as_slice().to_vec()));
         let dst = gpu.mem.alloc::<f32>(16 * 16);
         let k = ScaleKernel { src: tex, src_w: 32, src_h: 32, dst, dst_w: 16, dst_h: 16 };
-        gpu.launch_default(&k, k.config()).unwrap();
+        let cfg = k.config();
+        gpu.launch_default(k, cfg).unwrap();
         let t = gpu.synchronize();
         let c = &t.events[0].counters;
         assert_eq!(c.tex_fetches, 256);

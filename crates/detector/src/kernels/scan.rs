@@ -96,6 +96,14 @@ impl Kernel for ScanRowsKernel {
             ctx.syncthreads();
         }
     }
+
+    fn access(&self, set: &mut fd_gpu::AccessSet) {
+        match self.input {
+            ScanInput::QuantizeF32(src) => set.reads(src),
+            ScanInput::U32(src) => set.reads(src),
+        }
+        .writes(self.output);
+    }
 }
 
 #[cfg(test)]
@@ -111,7 +119,8 @@ mod tests {
         let src = gpu.mem.upload(&data);
         let dst = gpu.mem.alloc::<u32>(w * h);
         let k = ScanRowsKernel { input: ScanInput::U32(src), output: dst, width: w, height: h };
-        gpu.launch_default(&k, k.config()).unwrap();
+        let cfg = k.config();
+        gpu.launch_default(k, cfg).unwrap();
         gpu.synchronize();
         let out = gpu.mem.download(dst);
 
@@ -132,7 +141,8 @@ mod tests {
             width: 5,
             height: 1,
         };
-        gpu.launch_default(&k, k.config()).unwrap();
+        let cfg = k.config();
+        gpu.launch_default(k, cfg).unwrap();
         gpu.synchronize();
         // Quantized: 0, 1, 255, 255, 0 -> prefix 0, 1, 256, 511, 511.
         assert_eq!(gpu.mem.download(dst), vec![0, 1, 256, 511, 511]);

@@ -85,6 +85,10 @@ impl Kernel for TransposeKernel {
         ctx.meter.shared(2 * warps);
         ctx.meter.alu(4 * warps);
     }
+
+    fn access(&self, set: &mut fd_gpu::AccessSet) {
+        set.reads(self.src).writes(self.dst);
+    }
 }
 
 #[cfg(test)]
@@ -97,7 +101,8 @@ mod tests {
         let src = gpu.mem.upload(data);
         let dst = gpu.mem.alloc::<u32>(w * h);
         let k = TransposeKernel { src, dst, width: w, height: h };
-        gpu.launch_default(&k, k.config()).unwrap();
+        let cfg = k.config();
+        gpu.launch_default(k, cfg).unwrap();
         gpu.synchronize();
         gpu.mem.download(dst)
     }

@@ -51,39 +51,60 @@ pub fn detect_multi_gpu(
     let window = cascade.window as usize;
     let plan = Pyramid::plan(frame.width(), frame.height(), scale_factor, window);
 
-    // Partition levels round-robin (level i -> GPU i % n).
+    // Partition levels round-robin (level i -> GPU i % n). The devices
+    // are independent simulators, so they run on one host thread each —
+    // the host-side analogue of the real setup's per-GPU driver threads.
+    // Results are aggregated in device order, so the output (and the
+    // first error surfaced) is identical to the sequential loop.
+    let device_results: Vec<Result<(f64, usize), DetectorError>> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..n_gpus)
+                .map(|g| {
+                    let plan = &plan;
+                    scope.spawn(move || -> Result<(f64, usize), DetectorError> {
+                        let levels: Vec<usize> =
+                            (0..plan.len()).filter(|l| l % n_gpus == g).collect();
+                        if levels.is_empty() {
+                            return Ok((0.0, 0));
+                        }
+                        // Each device runs a pipeline restricted to its
+                        // levels. The restriction is emulated by rescaling
+                        // the frame to the largest assigned level and
+                        // running a pyramid whose plan matches the assigned
+                        // levels' dimensions; level spacing within a device
+                        // is `factor^n_gpus`.
+                        let device_factor = scale_factor.powi(n_gpus as i32);
+                        let top = plan[levels[0]];
+                        let scaled = if top == (frame.width(), frame.height()) {
+                            frame.clone()
+                        } else {
+                            fd_imgproc::resize::resize_bilinear(frame, top.0, top.1)
+                        };
+                        if scaled.width() < window || scaled.height() < window {
+                            return Ok((0.0, 0));
+                        }
+                        let gpu = Gpu::new(spec.clone(), ExecMode::Concurrent);
+                        let mut pipeline = FramePipeline::try_new(gpu, cascade, device_factor)?;
+                        let (outputs, timeline) = pipeline.run_frame(&scaled)?;
+                        let hits = outputs
+                            .iter()
+                            .map(|o| o.hits.iter().filter(|&&h| h != 0).count())
+                            .sum::<usize>();
+                        Ok((timeline.span_us() / 1000.0, hits))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("device thread panicked"))
+                .collect()
+        });
     let mut per_gpu_ms = Vec::with_capacity(n_gpus);
     let mut raw_detections = 0usize;
-    for g in 0..n_gpus {
-        let levels: Vec<usize> = (0..plan.len()).filter(|l| l % n_gpus == g).collect();
-        if levels.is_empty() {
-            per_gpu_ms.push(0.0);
-            continue;
-        }
-        // Each device runs a pipeline restricted to its levels. The
-        // restriction is emulated by rescaling the frame to the largest
-        // assigned level and running a pyramid whose plan matches the
-        // assigned levels' dimensions; level spacing within a device is
-        // `factor^n_gpus`.
-        let device_factor = scale_factor.powi(n_gpus as i32);
-        let top = plan[levels[0]];
-        let scaled = if top == (frame.width(), frame.height()) {
-            frame.clone()
-        } else {
-            fd_imgproc::resize::resize_bilinear(frame, top.0, top.1)
-        };
-        if scaled.width() < window || scaled.height() < window {
-            per_gpu_ms.push(0.0);
-            continue;
-        }
-        let gpu = Gpu::new(spec.clone(), ExecMode::Concurrent);
-        let mut pipeline = FramePipeline::try_new(gpu, cascade, device_factor)?;
-        let (outputs, timeline) = pipeline.run_frame(&scaled)?;
-        raw_detections += outputs
-            .iter()
-            .map(|o| o.hits.iter().filter(|&&h| h != 0).count())
-            .sum::<usize>();
-        per_gpu_ms.push(timeline.span_us() / 1000.0);
+    for r in device_results {
+        let (ms, hits) = r?;
+        per_gpu_ms.push(ms);
+        raw_detections += hits;
     }
 
     // Every device receives the raw frame (no on-die decoder on the

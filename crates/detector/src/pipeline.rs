@@ -359,7 +359,7 @@ impl FramePipeline {
                     dst_h: h,
                 })
                 .collect();
-            if let Err(e) = gpu.launch_batched(&scales, scales[0].config(), stream) {
+            if let Err(e) = { let cfg = scales[0].config(); gpu.launch_batched(scales, cfg, stream) } {
                 return fail(gpu, "scale_bilinear", level, e);
             }
 
@@ -372,7 +372,7 @@ impl FramePipeline {
                     height: h,
                 })
                 .collect();
-            if let Err(e) = gpu.launch_batched(&filters, filters[0].config(), stream) {
+            if let Err(e) = { let cfg = filters[0].config(); gpu.launch_batched(filters, cfg, stream) } {
                 return fail(gpu, "filter_3tap", level, e);
             }
 
@@ -385,7 +385,7 @@ impl FramePipeline {
                     height: h,
                 })
                 .collect();
-            if let Err(e) = gpu.launch_batched(&scan1s, scan1s[0].config(), stream) {
+            if let Err(e) = { let cfg = scan1s[0].config(); gpu.launch_batched(scan1s, cfg, stream) } {
                 return fail(gpu, "scan_rows", level, e);
             }
 
@@ -398,7 +398,7 @@ impl FramePipeline {
                     height: h,
                 })
                 .collect();
-            if let Err(e) = gpu.launch_batched(&t1s, t1s[0].config(), stream) {
+            if let Err(e) = { let cfg = t1s[0].config(); gpu.launch_batched(t1s, cfg, stream) } {
                 return fail(gpu, "transpose", level, e);
             }
 
@@ -411,7 +411,7 @@ impl FramePipeline {
                     height: w,
                 })
                 .collect();
-            if let Err(e) = gpu.launch_batched(&scan2s, scan2s[0].config(), stream) {
+            if let Err(e) = { let cfg = scan2s[0].config(); gpu.launch_batched(scan2s, cfg, stream) } {
                 return fail(gpu, "scan_rows", level, e);
             }
 
@@ -424,7 +424,7 @@ impl FramePipeline {
                     height: w,
                 })
                 .collect();
-            if let Err(e) = gpu.launch_batched(&t2s, t2s[0].config(), stream) {
+            if let Err(e) = { let cfg = t2s[0].config(); gpu.launch_batched(t2s, cfg, stream) } {
                 return fail(gpu, "transpose", level, e);
             }
 
@@ -442,7 +442,7 @@ impl FramePipeline {
                     )
                 })
                 .collect();
-            if let Err(e) = gpu.launch_batched(&cascades, cascades[0].config(), stream) {
+            if let Err(e) = { let cfg = cascades[0].config(); gpu.launch_batched(cascades, cfg, stream) } {
                 return fail(gpu, "cascade_eval", level, e);
             }
 
@@ -456,7 +456,7 @@ impl FramePipeline {
                     required_depth: self.cascade.depth(),
                 })
                 .collect();
-            if let Err(e) = gpu.launch_batched(&displays, displays[0].config(), stream) {
+            if let Err(e) = { let cfg = displays[0].config(); gpu.launch_batched(displays, cfg, stream) } {
                 return fail(gpu, "display", level, e);
             }
         }

@@ -29,17 +29,19 @@ use crate::kernel::{BlockCtx, Kernel, LaunchConfig};
 /// N homogeneous kernels presented to the device as one launch, with the
 /// batch dimension stacked on `grid.z`. Built by
 /// [`crate::Gpu::launch_batched`]; the type is public so cost-model tests
-/// and custom harnesses can construct it directly.
-pub struct BatchedKernel<'a, K: Kernel> {
-    parts: &'a [K],
+/// and custom harnesses can construct it directly. Owns its parts: the
+/// asynchronous engine may execute the batch long after the launch call
+/// returns.
+pub struct BatchedKernel<K: Kernel> {
+    parts: Vec<K>,
     /// The grid extent each part believes it was launched with.
     part_grid: Dim3,
 }
 
-impl<'a, K: Kernel> BatchedKernel<'a, K> {
+impl<K: Kernel> BatchedKernel<K> {
     /// Wrap `parts` sharing one per-part launch geometry. The per-part
     /// grid must be flat (`grid.z == 1`) — `z` carries the part index.
-    pub fn new(parts: &'a [K], part_cfg: LaunchConfig) -> Self {
+    pub fn new(parts: Vec<K>, part_cfg: LaunchConfig) -> Self {
         assert!(!parts.is_empty(), "a batched launch needs at least one part");
         assert_eq!(part_cfg.grid.z, 1, "per-part grids must be flat: z carries the part index");
         Self { parts, part_grid: part_cfg.grid }
@@ -59,7 +61,7 @@ impl<'a, K: Kernel> BatchedKernel<'a, K> {
     }
 }
 
-impl<K: Kernel> Kernel for BatchedKernel<'_, K> {
+impl<K: Kernel> Kernel for BatchedKernel<K> {
     fn name(&self) -> &'static str {
         self.parts[0].name()
     }
@@ -72,6 +74,16 @@ impl<K: Kernel> Kernel for BatchedKernel<'_, K> {
         ctx.grid_dim = self.part_grid;
         self.parts[part].run_block(ctx);
     }
+
+    fn access(&self, set: &mut crate::memory::AccessSet) {
+        // A batch touches the union of its parts' buffers; if any part
+        // declines to declare, the whole batch is opaque.
+        for p in &self.parts {
+            let mut part_set = crate::memory::AccessSet::new();
+            p.access(&mut part_set);
+            set.union(&part_set);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -83,6 +95,7 @@ mod tests {
     use crate::sched::ExecMode;
 
     /// Writes `base + linear_thread_range` scaled by 2; block-parallel.
+    #[derive(Clone, Copy)]
     struct FillKernel {
         buf: DevBuf<u32>,
         base: u32,
@@ -116,9 +129,9 @@ mod tests {
             let k = FillKernel { buf, base: 5 };
             let cfg = LaunchConfig::linear(1024, 256);
             if batched {
-                gpu.launch_batched(std::slice::from_ref(&k), cfg, s).unwrap();
+                gpu.launch_batched(vec![k], cfg, s).unwrap();
             } else {
-                gpu.launch(&k, cfg, s).unwrap();
+                gpu.launch(k, cfg, s).unwrap();
             }
             let t = gpu.synchronize();
             let trace: Vec<_> = gpu
@@ -142,7 +155,7 @@ mod tests {
             for (p, &buf) in bufs.iter().enumerate() {
                 let k = FillKernel { buf, base: 1000 * p as u32 };
                 let s = gpu.create_stream();
-                gpu.launch(&k, LaunchConfig::linear(n, 128), s).unwrap();
+                gpu.launch(k, LaunchConfig::linear(n, 128), s).unwrap();
             }
             gpu.synchronize();
             bufs.iter().map(|&b| gpu.mem.download(b)).collect::<Vec<_>>()
@@ -156,7 +169,7 @@ mod tests {
                 .map(|(p, &buf)| FillKernel { buf, base: 1000 * p as u32 })
                 .collect();
             let s = gpu.create_stream();
-            gpu.launch_batched(&kernels, LaunchConfig::linear(n, 128), s).unwrap();
+            gpu.launch_batched(kernels, LaunchConfig::linear(n, 128), s).unwrap();
             gpu.synchronize();
             bufs.iter().map(|&b| gpu.mem.download(b)).collect::<Vec<_>>()
         };
@@ -172,7 +185,7 @@ mod tests {
             let s = gpu.create_stream();
             for _ in 0..parts {
                 let buf = gpu.mem.alloc::<u32>(n);
-                gpu.launch(&FillKernel { buf, base: 0 }, LaunchConfig::linear(n, 128), s)
+                gpu.launch(FillKernel { buf, base: 0 }, LaunchConfig::linear(n, 128), s)
                     .unwrap();
             }
             gpu.synchronize().span_us()
@@ -183,7 +196,7 @@ mod tests {
             let bufs: Vec<_> = (0..parts).map(|_| gpu.mem.alloc::<u32>(n)).collect();
             let kernels: Vec<_> =
                 bufs.iter().map(|&buf| FillKernel { buf, base: 0 }).collect();
-            gpu.launch_batched(&kernels, LaunchConfig::linear(n, 128), s).unwrap();
+            gpu.launch_batched(kernels, LaunchConfig::linear(n, 128), s).unwrap();
             gpu.synchronize().span_us()
         };
         let overhead = DeviceSpec::gtx470().launch_overhead_us;
@@ -197,16 +210,15 @@ mod tests {
     fn batched_launch_validates_inputs() {
         let mut gpu = Gpu::new(DeviceSpec::gtx470(), ExecMode::Serial);
         let s = gpu.create_stream();
-        let empty: &[FillKernel] = &[];
         assert!(matches!(
-            gpu.launch_batched(empty, LaunchConfig::linear(64, 64), s),
+            gpu.launch_batched(Vec::<FillKernel>::new(), LaunchConfig::linear(64, 64), s),
             Err(LaunchError::EmptyLaunch)
         ));
         let buf = gpu.mem.alloc::<u32>(64);
         let k = FillKernel { buf, base: 0 };
         let deep = LaunchConfig::new(Dim3::d3(1, 1, 2), Dim3::d1(64));
         assert!(matches!(
-            gpu.launch_batched(std::slice::from_ref(&k), deep, s),
+            gpu.launch_batched(vec![k], deep, s),
             Err(LaunchError::BatchedGridDepth { z: 2 })
         ));
     }

@@ -31,27 +31,38 @@ use crate::memory::{ConstBank, DeviceMemory, Texture2D};
 use crate::meter::{KernelCounters, Meter};
 use crate::sched::BlockCost;
 
-/// Grids below this many blocks always run sequentially: per-launch
-/// thread-spawn overhead (tens of microseconds) exceeds the work.
-const PARALLEL_MIN_BLOCKS: u64 = 64;
+/// Launches whose estimated work (blocks × threads-per-block) falls below
+/// this run sequentially. The old gate was a flat block count, which let a
+/// 64-block × 32-thread launch (2 Ki thread-iterations) pay parallel
+/// dispatch overhead while a 48-block × 512-thread launch (24 Ki) stayed
+/// serial. 16 Ki ≈ the former `64 blocks × 256 threads` break-even point
+/// measured for the detector's mid-pyramid kernels: below it, chunk-claim
+/// and hand-off costs exceed the block work even on a warm persistent
+/// pool.
+pub(crate) const PARALLEL_MIN_WORK: u64 = 16_384;
 
 /// Upper bound on blocks per chunk; small enough to balance load on the
 /// largest realistic grids, large enough to amortize the atomic claim.
-const MAX_CHUNK_BLOCKS: usize = 1024;
+pub(crate) const MAX_CHUNK_BLOCKS: usize = 1024;
 
 /// Environment variable selecting the host thread count (`1` forces the
 /// sequential path).
 pub const THREADS_ENV_VAR: &str = "FD_SIM_THREADS";
 
 /// Resolve the effective host thread count for the functional phase.
+/// The environment lookup happens once per process (`OnceLock`): the
+/// resolver runs on every launch, and `std::env::var` takes a process
+/// lock that would serialize otherwise-independent launch enqueues.
 pub(crate) fn resolve_host_threads(override_threads: Option<usize>) -> usize {
     if let Some(n) = override_threads {
         return n.max(1);
     }
-    if let Ok(v) = std::env::var(THREADS_ENV_VAR) {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            return n.max(1);
-        }
+    static ENV_THREADS: OnceLock<Option<usize>> = OnceLock::new();
+    let env_threads = *ENV_THREADS.get_or_init(|| {
+        std::env::var(THREADS_ENV_VAR).ok().and_then(|v| v.trim().parse::<usize>().ok())
+    });
+    if let Some(n) = env_threads {
+        return n.max(1);
     }
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
@@ -74,7 +85,12 @@ pub(crate) struct LaunchEnv<'a> {
 }
 
 impl LaunchEnv<'_> {
-    fn run_block(&self, kernel: &dyn Kernel, cfg: &LaunchConfig, lin: u64) -> (BlockCost, KernelCounters) {
+    pub(crate) fn run_block(
+        &self,
+        kernel: &dyn Kernel,
+        cfg: &LaunchConfig,
+        lin: u64,
+    ) -> (BlockCost, KernelCounters) {
         let meter = Meter::new();
         let mut ctx = BlockCtx::new(
             cfg.grid.from_linear(lin),
@@ -109,7 +125,8 @@ pub(crate) fn run_functional(
     total_blocks: u64,
 ) -> FunctionalResult {
     let total = total_blocks as usize;
-    if threads <= 1 || total_blocks < PARALLEL_MIN_BLOCKS {
+    let work = total_blocks.saturating_mul(cfg.threads_per_block() as u64);
+    if threads <= 1 || work < PARALLEL_MIN_WORK {
         let mut block_costs = Vec::with_capacity(total);
         let mut totals = KernelCounters::default();
         for lin in 0..total_blocks {
@@ -233,7 +250,7 @@ mod tests {
     fn small_grids_stay_sequential_and_correct() {
         let mut mem = DeviceMemory::new();
         let out = mem.alloc::<u32>(96);
-        let cfg = LaunchConfig::linear(96, 32); // 3 blocks < PARALLEL_MIN_BLOCKS
+        let cfg = LaunchConfig::linear(96, 32); // 96 thread-iterations < PARALLEL_MIN_WORK
         let env = LaunchEnv {
             mem: &mem,
             constants: &ConstBank::new(0),

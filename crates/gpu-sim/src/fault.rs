@@ -118,6 +118,12 @@ impl FaultPlan {
         self
     }
 
+    /// Stall magnitude converted to shader-clock cycles at `clock_ghz`
+    /// (the unit [`crate::sched`] charges against a launch's first block).
+    pub fn stall_cycles(&self, clock_ghz: f64) -> f64 {
+        self.stall_us * clock_ghz * 1e3
+    }
+
     /// `true` when no fault can ever fire: the device is guaranteed to
     /// behave bit-identically to one without a plan.
     pub fn is_inert(&self) -> bool {

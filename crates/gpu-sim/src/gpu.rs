@@ -1,13 +1,21 @@
 //! The device front-end: launch kernels, manage streams/events, synchronize.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::OnceLock;
+use std::time::Instant;
 
 use crate::cost::CostModel;
 use crate::device::DeviceSpec;
 use crate::exec;
 use crate::fault::{fault_draw, FaultCursor, FaultDomain, FaultPlan, FaultStats};
+use crate::graph::DepTracker;
 use crate::kernel::{Kernel, LaunchConfig};
-use crate::memory::{ConstBank, ConstPtr, DeviceMemory, MemoryError, TexId, Texture2D};
+use crate::memory::{
+    AccessSet, ConstBank, ConstPtr, DevBuf, DeviceMemory, DeviceScalar, MemoryError, TexId,
+    Texture2D,
+};
+use crate::meter::KernelCounters;
+use crate::pool::{Node, WorkerPool};
 use crate::profiler::Profiler;
 use crate::sched::{simulate, ExecMode, LaunchRecord, Timeline};
 use crate::stream::{EventId, StreamId};
@@ -78,6 +86,56 @@ impl std::fmt::Display for LaunchError {
 
 impl std::error::Error for LaunchError {}
 
+/// How the host executes the functional phase of kernel launches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HostExec {
+    /// Execute every launch to completion inside [`Gpu::launch`], one
+    /// launch at a time (the legacy engine). Small grids can never use
+    /// more than one host core and every parallel launch pays a fresh
+    /// thread spawn/join.
+    Sync,
+    /// Defer launches into a dependency graph and drain them on the
+    /// persistent worker pool at the next sync point, overlapping
+    /// block-chunks of *independent* launches. Every observable output
+    /// is byte-identical to [`HostExec::Sync`] (see [`crate::graph`]).
+    #[default]
+    Async,
+}
+
+/// Environment variable selecting the host execution engine (`sync` or
+/// `async`); an explicit [`Gpu::set_host_exec`] override wins.
+pub const HOST_EXEC_ENV_VAR: &str = "FD_SIM_HOST_EXEC";
+
+fn env_host_exec() -> Option<HostExec> {
+    static ENV: OnceLock<Option<HostExec>> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var(HOST_EXEC_ENV_VAR).ok().and_then(|v| {
+            match v.trim().to_ascii_lowercase().as_str() {
+                "sync" => Some(HostExec::Sync),
+                "async" => Some(HostExec::Async),
+                _ => None,
+            }
+        })
+    })
+}
+
+/// A launch accepted into the queue. Under [`HostExec::Async`] the
+/// functional phase has not necessarily run yet: `kernel` is retained
+/// until a flush executes it and fills in the record's costs/counters.
+struct PendingLaunch {
+    record: LaunchRecord,
+    kernel: Option<Box<dyn Kernel>>,
+    cfg: LaunchConfig,
+    total_blocks: u64,
+    /// Injected stream-stall penalty, applied to the first block's issue
+    /// cycles once the launch has executed (drawn at enqueue so fault
+    /// verdicts keep their launch-attempt order).
+    stall_cycles: f64,
+    /// Dependency edges (queue positions) from [`DepTracker`].
+    deps: Vec<usize>,
+    executed: bool,
+}
+
 /// A simulated GPU: memory spaces, streams, a launch queue and a profiler.
 ///
 /// See the crate-level documentation for the execution model. The typical
@@ -95,12 +153,22 @@ pub struct Gpu {
     /// Host worker threads for the functional phase; `None` defers to
     /// `FD_SIM_THREADS` / host parallelism (see [`crate::exec`]).
     host_threads: Option<usize>,
+    /// Host execution engine override; `None` defers to
+    /// [`HOST_EXEC_ENV_VAR`], then to [`HostExec::Async`].
+    host_exec: Option<HostExec>,
     next_stream: u32,
     next_event: u32,
-    pending: Vec<LaunchRecord>,
+    pending: Vec<PendingLaunch>,
     launch_counter: usize,
     pending_waits: HashMap<StreamId, Vec<EventId>>,
     fired_events: HashSet<EventId>,
+    /// Dependency graph over the pending queue (async engine).
+    tracker: DepTracker,
+    /// Persistent workers draining the queue; spawned lazily, reused for
+    /// the device's lifetime.
+    pool: WorkerPool,
+    /// Wall-clock origin for host-execution spans.
+    host_epoch: Instant,
     profiler: Profiler,
     fault: Option<FaultState>,
 }
@@ -127,12 +195,16 @@ impl Gpu {
             textures: Vec::new(),
             mode,
             host_threads: None,
+            host_exec: None,
             next_stream: 1,
             next_event: 0,
             pending: Vec::new(),
             launch_counter: 0,
             pending_waits: HashMap::new(),
             fired_events: HashSet::new(),
+            tracker: DepTracker::new(),
+            pool: WorkerPool::new(),
+            host_epoch: Instant::now(),
             profiler: Profiler::new(),
             fault: None,
         }
@@ -144,6 +216,7 @@ impl Gpu {
     /// An [inert](FaultPlan::is_inert) plan leaves every result
     /// bit-identical to a device without one.
     pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.flush_functional();
         match &plan {
             Some(p) if p.copy_corruption_rate > 0.0 => self.mem.set_copy_faults(Some(
                 crate::memory::CopyFaultConfig {
@@ -187,6 +260,7 @@ impl Gpu {
     /// count injections on this device, not on the stream. No-op when no
     /// plan is attached.
     pub fn seek_fault_cursor(&mut self, cursor: FaultCursor) {
+        self.flush_functional();
         if let Some(f) = &mut self.fault {
             f.attempts = cursor.launch_attempts;
         }
@@ -227,13 +301,35 @@ impl Gpu {
 
     /// Set or clear the host-thread override for the functional phase.
     /// `None` defers to `FD_SIM_THREADS`, then to host parallelism.
+    /// Flushes queued launches first so every span in a drain is
+    /// attributed to one thread-count regime.
     pub fn set_host_threads(&mut self, threads: Option<usize>) {
+        self.flush_functional();
         self.host_threads = threads.map(|n| n.max(1));
     }
 
     /// Effective host worker threads the next launch will use.
     pub fn host_threads(&self) -> usize {
         exec::resolve_host_threads(self.host_threads)
+    }
+
+    /// Select the host execution engine (builder form).
+    pub fn with_host_exec(mut self, exec: HostExec) -> Self {
+        self.set_host_exec(Some(exec));
+        self
+    }
+
+    /// Set or clear the host-execution override. `None` defers to
+    /// [`HOST_EXEC_ENV_VAR`], then to [`HostExec::Async`]. Flushes queued
+    /// launches first — the engines must not interleave within a drain.
+    pub fn set_host_exec(&mut self, exec: Option<HostExec>) {
+        self.flush_functional();
+        self.host_exec = exec;
+    }
+
+    /// The engine the next launch will use.
+    pub fn host_exec(&self) -> HostExec {
+        self.host_exec.or_else(env_host_exec).unwrap_or_default()
     }
 
     /// Switch between serial and concurrent kernel execution. Takes effect
@@ -254,8 +350,9 @@ impl Gpu {
     pub fn record_event(&mut self, stream: StreamId) -> EventId {
         let e = EventId(self.next_event);
         self.next_event += 1;
-        if let Some(last) = self.pending.iter_mut().rev().find(|l| l.stream == stream) {
-            last.record_events.push(e);
+        if let Some(idx) = self.pending.iter().rposition(|l| l.record.stream == stream) {
+            self.pending[idx].record.record_events.push(e);
+            self.tracker.note_event_source(e, idx);
         } else {
             // Nothing queued in the stream: the event is already complete.
             self.fired_events.insert(e);
@@ -283,8 +380,12 @@ impl Gpu {
         self.constants.try_upload(words)
     }
 
-    /// Reset constant memory.
+    /// Reset constant memory. Flushes queued launches first: staged
+    /// constants are append-only while launches are deferred (appends
+    /// cannot disturb earlier [`ConstPtr`]s), but a reset would yank data
+    /// out from under them.
     pub fn const_clear(&mut self) {
+        self.flush_functional();
         self.constants.clear();
     }
 
@@ -299,20 +400,28 @@ impl Gpu {
         TexId(self.textures.len() - 1)
     }
 
-    /// Unbind all textures (handles become invalid).
+    /// Unbind all textures (handles become invalid). Flushes queued
+    /// launches first — binding is append-only (safe under deferral), but
+    /// unbinding invalidates handles deferred kernels may still hold.
     pub fn clear_textures(&mut self) {
+        self.flush_functional();
         self.textures.clear();
     }
 
     /// Launch `kernel` with `cfg` into `stream`.
     ///
-    /// The functional phase runs immediately: every block executes (in
-    /// parallel across host threads for large grids — see
-    /// [`crate::exec`]), and metered work is converted to per-block
-    /// timing costs for the scheduler, collected in linear block order.
-    pub fn launch<K: Kernel>(
+    /// Validation and fault verdicts happen here, in launch-attempt
+    /// order. Under [`HostExec::Async`] (the default) the functional
+    /// phase is *deferred*: the launch joins the dependency graph and
+    /// executes at the next sync point ([`Gpu::synchronize`],
+    /// [`Gpu::flush`], [`Gpu::download`] …), where the worker pool
+    /// overlaps block-chunks of independent launches. Under
+    /// [`HostExec::Sync`] every block executes before this returns.
+    /// Either way the metered work becomes per-block timing costs in
+    /// linear block order, and all observable results are identical.
+    pub fn launch<K: Kernel + 'static>(
         &mut self,
-        kernel: &K,
+        kernel: K,
         cfg: LaunchConfig,
         stream: StreamId,
     ) -> Result<(), LaunchError> {
@@ -372,11 +481,84 @@ impl Gpu {
                 && fault_draw(p.seed, FaultDomain::StreamStall, attempt) < p.stall_rate
             {
                 f.stats.stream_stalls += 1;
-                // Microseconds -> shader-clock cycles.
-                stall_cycles = p.stall_us * self.spec.clock_ghz * 1e3;
+                stall_cycles = p.stall_cycles(self.spec.clock_ghz);
             }
         }
 
+        let wait_events = self.pending_waits.remove(&stream).unwrap_or_default();
+        let mut access = AccessSet::new();
+        kernel.access(&mut access);
+        let deps = self.tracker.on_enqueue(stream, &access, &wait_events);
+        let mut record = LaunchRecord {
+            launch_idx: self.launch_counter,
+            kernel_name: kernel.name(),
+            stream,
+            shared_mem_bytes: cfg.shared_mem_bytes,
+            threads_per_block: threads,
+            warps_per_block: cfg.warps_per_block(self.spec.warp_size),
+            block_costs: Vec::new(),
+            counters: KernelCounters::default(),
+            wait_events,
+            record_events: Vec::new(),
+        };
+
+        if self.host_exec() == HostExec::Sync {
+            // Legacy engine: run the whole launch inline, one fresh
+            // thread scope per launch.
+            let env = exec::LaunchEnv {
+                mem: &self.mem,
+                constants: &self.constants,
+                textures: &self.textures,
+                cost: &self.cost,
+                warp_size: self.spec.warp_size,
+            };
+            let host_threads = exec::resolve_host_threads(self.host_threads);
+            let exec::FunctionalResult { mut block_costs, totals } =
+                exec::run_functional(&kernel, &cfg, &env, host_threads, total_blocks);
+            if stall_cycles > 0.0 {
+                // A stream stall pins the launch's first block for the
+                // stall duration. Charged as issue cycles so warp
+                // residency cannot hide it (the engine is stalled, not
+                // waiting on DRAM); the timing phase stretches the
+                // launch's span while functional results stay untouched.
+                block_costs[0].issue_cycles += stall_cycles;
+            }
+            record.block_costs = block_costs;
+            record.counters = totals;
+            self.pending.push(PendingLaunch {
+                record,
+                kernel: None,
+                cfg,
+                total_blocks,
+                stall_cycles: 0.0,
+                deps,
+                executed: true,
+            });
+        } else {
+            self.pending.push(PendingLaunch {
+                record,
+                kernel: Some(Box::new(kernel)),
+                cfg,
+                total_blocks,
+                stall_cycles,
+                deps,
+                executed: false,
+            });
+            let deferred = self.pending.iter().filter(|p| !p.executed).count() as u32;
+            self.mem.set_deferred_launches(deferred);
+        }
+        self.launch_counter += 1;
+        Ok(())
+    }
+
+    /// Execute the functional phase of every deferred launch (the
+    /// dependency-graph drain). Called by every sync point; a no-op when
+    /// nothing is deferred.
+    fn flush_functional(&mut self) {
+        let Some(base) = self.pending.iter().position(|p| !p.executed) else {
+            return;
+        };
+        let threads = exec::resolve_host_threads(self.host_threads);
         let env = exec::LaunchEnv {
             mem: &self.mem,
             constants: &self.constants,
@@ -384,34 +566,53 @@ impl Gpu {
             cost: &self.cost,
             warp_size: self.spec.warp_size,
         };
-        let host_threads = exec::resolve_host_threads(self.host_threads);
-        let exec::FunctionalResult { mut block_costs, totals } =
-            exec::run_functional(kernel, &cfg, &env, host_threads, total_blocks);
-
-        if stall_cycles > 0.0 {
-            // A stream stall pins the launch's first block for the stall
-            // duration. Charged as issue cycles so warp residency cannot
-            // hide it (the engine is stalled, not waiting on DRAM); the
-            // timing phase stretches the launch's span while functional
-            // results stay untouched.
-            block_costs[0].issue_cycles += stall_cycles;
+        // The unexecuted launches form a suffix (every flush drains the
+        // whole queue). Dependencies on already-executed launches are
+        // satisfied by definition and drop out of the node graph.
+        let nodes: Vec<Node<'_>> = self.pending[base..]
+            .iter()
+            .map(|p| Node {
+                kernel: &**p.kernel.as_ref().expect("unexecuted launch retains its kernel"),
+                cfg: &p.cfg,
+                total_blocks: p.total_blocks,
+                deps: p.deps.iter().filter(|&&d| d >= base).map(|&d| d - base).collect(),
+                launch_idx: p.record.launch_idx as u64,
+                name: p.record.kernel_name,
+            })
+            .collect();
+        let (results, spans) = self.pool.drain(&env, &nodes, threads, self.host_epoch);
+        drop(nodes);
+        for (k, result) in results.into_iter().enumerate() {
+            let p = &mut self.pending[base + k];
+            let exec::FunctionalResult { mut block_costs, totals } = result;
+            if p.stall_cycles > 0.0 {
+                // See the inline-execution comment in `launch`: the stall
+                // pins the first block as issue cycles.
+                block_costs[0].issue_cycles += p.stall_cycles;
+            }
+            p.record.block_costs = block_costs;
+            p.record.counters = totals;
+            p.executed = true;
+            p.kernel = None;
         }
+        self.mem.set_deferred_launches(0);
+        self.profiler.absorb_host_spans(spans);
+    }
 
-        let wait_events = self.pending_waits.remove(&stream).unwrap_or_default();
-        self.pending.push(LaunchRecord {
-            launch_idx: self.launch_counter,
-            kernel_name: kernel.name(),
-            stream,
-            shared_mem_bytes: cfg.shared_mem_bytes,
-            threads_per_block: threads,
-            warps_per_block: cfg.warps_per_block(self.spec.warp_size),
-            block_costs,
-            counters: totals,
-            wait_events,
-            record_events: Vec::new(),
-        });
-        self.launch_counter += 1;
-        Ok(())
+    /// Force the functional phase of every queued launch without running
+    /// the timing simulation: after `flush`, host-side reads of device
+    /// memory observe all queued writes, while the launch records still
+    /// await [`Gpu::synchronize`] for their timeline.
+    pub fn flush(&mut self) {
+        self.flush_functional();
+    }
+
+    /// Flush queued launches, then copy a buffer out (the safe way to
+    /// read results mid-scope; [`DeviceMemory::download`] on [`Gpu::mem`]
+    /// panics while launches are deferred).
+    pub fn download<T: DeviceScalar>(&mut self, buf: DevBuf<T>) -> Vec<T> {
+        self.flush_functional();
+        self.mem.download(buf)
     }
 
     /// Launch N homogeneous kernels as **one** device launch (see
@@ -425,9 +626,9 @@ impl Gpu {
     /// part — results, counters and timeline (asserted by tests). The
     /// parts must be mutually independent (disjoint output buffers), as
     /// concurrent blocks of one launch always must.
-    pub fn launch_batched<K: Kernel>(
+    pub fn launch_batched<K: Kernel + 'static>(
         &mut self,
-        parts: &[K],
+        parts: Vec<K>,
         part_cfg: LaunchConfig,
         stream: StreamId,
     ) -> Result<(), LaunchError> {
@@ -439,13 +640,13 @@ impl Gpu {
         }
         let batched = crate::batch::BatchedKernel::new(parts, part_cfg);
         let cfg = batched.stacked_config(part_cfg);
-        self.launch(&batched, cfg, stream)
+        self.launch(batched, cfg, stream)
     }
 
     /// Launch into the default stream.
-    pub fn launch_default<K: Kernel>(
+    pub fn launch_default<K: Kernel + 'static>(
         &mut self,
-        kernel: &K,
+        kernel: K,
         cfg: LaunchConfig,
     ) -> Result<(), LaunchError> {
         self.launch(kernel, cfg, StreamId::DEFAULT)
@@ -461,17 +662,23 @@ impl Gpu {
     /// is abandoned or retried from scratch, so its partial queue must not
     /// leak into the next synchronization scope or the profiler).
     /// Functional memory effects of already-queued launches remain, as on
-    /// a real device; callers that retry must fully overwrite outputs.
+    /// a real device (deferred launches are flushed first to honor this);
+    /// callers that retry must fully overwrite outputs.
     pub fn cancel_pending(&mut self) {
+        self.flush_functional();
         self.pending.clear();
         self.pending_waits.clear();
+        self.tracker.reset();
     }
 
     /// Run the timing simulation over all queued launches, feed the
     /// profiler, clear the queue and return the timeline. The timeline's
     /// origin (t = 0) is this synchronization scope's start.
     pub fn synchronize(&mut self) -> Timeline {
-        let launches = std::mem::take(&mut self.pending);
+        self.flush_functional();
+        let launches: Vec<LaunchRecord> =
+            self.pending.drain(..).map(|p| p.record).collect();
+        self.tracker.reset();
         // Waits registered but never attached to a launch are dropped, like
         // a cudaStreamWaitEvent on a stream that never launches again.
         self.pending_waits.clear();
@@ -504,6 +711,7 @@ mod tests {
     use crate::memory::DevBuf;
 
     /// Doubles every element; meters one load+store and one ALU op per warp.
+    #[derive(Clone, Copy)]
     struct DoubleKernel {
         buf: DevBuf<u32>,
     }
@@ -524,13 +732,18 @@ mod tests {
             ctx.meter.global_load(((end - base) * 4) as u64);
             ctx.meter.global_store(((end - base) * 4) as u64);
         }
+        fn access(&self, set: &mut AccessSet) {
+            // Read-modify-write: both sides declared, so consecutive
+            // launches on the same buffer chain RAW/WAR/WAW edges.
+            set.reads(self.buf).writes(self.buf);
+        }
     }
 
     #[test]
     fn launch_executes_functionally_and_times() {
         let mut gpu = Gpu::new(DeviceSpec::gtx470(), ExecMode::Concurrent);
         let buf = gpu.mem.upload(&(0u32..1024).collect::<Vec<_>>());
-        gpu.launch_default(&DoubleKernel { buf }, LaunchConfig::linear(1024, 256)).unwrap();
+        gpu.launch_default(DoubleKernel { buf }, LaunchConfig::linear(1024, 256)).unwrap();
         let t = gpu.synchronize();
         assert_eq!(gpu.mem.read(buf)[10], 20);
         assert_eq!(t.events.len(), 1);
@@ -544,15 +757,15 @@ mod tests {
         let buf = gpu.mem.alloc::<u32>(16);
         let k = DoubleKernel { buf };
         assert!(matches!(
-            gpu.launch_default(&k, LaunchConfig::new(1u32, 2048u32)),
+            gpu.launch_default(k, LaunchConfig::new(1u32, 2048u32)),
             Err(LaunchError::TooManyThreads { .. })
         ));
         assert!(matches!(
-            gpu.launch_default(&k, LaunchConfig::new(1u32, 32u32).with_shared_mem(1 << 20)),
+            gpu.launch_default(k, LaunchConfig::new(1u32, 32u32).with_shared_mem(1 << 20)),
             Err(LaunchError::SharedMemExceeded { .. })
         ));
         assert!(matches!(
-            gpu.launch_default(&k, LaunchConfig::new(0u32, 32u32)),
+            gpu.launch_default(k, LaunchConfig::new(0u32, 32u32)),
             Err(LaunchError::EmptyLaunch)
         ));
     }
@@ -564,8 +777,8 @@ mod tests {
             let buf = gpu.mem.upload(&(0u32..4096).collect::<Vec<_>>());
             let s1 = gpu.create_stream();
             let s2 = gpu.create_stream();
-            gpu.launch(&DoubleKernel { buf }, LaunchConfig::linear(4096, 256), s1).unwrap();
-            gpu.launch(&DoubleKernel { buf }, LaunchConfig::linear(4096, 256), s2).unwrap();
+            gpu.launch(DoubleKernel { buf }, LaunchConfig::linear(4096, 256), s1).unwrap();
+            gpu.launch(DoubleKernel { buf }, LaunchConfig::linear(4096, 256), s2).unwrap();
             gpu.synchronize();
             gpu.mem.download(buf)
         };
@@ -580,7 +793,7 @@ mod tests {
         let e = gpu.record_event(s1); // nothing queued in s1
         gpu.stream_wait_event(s2, e); // must be a no-op
         let buf = gpu.mem.alloc::<u32>(32);
-        gpu.launch(&DoubleKernel { buf }, LaunchConfig::linear(32, 32), s2).unwrap();
+        gpu.launch(DoubleKernel { buf }, LaunchConfig::linear(32, 32), s2).unwrap();
         let t = gpu.synchronize();
         assert_eq!(t.events.len(), 1);
     }
@@ -589,16 +802,16 @@ mod tests {
     fn profiler_accumulates_across_scopes() {
         let mut gpu = Gpu::new(DeviceSpec::gtx470(), ExecMode::Serial);
         let buf = gpu.mem.alloc::<u32>(256);
-        gpu.launch_default(&DoubleKernel { buf }, LaunchConfig::linear(256, 128)).unwrap();
+        gpu.launch_default(DoubleKernel { buf }, LaunchConfig::linear(256, 128)).unwrap();
         gpu.synchronize();
-        gpu.launch_default(&DoubleKernel { buf }, LaunchConfig::linear(256, 128)).unwrap();
+        gpu.launch_default(DoubleKernel { buf }, LaunchConfig::linear(256, 128)).unwrap();
         gpu.synchronize();
         assert_eq!(gpu.profiler().kernels()["double"].launches, 2);
         assert_eq!(gpu.profiler().traces().len(), 2);
     }
 
     fn launch_until_verdict(gpu: &mut Gpu, buf: DevBuf<u32>) -> Result<(), LaunchError> {
-        gpu.launch_default(&DoubleKernel { buf }, LaunchConfig::linear(256, 128))
+        gpu.launch_default(DoubleKernel { buf }, LaunchConfig::linear(256, 128))
     }
 
     #[test]
@@ -608,7 +821,7 @@ mod tests {
             gpu.set_fault_plan(plan);
             let buf = gpu.mem.upload(&(0u32..4096).collect::<Vec<_>>());
             let s = gpu.create_stream();
-            gpu.launch(&DoubleKernel { buf }, LaunchConfig::linear(4096, 256), s).unwrap();
+            gpu.launch(DoubleKernel { buf }, LaunchConfig::linear(4096, 256), s).unwrap();
             let t = gpu.synchronize();
             (gpu.mem.download(buf), t.span_us().to_bits(), gpu.profiler().kernels()["double"].clone())
         };
@@ -662,7 +875,7 @@ mod tests {
             let mut gpu = Gpu::new(DeviceSpec::gtx470(), ExecMode::Serial);
             gpu.set_fault_plan(Some(FaultPlan::seeded(3).with_stream_stalls(stall_rate, 2000.0)));
             let buf = gpu.mem.upload(&(0u32..1024).collect::<Vec<_>>());
-            gpu.launch_default(&DoubleKernel { buf }, LaunchConfig::linear(1024, 256)).unwrap();
+            gpu.launch_default(DoubleKernel { buf }, LaunchConfig::linear(1024, 256)).unwrap();
             let t = gpu.synchronize();
             (gpu.mem.download(buf), t.span_us(), gpu.fault_stats().stream_stalls)
         };
@@ -681,7 +894,7 @@ mod tests {
     fn cancel_pending_discards_the_queue() {
         let mut gpu = Gpu::new(DeviceSpec::gtx470(), ExecMode::Serial);
         let buf = gpu.mem.alloc::<u32>(64);
-        gpu.launch_default(&DoubleKernel { buf }, LaunchConfig::linear(64, 64)).unwrap();
+        gpu.launch_default(DoubleKernel { buf }, LaunchConfig::linear(64, 64)).unwrap();
         assert_eq!(gpu.pending_launches(), 1);
         gpu.cancel_pending();
         assert_eq!(gpu.pending_launches(), 0);
@@ -712,9 +925,134 @@ mod tests {
     fn pending_clears_on_sync() {
         let mut gpu = Gpu::new(DeviceSpec::gtx470(), ExecMode::Serial);
         let buf = gpu.mem.alloc::<u32>(64);
-        gpu.launch_default(&DoubleKernel { buf }, LaunchConfig::linear(64, 64)).unwrap();
+        gpu.launch_default(DoubleKernel { buf }, LaunchConfig::linear(64, 64)).unwrap();
         assert_eq!(gpu.pending_launches(), 1);
         gpu.synchronize();
         assert_eq!(gpu.pending_launches(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "deferred")]
+    fn host_read_while_deferred_panics() {
+        let mut gpu =
+            Gpu::new(DeviceSpec::gtx470(), ExecMode::Serial).with_host_exec(HostExec::Async);
+        let buf = gpu.mem.upload(&vec![1u32; 64]);
+        gpu.launch_default(DoubleKernel { buf }, LaunchConfig::linear(64, 64)).unwrap();
+        // The launch has not run yet; reading now would observe stale data.
+        let _ = gpu.mem.read(buf);
+    }
+
+    #[test]
+    fn flush_runs_functional_phase_without_timing() {
+        let mut gpu =
+            Gpu::new(DeviceSpec::gtx470(), ExecMode::Concurrent).with_host_exec(HostExec::Async);
+        let buf = gpu.mem.upload(&(0u32..256).collect::<Vec<_>>());
+        gpu.launch_default(DoubleKernel { buf }, LaunchConfig::linear(256, 128)).unwrap();
+        gpu.flush();
+        // Memory effects land at flush; the launch still awaits its timeline.
+        assert_eq!(gpu.mem.read(buf)[3], 6);
+        assert_eq!(gpu.pending_launches(), 1);
+        let t = gpu.synchronize();
+        assert_eq!(t.events.len(), 1);
+        assert!(t.span_us() > 0.0);
+    }
+
+    #[test]
+    fn gpu_download_flushes_implicitly() {
+        let mut gpu =
+            Gpu::new(DeviceSpec::gtx470(), ExecMode::Serial).with_host_exec(HostExec::Async);
+        let buf = gpu.mem.upload(&vec![21u32; 128]);
+        gpu.launch_default(DoubleKernel { buf }, LaunchConfig::linear(128, 64)).unwrap();
+        assert!(gpu.download(buf).iter().all(|&v| v == 42));
+    }
+
+    #[test]
+    fn engines_are_bit_identical() {
+        let run = |exec| {
+            let mut gpu =
+                Gpu::new(DeviceSpec::gtx470(), ExecMode::Concurrent).with_host_exec(exec);
+            let a = gpu.mem.upload(&(0u32..4096).collect::<Vec<_>>());
+            let b = gpu.mem.upload(&(0u32..4096).rev().collect::<Vec<_>>());
+            let s1 = gpu.create_stream();
+            let s2 = gpu.create_stream();
+            gpu.launch(DoubleKernel { buf: a }, LaunchConfig::linear(4096, 256), s1).unwrap();
+            gpu.launch(DoubleKernel { buf: b }, LaunchConfig::linear(4096, 256), s2).unwrap();
+            gpu.launch(DoubleKernel { buf: a }, LaunchConfig::linear(4096, 256), s1).unwrap();
+            let t = gpu.synchronize();
+            let trace: Vec<_> = gpu
+                .profiler()
+                .traces()
+                .iter()
+                .map(|e| (e.kernel_name, e.blocks, e.t_start_us.to_bits(), e.t_end_us.to_bits()))
+                .collect();
+            (gpu.mem.download(a), gpu.mem.download(b), t.span_us().to_bits(), trace)
+        };
+        assert_eq!(run(HostExec::Sync), run(HostExec::Async));
+    }
+
+    /// Doubles `buf` like [`DoubleKernel`] but burns extra host time per
+    /// block, so drains are long enough for wall-clock spans to overlap.
+    #[derive(Clone, Copy)]
+    struct SlowDoubleKernel {
+        buf: DevBuf<u32>,
+    }
+
+    impl Kernel for SlowDoubleKernel {
+        fn name(&self) -> &'static str {
+            "slow_double"
+        }
+        fn run_block(&self, ctx: &mut BlockCtx<'_>) {
+            let tpb = ctx.block_dim.count() as usize;
+            let base = ctx.block_idx.x as usize * tpb;
+            let mut data = ctx.mem.write(self.buf);
+            let end = (base + tpb).min(data.len());
+            // Block-seeded LCG kept alive by black_box: real host time per
+            // block, so one drain spans several scheduler quanta and the
+            // workers genuinely interleave even on a single core.
+            let mut burn = ctx.block_idx.x.wrapping_add(1);
+            for _ in 0..200_000 {
+                burn = burn.wrapping_mul(1664525).wrapping_add(1013904223);
+            }
+            std::hint::black_box(burn);
+            for v in &mut data[base..end] {
+                *v = v.wrapping_mul(2);
+            }
+            ctx.meter.alu(ctx.warps_in_block());
+        }
+        fn access(&self, set: &mut AccessSet) {
+            set.reads(self.buf).writes(self.buf);
+        }
+    }
+
+    #[test]
+    fn independent_streams_overlap_on_the_host_lane() {
+        let mut gpu = Gpu::new(DeviceSpec::gtx470(), ExecMode::Concurrent)
+            .with_host_exec(HostExec::Async)
+            .with_host_threads(2);
+        let n = 32 * 1024usize;
+        let a = gpu.mem.upload(&vec![1u32; n]);
+        let b = gpu.mem.upload(&vec![3u32; n]);
+        let s1 = gpu.create_stream();
+        let s2 = gpu.create_stream();
+        let cfg = LaunchConfig::linear(n, 128);
+        gpu.launch(SlowDoubleKernel { buf: a }, cfg, s1).unwrap();
+        gpu.launch(SlowDoubleKernel { buf: b }, cfg, s2).unwrap();
+        gpu.synchronize();
+        assert!(gpu.mem.read(a).iter().all(|&v| v == 2));
+        assert!(gpu.mem.read(b).iter().all(|&v| v == 6));
+
+        let spans = gpu.profiler().host_spans();
+        let workers: std::collections::HashSet<usize> = spans.iter().map(|s| s.worker).collect();
+        assert!(workers.len() >= 2, "both workers must participate: {spans:?}");
+        let launches: std::collections::HashSet<u64> =
+            spans.iter().map(|s| s.launch_idx).collect();
+        assert_eq!(launches.len(), 2, "both launches must appear: {spans:?}");
+        let overlapping = spans.iter().any(|x| {
+            spans.iter().any(|y| x.launch_idx != y.launch_idx && x.overlaps(y))
+        });
+        assert!(
+            overlapping,
+            "independent launches must overlap across workers: {spans:?}"
+        );
     }
 }

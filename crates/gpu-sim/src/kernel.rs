@@ -65,12 +65,23 @@ impl LaunchConfig {
 /// inter-block execution order and must follow the memory arena's
 /// disjoint-write contract ([`crate::memory`]); buffer-level read/write
 /// races panic via the arena's debug checker.
-pub trait Kernel: Sync {
+pub trait Kernel: Send + Sync {
     /// Kernel name for profiling and traces.
     fn name(&self) -> &'static str;
 
     /// Execute one block.
     fn run_block(&self, ctx: &mut BlockCtx<'_>);
+
+    /// Declare which device buffers this launch reads and writes so the
+    /// asynchronous engine can order it against other launches (see
+    /// [`crate::AccessSet`]). The default marks the launch *opaque*: a
+    /// full barrier against every other pending launch, which is always
+    /// correct but forbids overlap. Kernels that want to run concurrently
+    /// with independent work override this and declare their access set;
+    /// the declared set must cover every buffer `run_block` touches.
+    fn access(&self, set: &mut crate::memory::AccessSet) {
+        set.mark_opaque();
+    }
 }
 
 /// Execution context for one thread block: geometry, memory spaces and the

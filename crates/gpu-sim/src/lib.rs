@@ -26,13 +26,21 @@
 //!
 //! Simulation is two-phase:
 //!
-//! 1. **Functional phase** — when a kernel is launched, every thread block is
-//!    executed immediately (in deterministic block order) against the device
-//!    memory arena. Kernels implement [`Kernel::run_block`] and *meter* the
-//!    work they perform through the per-block [`Meter`]: warp-wide ALU
-//!    instructions, shared/constant/texture/global transactions, barriers and
-//!    (divergent) branches. Results are bit-exact and independent of the
-//!    timing mode.
+//! 1. **Functional phase** — every thread block of a launch is executed
+//!    against the device memory arena. Kernels implement
+//!    [`Kernel::run_block`] and *meter* the work they perform through the
+//!    per-block [`Meter`]: warp-wide ALU instructions, shared/constant/
+//!    texture/global transactions, barriers and (divergent) branches.
+//!    Under the default [`HostExec::Async`] engine a launch call only
+//!    *enqueues*: the kernel joins a dependency graph (per-stream program
+//!    order, event edges, and read/write hazards over the buffers its
+//!    [`Kernel::access`] declares) and executes at the next sync point
+//!    ([`Gpu::synchronize`], [`Gpu::flush`], [`Gpu::download`]), where a
+//!    persistent worker pool overlaps block-chunks of *independent*
+//!    launches across host threads — the host-side analogue of the SM
+//!    backfilling the timing model reproduces. Results are bit-exact and
+//!    independent of the engine, the thread count and the timing mode;
+//!    `FD_SIM_HOST_EXEC=sync` selects the legacy launch-time execution.
 //! 2. **Timing phase** — each launch yields per-block cycle costs. At
 //!    synchronization points a discrete-event scheduler places blocks onto
 //!    SMs subject to residency limits and stream ordering, producing kernel
@@ -72,7 +80,7 @@
 //! let x = gpu.mem.upload(&vec![1.0f32; 1000]);
 //! let y = gpu.mem.upload(&vec![2.0f32; 1000]);
 //! let s = gpu.create_stream();
-//! gpu.launch(&Saxpy { a: 3.0, x, y, n: 1000 },
+//! gpu.launch(Saxpy { a: 3.0, x, y, n: 1000 },
 //!            LaunchConfig::linear(1000, 256), s).unwrap();
 //! let timeline = gpu.synchronize();
 //! assert_eq!(gpu.mem.read(y)[0], 5.0);
@@ -94,6 +102,8 @@ pub mod sched;
 pub mod stream;
 
 mod gpu;
+mod graph;
+mod pool;
 
 pub use batch::BatchedKernel;
 pub use cost::CostModel;
@@ -101,14 +111,14 @@ pub use device::DeviceSpec;
 pub use dim::Dim3;
 pub use exec::THREADS_ENV_VAR;
 pub use fault::{FaultCursor, FaultPlan, FaultStats};
-pub use gpu::{Gpu, LaunchError, MAX_FUNCTIONAL_BLOCKS};
+pub use gpu::{Gpu, HostExec, LaunchError, HOST_EXEC_ENV_VAR, MAX_FUNCTIONAL_BLOCKS};
 pub use kernel::{BlockCtx, Kernel, LaunchConfig};
 pub use memory::{
-    ConstPtr, CopyFault, CopyFaultConfig, DevBuf, DevRead, DevWrite, DeviceMemory, MemoryError,
-    TexId, Texture2D,
+    AccessSet, ConstPtr, CopyFault, CopyFaultConfig, DevBuf, DevRead, DevWrite, DeviceMemory,
+    MemoryError, TexId, Texture2D,
 };
 pub use meter::{KernelCounters, Meter};
 pub use pcie::PcieModel;
-pub use profiler::{KernelProfile, Profiler, TraceEvent};
+pub use profiler::{HostSpan, KernelProfile, Profiler, TraceEvent};
 pub use sched::{BlockCost, ExecMode, LaunchRecord, Timeline};
 pub use stream::{EventId, StreamId};

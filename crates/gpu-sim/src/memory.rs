@@ -35,7 +35,7 @@
 //! filtering, the `tex2D` path used by the scaling kernel.
 
 use std::any::Any;
-use std::cell::UnsafeCell;
+use std::cell::{Cell, UnsafeCell};
 use std::collections::HashMap;
 use std::marker::PhantomData;
 use std::ops::{Deref, DerefMut};
@@ -43,6 +43,35 @@ use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Mutex;
 
 use crate::fault::{fault_bits, fault_draw, FaultDomain};
+
+thread_local! {
+    /// Set while this thread is executing kernel blocks on behalf of the
+    /// asynchronous drain (see [`KernelScope`]); exempts it from the
+    /// deferred-launch host-access guard.
+    static IN_KERNEL_SCOPE: Cell<bool> = const { Cell::new(false) };
+}
+
+/// RAII marker entered by the execution engine around kernel block
+/// execution. While launches are deferred ([`DeviceMemory::set_deferred_launches`]),
+/// buffer access from threads *outside* such a scope panics — it would
+/// observe pre-launch memory state that serial issue order never exposed.
+pub(crate) struct KernelScope {
+    prev: bool,
+}
+
+impl KernelScope {
+    pub(crate) fn enter() -> Self {
+        let prev = IN_KERNEL_SCOPE.with(|f| f.replace(true));
+        Self { prev }
+    }
+}
+
+impl Drop for KernelScope {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        IN_KERNEL_SCOPE.with(|f| f.set(prev));
+    }
+}
 
 /// Typed errors for host-visible memory operations that previously
 /// aborted on `assert!` (constant-bank overflow, malformed textures,
@@ -124,6 +153,91 @@ impl<T> DevBuf<T> {
     /// the buffers they poisoned.
     pub fn raw_id(&self) -> usize {
         self.id
+    }
+}
+
+/// The device buffers a kernel launch reads and writes, declared through
+/// [`crate::Kernel::access`]. The asynchronous execution engine builds
+/// read/write hazard edges from these sets: a reader is ordered after the
+/// buffer's last writer, a writer after the last writer *and* every
+/// reader since. A kernel that does not (or cannot) declare its accesses
+/// is **opaque** and acts as a full barrier — it executes after every
+/// earlier queued launch and before every later one, which is always
+/// safe, merely slow.
+///
+/// A declared set is a contract: it must cover *every* buffer the kernel
+/// touches via [`BlockCtx::mem`](crate::BlockCtx), exactly as a CUDA
+/// kernel's stream placement must reflect its true data flow. An
+/// under-declared set can let two hazardous launches overlap, which the
+/// arena's race checker reports only when the interleaving actually
+/// collides.
+#[derive(Debug, Clone, Default)]
+pub struct AccessSet {
+    reads: Vec<usize>,
+    writes: Vec<usize>,
+    opaque: bool,
+}
+
+impl AccessSet {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare that the kernel reads `buf`.
+    pub fn reads<T: DeviceScalar>(&mut self, buf: DevBuf<T>) -> &mut Self {
+        self.reads.push(buf.id);
+        self
+    }
+
+    /// Declare that the kernel writes `buf` (fully or partially).
+    pub fn writes<T: DeviceScalar>(&mut self, buf: DevBuf<T>) -> &mut Self {
+        self.writes.push(buf.id);
+        self
+    }
+
+    /// Declare the access set unknown: the launch orders against
+    /// everything (the conservative default of [`crate::Kernel::access`]).
+    pub fn mark_opaque(&mut self) -> &mut Self {
+        self.opaque = true;
+        self
+    }
+
+    /// Whether the kernel declined to enumerate its buffers.
+    pub fn is_opaque(&self) -> bool {
+        self.opaque
+    }
+
+    /// Arena slot ids of declared reads.
+    pub(crate) fn read_ids(&self) -> &[usize] {
+        &self.reads
+    }
+
+    /// Arena slot ids of declared writes.
+    pub(crate) fn write_ids(&self) -> &[usize] {
+        &self.writes
+    }
+
+    /// Untyped [`AccessSet::reads`], for tests that fabricate hazard
+    /// graphs without allocating real buffers.
+    #[cfg(test)]
+    pub(crate) fn read_id(&mut self, id: usize) -> &mut Self {
+        self.reads.push(id);
+        self
+    }
+
+    /// Untyped [`AccessSet::writes`].
+    #[cfg(test)]
+    pub(crate) fn write_id(&mut self, id: usize) -> &mut Self {
+        self.writes.push(id);
+        self
+    }
+
+    /// Fold `other` into `self` (a batched launch is the union of its
+    /// parts: opaque if any part is).
+    pub(crate) fn union(&mut self, other: &AccessSet) {
+        self.reads.extend_from_slice(&other.reads);
+        self.writes.extend_from_slice(&other.writes);
+        self.opaque |= other.opaque;
     }
 }
 
@@ -247,11 +361,36 @@ pub struct DeviceMemory {
     peak_bytes: usize,
     alloc_count: u64,
     copy_faults: Mutex<CopyFaultState>,
+    /// Launches enqueued but not yet functionally executed (maintained by
+    /// [`crate::Gpu`]). While non-zero, host-side access to *existing*
+    /// buffers panics — see [`DeviceMemory::assert_host_quiesced`].
+    deferred_launches: AtomicU32,
 }
 
 impl DeviceMemory {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Record how many enqueued launches still await functional execution.
+    pub(crate) fn set_deferred_launches(&self, n: u32) {
+        self.deferred_launches.store(n, Ordering::Relaxed);
+    }
+
+    /// Guard against the host observing (or mutating) a buffer that a
+    /// deferred launch may still read or write: under serial issue order
+    /// those launches had already executed, so such an access would
+    /// silently see different data. Allocating *new* buffers is exempt
+    /// (deferred launches cannot reference them), as are the engine's own
+    /// worker threads ([`KernelScope`]).
+    fn assert_host_quiesced(&self) {
+        let n = self.deferred_launches.load(Ordering::Relaxed);
+        if n > 0 && !IN_KERNEL_SCOPE.with(|f| f.get()) {
+            panic!(
+                "host access to device memory while {n} launches are deferred; \
+                 call Gpu::synchronize() or Gpu::flush() first"
+            );
+        }
     }
 
     /// Allocate a buffer of `len` default-initialized elements
@@ -279,6 +418,7 @@ impl DeviceMemory {
 
     /// Release a buffer. Its handle becomes invalid; further access panics.
     pub fn free<T: DeviceScalar>(&mut self, buf: DevBuf<T>) {
+        self.assert_host_quiesced();
         let slot = &mut self.slots[buf.id];
         assert!(slot.live, "double free of {buf:?}");
         slot.live = false;
@@ -292,6 +432,7 @@ impl DeviceMemory {
     /// Panics if a write view is outstanding — a read/write race under the
     /// CUDA memory model.
     pub fn read<T: DeviceScalar>(&self, buf: DevBuf<T>) -> DevRead<'_, T> {
+        self.assert_host_quiesced();
         let slot = &self.slots[buf.id];
         assert!(slot.live, "use after free of {buf:?}");
         slot.readers.fetch_add(1, Ordering::SeqCst);
@@ -311,6 +452,7 @@ impl DeviceMemory {
     /// contract (module docs), as blocks of one kernel launch share
     /// output buffers but write disjoint elements.
     pub fn write<T: DeviceScalar>(&self, buf: DevBuf<T>) -> DevWrite<'_, T> {
+        self.assert_host_quiesced();
         let slot = &self.slots[buf.id];
         assert!(slot.live, "use after free of {buf:?}");
         slot.writers.fetch_add(1, Ordering::SeqCst);

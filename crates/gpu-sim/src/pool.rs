@@ -1,0 +1,670 @@
+//! Persistent worker pool draining the pending-launch dependency graph.
+//!
+//! The synchronous path spawns a fresh `std::thread::scope` per launch;
+//! at detector scale that is hundreds of thread spawns per frame, each a
+//! kernel round-trip, and a sub-threshold grid can never use more than
+//! one core. The pool is spawned once per [`crate::Gpu`] and drains a
+//! whole queue at a time: workers claim fixed-size block *chunks* from
+//! any launch whose dependencies ([`crate::graph`]) are satisfied, so
+//! many small independent per-scale launches finally overlap — the host
+//! analogue of SM backfilling across CUDA streams.
+//!
+//! Determinism is structural, exactly as in [`crate::exec`]:
+//! which worker runs which chunk when is scheduler noise, but every
+//! chunk's results land in a slot keyed by (launch, chunk id), per-launch
+//! costs are stitched in linear block order, counters are reduced by one
+//! ordered fold, and the drain returns results in launch order. Memory
+//! effects match serial issue order because hazardous launches are
+//! ordered by graph edges and unordered launches are confluent.
+//!
+//! The queue borrows live only for the duration of one [`WorkerPool::drain`]
+//! call: the job is published to the workers as a lifetime-erased pointer
+//! and the host does not return (or touch the queue again) until every
+//! worker has checked out of the generation.
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crate::exec::{FunctionalResult, LaunchEnv, MAX_CHUNK_BLOCKS, PARALLEL_MIN_WORK};
+use crate::kernel::{Kernel, LaunchConfig};
+use crate::memory::KernelScope;
+use crate::meter::KernelCounters;
+use crate::profiler::HostSpan;
+use crate::sched::BlockCost;
+
+/// One unexecuted pending launch, borrowed from the queue for the
+/// duration of a drain. `deps` are indices into the same node slice and
+/// always point backwards (the graph is acyclic by construction).
+pub(crate) struct Node<'a> {
+    pub kernel: &'a dyn Kernel,
+    pub cfg: &'a LaunchConfig,
+    pub total_blocks: u64,
+    pub deps: Vec<usize>,
+    /// Global launch index, for span labels only.
+    pub launch_idx: u64,
+    pub name: &'static str,
+}
+
+/// Per-node scheduling counters, all guarded by the job mutex.
+#[derive(Debug, Default)]
+struct NodeSched {
+    next_chunk: usize,
+    done_chunks: usize,
+    /// Chunks currently executing on some worker; the claim policy
+    /// prefers the ready node with the fewest, spreading workers across
+    /// *different* independent launches.
+    active_claims: usize,
+}
+
+struct SchedState {
+    indeg: Vec<usize>,
+    succs: Vec<Vec<usize>>,
+    /// Nodes with all dependencies satisfied and unclaimed chunks left.
+    ready: Vec<usize>,
+    node: Vec<NodeSched>,
+    completed: usize,
+    aborted: bool,
+    /// First observed panic, keyed by the smallest node index so the
+    /// surfaced payload is stable across schedules (best-effort: serial
+    /// order is only guaranteed for non-panicking drains).
+    panic: Option<(usize, Box<dyn Any + Send>)>,
+}
+
+/// Write-once result slot for one chunk's per-block costs and counters.
+type ChunkSlot = OnceLock<Vec<(BlockCost, KernelCounters)>>;
+
+/// Everything one drain shares between workers.
+struct DrainJob<'a> {
+    env: &'a LaunchEnv<'a>,
+    nodes: &'a [Node<'a>],
+    /// Blocks per chunk, per node.
+    chunk: Vec<usize>,
+    n_chunks: Vec<usize>,
+    slots: Vec<Vec<ChunkSlot>>,
+    state: Mutex<SchedState>,
+    cv: Condvar,
+    participants: usize,
+    epoch: Instant,
+    spans: Mutex<Vec<HostSpan>>,
+}
+
+impl<'a> DrainJob<'a> {
+    fn new(env: &'a LaunchEnv<'a>, nodes: &'a [Node<'a>], threads: usize, epoch: Instant) -> Self {
+        let n = nodes.len();
+        let mut indeg = vec![0usize; n];
+        let mut succs = vec![Vec::new(); n];
+        for (i, node) in nodes.iter().enumerate() {
+            indeg[i] = node.deps.len();
+            for &d in &node.deps {
+                debug_assert!(d < i, "dependency edge must point backwards");
+                succs[d].push(i);
+            }
+        }
+        let ready: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let chunk: Vec<usize> = nodes
+            .iter()
+            .map(|nd| {
+                let total = nd.total_blocks as usize;
+                (total / (threads * 8)).clamp(1, MAX_CHUNK_BLOCKS)
+            })
+            .collect();
+        let n_chunks: Vec<usize> =
+            nodes.iter().zip(&chunk).map(|(nd, &c)| (nd.total_blocks as usize).div_ceil(c)).collect();
+        let slots = n_chunks
+            .iter()
+            .map(|&nc| (0..nc).map(|_| OnceLock::new()).collect())
+            .collect();
+        Self {
+            env,
+            nodes,
+            chunk,
+            n_chunks,
+            slots,
+            state: Mutex::new(SchedState {
+                indeg,
+                succs,
+                ready,
+                node: (0..n).map(|_| NodeSched::default()).collect(),
+                completed: 0,
+                aborted: false,
+                panic: None,
+            }),
+            cv: Condvar::new(),
+            participants: threads,
+            epoch,
+            spans: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn elapsed_us(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64() * 1e6
+    }
+
+    /// Worker body. `worker` 0 is the host thread; pool workers get
+    /// 1..; ids beyond `participants` check in and straight back out.
+    fn run_worker(&self, worker: usize) {
+        if worker >= self.participants {
+            return;
+        }
+        let _scope = KernelScope::enter();
+        let mut local_spans: Vec<HostSpan> = Vec::new();
+        // Open span, merged across consecutive chunks of the same node.
+        let mut cur: Option<(usize, f64, f64, u64)> = None; // (node, t0, t1, blocks)
+        let close = |cur: &mut Option<(usize, f64, f64, u64)>,
+                         spans: &mut Vec<HostSpan>,
+                         nodes: &[Node<'_>]| {
+            if let Some((n, t0, t1, blocks)) = cur.take() {
+                spans.push(HostSpan {
+                    worker,
+                    launch_idx: nodes[n].launch_idx,
+                    kernel_name: nodes[n].name,
+                    t_start_us: t0,
+                    t_end_us: t1,
+                    blocks,
+                });
+            }
+        };
+
+        let mut guard = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if guard.aborted || guard.completed == self.nodes.len() {
+                break;
+            }
+            let pick = guard
+                .ready
+                .iter()
+                .copied()
+                .min_by_key(|&n| (guard.node[n].active_claims, n));
+            let Some(n) = pick else {
+                // Chunks are in flight elsewhere; their completion will
+                // either ready a successor or finish the drain.
+                close(&mut cur, &mut local_spans, self.nodes);
+                guard = self.cv.wait(guard).unwrap_or_else(|e| e.into_inner());
+                continue;
+            };
+            let chunk_idx = guard.node[n].next_chunk;
+            guard.node[n].next_chunk += 1;
+            if guard.node[n].next_chunk == self.n_chunks[n] {
+                let pos = guard.ready.iter().position(|&r| r == n).expect("picked from ready");
+                guard.ready.swap_remove(pos);
+            }
+            guard.node[n].active_claims += 1;
+            drop(guard);
+
+            let node = &self.nodes[n];
+            let start = chunk_idx * self.chunk[n];
+            let end = (start + self.chunk[n]).min(node.total_blocks as usize);
+            let t0 = self.elapsed_us();
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                let mut local = Vec::with_capacity(end - start);
+                for lin in start..end {
+                    local.push(self.env.run_block(node.kernel, node.cfg, lin as u64));
+                }
+                local
+            }));
+            let t1 = self.elapsed_us();
+            match cur {
+                Some((cn, _, ref mut ct1, ref mut cb)) if cn == n => {
+                    *ct1 = t1;
+                    *cb += (end - start) as u64;
+                }
+                _ => {
+                    close(&mut cur, &mut local_spans, self.nodes);
+                    cur = Some((n, t0, t1, (end - start) as u64));
+                }
+            }
+
+            guard = self.state.lock().unwrap_or_else(|e| e.into_inner());
+            guard.node[n].active_claims -= 1;
+            match result {
+                Ok(local) => {
+                    assert!(
+                        self.slots[n][chunk_idx].set(local).is_ok(),
+                        "chunk ({n}, {chunk_idx}) computed twice"
+                    );
+                    guard.node[n].done_chunks += 1;
+                    if guard.node[n].done_chunks == self.n_chunks[n] {
+                        guard.completed += 1;
+                        let succs = std::mem::take(&mut guard.succs[n]);
+                        for s in succs {
+                            guard.indeg[s] -= 1;
+                            if guard.indeg[s] == 0 {
+                                guard.ready.push(s);
+                            }
+                        }
+                        self.cv.notify_all();
+                    }
+                }
+                Err(payload) => {
+                    match &guard.panic {
+                        Some((pn, _)) if *pn <= n => {}
+                        _ => guard.panic = Some((n, payload)),
+                    }
+                    guard.aborted = true;
+                    self.cv.notify_all();
+                }
+            }
+        }
+        drop(guard);
+        close(&mut cur, &mut local_spans, self.nodes);
+        if !local_spans.is_empty() {
+            let mut spans = self.spans.lock().unwrap_or_else(|e| e.into_inner());
+            spans.extend(local_spans);
+        }
+    }
+
+    /// Stitch per-chunk results back into launch order. Panics (with the
+    /// recorded payload) if any worker panicked.
+    fn finish(self) -> (Vec<FunctionalResult>, Vec<HostSpan>) {
+        let state = self.state.into_inner().unwrap_or_else(|e| e.into_inner());
+        if let Some((_, payload)) = state.panic {
+            std::panic::resume_unwind(payload);
+        }
+        assert_eq!(state.completed, self.nodes.len(), "drain exited with unexecuted launches");
+        let mut results = Vec::with_capacity(self.nodes.len());
+        for (n, node_slots) in self.slots.into_iter().enumerate() {
+            let mut block_costs = Vec::with_capacity(self.nodes[n].total_blocks as usize);
+            let mut totals = KernelCounters::default();
+            for slot in node_slots {
+                let part = slot.into_inner().expect("completed node with an unset chunk");
+                for (bc, c) in part {
+                    block_costs.push(bc);
+                    totals.add(&c);
+                }
+            }
+            results.push(FunctionalResult { block_costs, totals });
+        }
+        let mut spans = self.spans.into_inner().unwrap_or_else(|e| e.into_inner());
+        spans.sort_by(|a, b| {
+            (a.worker, a.t_start_us.to_bits(), a.launch_idx)
+                .cmp(&(b.worker, b.t_start_us.to_bits(), b.launch_idx))
+        });
+        (results, spans)
+    }
+}
+
+/// Type-erased pointer to the current drain's [`DrainJob`]. Only valid
+/// while the publishing `drain` call is blocked waiting for checkout.
+#[derive(Clone, Copy)]
+struct JobPtr(*const ());
+// SAFETY: the pointer is only dereferenced by pool workers between
+// publication and checkout, a window during which the host keeps the
+// pointee alive on its stack; DrainJob's shared state is Sync.
+unsafe impl Send for JobPtr {}
+
+struct PoolState {
+    generation: u64,
+    job: Option<JobPtr>,
+    /// Workers that have not yet checked out of the current generation.
+    active: usize,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    cv: Condvar,
+}
+
+/// Persistent worker pool, spawned lazily on first parallel drain and
+/// reused for the lifetime of the owning [`crate::Gpu`].
+pub(crate) struct WorkerPool {
+    shared: std::sync::Arc<PoolShared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl Default for WorkerPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WorkerPool {
+    pub(crate) fn new() -> Self {
+        Self {
+            shared: std::sync::Arc::new(PoolShared {
+                state: Mutex::new(PoolState {
+                    generation: 0,
+                    job: None,
+                    active: 0,
+                    shutdown: false,
+                }),
+                cv: Condvar::new(),
+            }),
+            handles: Vec::new(),
+        }
+    }
+
+    /// Grow the pool to at least `n` workers (never shrinks).
+    pub(crate) fn ensure_workers(&mut self, n: usize) {
+        while self.handles.len() < n {
+            let shared = std::sync::Arc::clone(&self.shared);
+            let id = self.handles.len() + 1; // host is worker 0
+            let handle = std::thread::Builder::new()
+                .name(format!("fd-sim-worker-{id}"))
+                .spawn(move || worker_main(&shared, id))
+                .expect("spawn pool worker");
+            self.handles.push(handle);
+        }
+    }
+
+    /// Execute `nodes` against `env` and return per-node functional
+    /// results in node order plus the host-execution spans. Deterministic
+    /// for any `threads` (see module docs). Serial fallback when the
+    /// queue is too small to pay parallel hand-off costs.
+    pub(crate) fn drain(
+        &mut self,
+        env: &LaunchEnv<'_>,
+        nodes: &[Node<'_>],
+        threads: usize,
+        epoch: Instant,
+    ) -> (Vec<FunctionalResult>, Vec<HostSpan>) {
+        let total_work: u64 = nodes
+            .iter()
+            .map(|n| n.total_blocks.saturating_mul(n.cfg.threads_per_block() as u64))
+            .sum();
+        if threads <= 1 || total_work < PARALLEL_MIN_WORK {
+            return drain_serial(env, nodes, epoch);
+        }
+        self.ensure_workers(threads - 1);
+        let job = DrainJob::new(env, nodes, threads.min(self.handles.len() + 1), epoch);
+
+        {
+            let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            debug_assert!(state.job.is_none(), "drain is not reentrant");
+            state.generation += 1;
+            state.job = Some(JobPtr(&job as *const DrainJob<'_> as *const ()));
+            state.active = self.handles.len();
+            self.shared.cv.notify_all();
+        }
+        job.run_worker(0);
+        {
+            // Checkout barrier: `job` (and the env/node borrows inside
+            // it) must outlive every worker's reference.
+            let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            while state.active > 0 {
+                state = self.shared.cv.wait(state).unwrap_or_else(|e| e.into_inner());
+            }
+            state.job = None;
+        }
+        job.finish()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            state.shutdown = true;
+            self.shared.cv.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_main(shared: &PoolShared, id: usize) {
+    let mut seen_generation = 0u64;
+    let mut state = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+    loop {
+        if state.shutdown {
+            return;
+        }
+        if state.generation > seen_generation {
+            seen_generation = state.generation;
+            if let Some(ptr) = state.job {
+                drop(state);
+                // SAFETY: the publishing drain() call blocks until we
+                // decrement `active` below, keeping the job alive.
+                let job = unsafe { &*(ptr.0 as *const DrainJob<'_>) };
+                job.run_worker(id);
+                state = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            }
+            state.active -= 1;
+            if state.active == 0 {
+                shared.cv.notify_all();
+            }
+            continue;
+        }
+        state = shared.cv.wait(state).unwrap_or_else(|e| e.into_inner());
+    }
+}
+
+/// In-order inline execution: the `host_threads = 1` reference schedule
+/// (and the cheap path for tiny queues). Spans all land on worker 0.
+fn drain_serial(
+    env: &LaunchEnv<'_>,
+    nodes: &[Node<'_>],
+    epoch: Instant,
+) -> (Vec<FunctionalResult>, Vec<HostSpan>) {
+    let _scope = KernelScope::enter();
+    let mut results = Vec::with_capacity(nodes.len());
+    let mut spans = Vec::with_capacity(nodes.len());
+    for node in nodes {
+        let t0 = epoch.elapsed().as_secs_f64() * 1e6;
+        let mut block_costs = Vec::with_capacity(node.total_blocks as usize);
+        let mut totals = KernelCounters::default();
+        for lin in 0..node.total_blocks {
+            let (bc, c) = env.run_block(node.kernel, node.cfg, lin);
+            block_costs.push(bc);
+            totals.add(&c);
+        }
+        let t1 = epoch.elapsed().as_secs_f64() * 1e6;
+        spans.push(HostSpan {
+            worker: 0,
+            launch_idx: node.launch_idx,
+            kernel_name: node.name,
+            t_start_us: t0,
+            t_end_us: t1,
+            blocks: node.total_blocks,
+        });
+        results.push(FunctionalResult { block_costs, totals });
+    }
+    (results, spans)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use crate::dim::Dim3;
+    use crate::kernel::BlockCtx;
+    use crate::memory::{ConstBank, DevBuf, DeviceMemory};
+
+    #[derive(Clone)]
+    struct AffineKernel {
+        src: DevBuf<u32>,
+        dst: DevBuf<u32>,
+        mul: u32,
+        add: u32,
+    }
+
+    impl Kernel for AffineKernel {
+        fn name(&self) -> &'static str {
+            "affine"
+        }
+        fn run_block(&self, ctx: &mut BlockCtx<'_>) {
+            let tpb = ctx.block_dim.count() as usize;
+            let base = ctx.block_idx.x as usize * tpb;
+            let src = ctx.mem.read(self.src);
+            let mut dst = ctx.mem.write(self.dst);
+            let end = (base + tpb).min(dst.len());
+            for i in base..end {
+                dst[i] = src[i].wrapping_mul(self.mul).wrapping_add(self.add);
+            }
+            ctx.meter.alu(ctx.warps_in_block());
+            ctx.meter.global_load(((end - base) * 4) as u64);
+            ctx.meter.global_store(((end - base) * 4) as u64);
+        }
+        fn access(&self, set: &mut crate::memory::AccessSet) {
+            set.reads(self.src).writes(self.dst);
+        }
+    }
+
+    fn env(mem: &DeviceMemory) -> (LaunchEnv<'_>, &'static ConstBank) {
+        static BANK: std::sync::OnceLock<ConstBank> = std::sync::OnceLock::new();
+        let bank = BANK.get_or_init(|| ConstBank::new(0));
+        (
+            LaunchEnv {
+                mem,
+                constants: bank,
+                textures: &[],
+                cost: Box::leak(Box::new(CostModel::default())),
+                warp_size: 32,
+            },
+            bank,
+        )
+    }
+
+    /// Build a chain a -> b (RAW) plus an independent c, drain at the
+    /// given thread count and return the final buffers + results.
+    fn run_graph(threads: usize) -> (Vec<u32>, Vec<u32>, Vec<FunctionalResult>) {
+        let mut mem = DeviceMemory::new();
+        let n = 64 * 1024usize;
+        let a_in = mem.upload(&(0..n as u32).collect::<Vec<_>>());
+        let a_mid = mem.alloc::<u32>(n);
+        let a_out = mem.alloc::<u32>(n);
+        let c_in = mem.upload(&(0..n as u32).rev().collect::<Vec<_>>());
+        let c_out = mem.alloc::<u32>(n);
+        let (env, _) = env(&mem);
+        let cfg = LaunchConfig::linear(n, 128);
+        let k1 = AffineKernel { src: a_in, dst: a_mid, mul: 3, add: 1 };
+        let k2 = AffineKernel { src: a_mid, dst: a_out, mul: 5, add: 7 };
+        let k3 = AffineKernel { src: c_in, dst: c_out, mul: 11, add: 13 };
+        let nodes = vec![
+            Node {
+                kernel: &k1,
+                cfg: &cfg,
+                total_blocks: cfg.total_blocks(),
+                deps: vec![],
+                launch_idx: 0,
+                name: "k1",
+            },
+            Node {
+                kernel: &k2,
+                cfg: &cfg,
+                total_blocks: cfg.total_blocks(),
+                deps: vec![0],
+                launch_idx: 1,
+                name: "k2",
+            },
+            Node {
+                kernel: &k3,
+                cfg: &cfg,
+                total_blocks: cfg.total_blocks(),
+                deps: vec![],
+                launch_idx: 2,
+                name: "k3",
+            },
+        ];
+        let mut pool = WorkerPool::new();
+        let (results, _spans) = pool.drain(&env, &nodes, threads, Instant::now());
+        (mem.download(a_out), mem.download(c_out), results)
+    }
+
+    #[test]
+    fn graph_drain_matches_serial_at_any_thread_count() {
+        let (a1, c1, r1) = run_graph(1);
+        assert_eq!(a1[10], (10u32.wrapping_mul(3).wrapping_add(1)).wrapping_mul(5).wrapping_add(7));
+        for threads in [2, 3, 8] {
+            let (a, c, r) = run_graph(threads);
+            assert_eq!(a, a1, "dependent chain differs at {threads} threads");
+            assert_eq!(c, c1, "independent launch differs at {threads} threads");
+            for (i, (x, y)) in r.iter().zip(&r1).enumerate() {
+                assert_eq!(x.totals, y.totals, "counters differ for node {i} at {threads} threads");
+                assert_eq!(x.block_costs.len(), y.block_costs.len());
+                for (a, b) in x.block_costs.iter().zip(&y.block_costs) {
+                    assert_eq!(a.issue_cycles.to_bits(), b.issue_cycles.to_bits());
+                    assert_eq!(a.mem_latency_cycles.to_bits(), b.mem_latency_cycles.to_bits());
+                    assert_eq!(a.mem_bytes, b.mem_bytes);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pool_is_reusable_across_drains() {
+        let mut mem = DeviceMemory::new();
+        let n = 32 * 1024usize;
+        let src = mem.upload(&vec![2u32; n]);
+        let dst = mem.alloc::<u32>(n);
+        let (env, _) = env(&mem);
+        let cfg = LaunchConfig::linear(n, 128);
+        let k = AffineKernel { src, dst, mul: 2, add: 0 };
+        let mut pool = WorkerPool::new();
+        for round in 0..3 {
+            let nodes = vec![Node {
+                kernel: &k,
+                cfg: &cfg,
+                total_blocks: cfg.total_blocks(),
+                deps: vec![],
+                launch_idx: round,
+                name: "k",
+            }];
+            let (results, _) = pool.drain(&env, &nodes, 4, Instant::now());
+            assert_eq!(results.len(), 1);
+        }
+        assert_eq!(mem.download(dst)[0], 4);
+    }
+
+    #[test]
+    fn tiny_queues_take_the_serial_path_with_spans() {
+        let mut mem = DeviceMemory::new();
+        let src = mem.upload(&vec![1u32; 64]);
+        let dst = mem.alloc::<u32>(64);
+        let (env, _) = env(&mem);
+        let cfg = LaunchConfig::linear(64, 32);
+        let k = AffineKernel { src, dst, mul: 7, add: 0 };
+        let nodes = vec![Node {
+            kernel: &k,
+            cfg: &cfg,
+            total_blocks: cfg.total_blocks(),
+            deps: vec![],
+            launch_idx: 0,
+            name: "tiny",
+        }];
+        let mut pool = WorkerPool::new();
+        let (results, spans) = pool.drain(&env, &nodes, 8, Instant::now());
+        assert_eq!(results.len(), 1);
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].worker, 0, "sub-threshold work stays on the host thread");
+        assert_eq!(spans[0].blocks, 2);
+        assert_eq!(mem.download(dst)[0], 7);
+    }
+
+    #[test]
+    fn worker_panic_surfaces_on_the_host() {
+        struct BoomKernel;
+        impl Kernel for BoomKernel {
+            fn name(&self) -> &'static str {
+                "boom"
+            }
+            fn run_block(&self, ctx: &mut BlockCtx<'_>) {
+                if ctx.block_idx.x == 100 {
+                    panic!("injected block failure");
+                }
+                ctx.meter.alu(1);
+            }
+        }
+        let mem = DeviceMemory::new();
+        let (env, _) = env(&mem);
+        let cfg = LaunchConfig { grid: Dim3::d1(512), block: Dim3::d1(64), shared_mem_bytes: 0 };
+        let k = BoomKernel;
+        let nodes = vec![Node {
+            kernel: &k,
+            cfg: &cfg,
+            total_blocks: cfg.total_blocks(),
+            deps: vec![],
+            launch_idx: 0,
+            name: "boom",
+        }];
+        let mut pool = WorkerPool::new();
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.drain(&env, &nodes, 4, Instant::now())
+        }));
+        assert!(err.is_err(), "panic in a worker must resurface on the host");
+    }
+}

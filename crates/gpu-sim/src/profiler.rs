@@ -38,6 +38,37 @@ impl TraceEvent {
     }
 }
 
+/// One contiguous run of block-chunks a host worker executed for one
+/// launch during the asynchronous drain (wall-clock, unlike the
+/// simulated-device times in [`TraceEvent`]). Overlapping spans on
+/// *different* workers for *different* launches are host-side kernel
+/// concurrency made visible — the host analogue of the paper's Fig. 6
+/// stream overlap.
+#[derive(Debug, Clone)]
+pub struct HostSpan {
+    /// Host worker id; 0 is the application thread.
+    pub worker: usize,
+    /// Global launch index of the launch whose blocks ran.
+    pub launch_idx: u64,
+    pub kernel_name: &'static str,
+    /// Wall-clock µs since the owning `Gpu` was created.
+    pub t_start_us: f64,
+    pub t_end_us: f64,
+    /// Blocks executed within this span.
+    pub blocks: u64,
+}
+
+impl HostSpan {
+    pub fn duration_us(&self) -> f64 {
+        self.t_end_us - self.t_start_us
+    }
+
+    /// Whether two spans overlap in wall-clock time.
+    pub fn overlaps(&self, other: &HostSpan) -> bool {
+        self.t_start_us < other.t_end_us && other.t_start_us < self.t_end_us
+    }
+}
+
 /// Aggregate statistics for one kernel name across many launches.
 #[derive(Debug, Clone, Default)]
 pub struct KernelProfile {
@@ -62,10 +93,23 @@ impl KernelProfile {
 }
 
 /// Accumulates traces across synchronization scopes.
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub struct Profiler {
     traces: Vec<TraceEvent>,
     per_kernel: BTreeMap<&'static str, KernelProfile>,
+    host_spans: Vec<HostSpan>,
+}
+
+/// Host spans carry host wall-clock times and so vary run to run; they
+/// are omitted here so a `Debug` fingerprint of the profiler stays
+/// deterministic (only the simulated-device state participates).
+impl std::fmt::Debug for Profiler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Profiler")
+            .field("traces", &self.traces)
+            .field("per_kernel", &self.per_kernel)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Profiler {
@@ -85,9 +129,19 @@ impl Profiler {
         }
     }
 
+    /// Ingest host-execution spans from one asynchronous drain.
+    pub fn absorb_host_spans(&mut self, spans: Vec<HostSpan>) {
+        self.host_spans.extend(spans);
+    }
+
     /// All recorded trace rows, in launch order.
     pub fn traces(&self) -> &[TraceEvent] {
         &self.traces
+    }
+
+    /// Host-execution spans, sorted by (worker, start time).
+    pub fn host_spans(&self) -> &[HostSpan] {
+        &self.host_spans
     }
 
     /// Aggregate per-kernel profiles, keyed by kernel name.
@@ -108,6 +162,7 @@ impl Profiler {
     pub fn reset(&mut self) {
         self.traces.clear();
         self.per_kernel.clear();
+        self.host_spans.clear();
     }
 
     /// Render the trace as aligned text rows (a poor man's Fig. 6).
@@ -148,6 +203,52 @@ impl Profiler {
                 e.stream.index(),
                 e.launch_idx,
                 e.blocks,
+            ));
+        }
+        out.push_str("\n]\n");
+        out
+    }
+
+    /// [`Profiler::render_chrome_trace`] plus a host-execution lane:
+    /// every host worker becomes a row under `pid:1` showing which
+    /// launch's block-chunks it ran when (wall-clock µs). Two spans from
+    /// different launches overlapping on different rows is asynchronous
+    /// launch overlap, visible at a glance. Kept out of the default
+    /// renderer so device-only traces stay byte-identical across host
+    /// thread counts (host spans are wall-clock and inherently not).
+    pub fn render_chrome_trace_with_host(&self) -> String {
+        let mut out = String::from("[");
+        let mut first = true;
+        for e in &self.traces {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "\n  {{\"name\":\"{}\",\"cat\":\"kernel\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\
+                 \"pid\":0,\"tid\":{},\"args\":{{\"launch\":{},\"blocks\":{}}}}}",
+                e.kernel_name,
+                e.t_start_us,
+                e.duration_us(),
+                e.stream.index(),
+                e.launch_idx,
+                e.blocks,
+            ));
+        }
+        for s in &self.host_spans {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "\n  {{\"name\":\"{}\",\"cat\":\"host\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\
+                 \"pid\":1,\"tid\":{},\"args\":{{\"launch\":{},\"blocks\":{}}}}}",
+                s.kernel_name,
+                s.t_start_us,
+                s.duration_us(),
+                s.worker,
+                s.launch_idx,
+                s.blocks,
             ));
         }
         out.push_str("\n]\n");
@@ -239,5 +340,42 @@ mod tests {
     fn chrome_trace_of_empty_profiler_is_an_empty_array() {
         let p = Profiler::new();
         assert_eq!(p.render_chrome_trace(), "[\n]\n");
+    }
+
+    fn span(worker: usize, launch: u64, t0: f64, t1: f64) -> HostSpan {
+        HostSpan {
+            worker,
+            launch_idx: launch,
+            kernel_name: "k",
+            t_start_us: t0,
+            t_end_us: t1,
+            blocks: 8,
+        }
+    }
+
+    #[test]
+    fn host_lane_renders_under_its_own_pid_and_leaves_default_untouched() {
+        let mut p = Profiler::new();
+        p.absorb(&[ev("scale", 3, 1.0, 2.5, 0)]);
+        let device_only = p.render_chrome_trace();
+        p.absorb_host_spans(vec![span(0, 0, 0.0, 5.0), span(1, 1, 1.0, 4.0)]);
+        // Default renderer ignores host spans entirely.
+        assert_eq!(p.render_chrome_trace(), device_only);
+        let s = p.render_chrome_trace_with_host();
+        assert_eq!(s.matches("\"cat\":\"host\"").count(), 2);
+        assert_eq!(s.matches("\"pid\":1").count(), 2);
+        assert!(s.contains("\"tid\":0") && s.contains("\"tid\":1"));
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+        assert_eq!(s.matches("},").count() + 1, s.matches("\"name\"").count());
+        // Reset drops the lane.
+        p.reset();
+        assert!(p.host_spans().is_empty());
+        assert_eq!(p.render_chrome_trace_with_host(), "[\n]\n");
+    }
+
+    #[test]
+    fn host_spans_report_overlap() {
+        assert!(span(0, 0, 0.0, 5.0).overlaps(&span(1, 1, 4.0, 9.0)));
+        assert!(!span(0, 0, 0.0, 5.0).overlaps(&span(1, 1, 5.0, 9.0)));
     }
 }

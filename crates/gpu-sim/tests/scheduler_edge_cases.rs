@@ -39,7 +39,7 @@ fn concurrent_kernel_cap_limits_simultaneous_launches() {
     let kernel_cycles = 1_215_000; // ~1 ms each
     for _ in 0..32 {
         let s = gpu.create_stream();
-        gpu.launch(&AddKernel { buf, value: 0, cycles: kernel_cycles }, LaunchConfig::linear(256, 256), s)
+        gpu.launch(AddKernel { buf, value: 0, cycles: kernel_cycles }, LaunchConfig::linear(256, 256), s)
             .unwrap();
     }
     let t = gpu.synchronize();
@@ -55,15 +55,15 @@ fn event_chain_across_three_streams_orders_work() {
     let (s1, s2, s3) = (gpu.create_stream(), gpu.create_stream(), gpu.create_stream());
 
     // s1: +1, record e1; s2 waits e1: *observe via timing*; s3 waits e2.
-    gpu.launch(&AddKernel { buf, value: 1, cycles: 500_000 }, LaunchConfig::linear(1, 32), s1)
+    gpu.launch(AddKernel { buf, value: 1, cycles: 500_000 }, LaunchConfig::linear(1, 32), s1)
         .unwrap();
     let e1 = gpu.record_event(s1);
     gpu.stream_wait_event(s2, e1);
-    gpu.launch(&AddKernel { buf, value: 10, cycles: 500_000 }, LaunchConfig::linear(1, 32), s2)
+    gpu.launch(AddKernel { buf, value: 10, cycles: 500_000 }, LaunchConfig::linear(1, 32), s2)
         .unwrap();
     let e2 = gpu.record_event(s2);
     gpu.stream_wait_event(s3, e2);
-    gpu.launch(&AddKernel { buf, value: 100, cycles: 500_000 }, LaunchConfig::linear(1, 32), s3)
+    gpu.launch(AddKernel { buf, value: 100, cycles: 500_000 }, LaunchConfig::linear(1, 32), s3)
         .unwrap();
 
     let t = gpu.synchronize();
@@ -80,9 +80,9 @@ fn mode_switch_between_syncs_changes_timing_only() {
     let launch_pair = |gpu: &mut Gpu| {
         let a = gpu.create_stream();
         let b = gpu.create_stream();
-        gpu.launch(&AddKernel { buf, value: 1, cycles: 600_000 }, LaunchConfig::linear(8, 32), a)
+        gpu.launch(AddKernel { buf, value: 1, cycles: 600_000 }, LaunchConfig::linear(8, 32), a)
             .unwrap();
-        gpu.launch(&AddKernel { buf, value: 1, cycles: 600_000 }, LaunchConfig::linear(8, 32), b)
+        gpu.launch(AddKernel { buf, value: 1, cycles: 600_000 }, LaunchConfig::linear(8, 32), b)
             .unwrap();
     };
     launch_pair(&mut gpu);
@@ -98,10 +98,10 @@ fn mode_switch_between_syncs_changes_timing_only() {
 fn timeline_origin_resets_each_sync_scope() {
     let mut gpu = Gpu::new(DeviceSpec::gtx470(), ExecMode::Serial);
     let buf = gpu.mem.alloc::<u32>(8);
-    gpu.launch_default(&AddKernel { buf, value: 1, cycles: 1000 }, LaunchConfig::linear(8, 32))
+    gpu.launch_default(AddKernel { buf, value: 1, cycles: 1000 }, LaunchConfig::linear(8, 32))
         .unwrap();
     let t1 = gpu.synchronize();
-    gpu.launch_default(&AddKernel { buf, value: 1, cycles: 1000 }, LaunchConfig::linear(8, 32))
+    gpu.launch_default(AddKernel { buf, value: 1, cycles: 1000 }, LaunchConfig::linear(8, 32))
         .unwrap();
     let t2 = gpu.synchronize();
     // Each scope starts at t = 0 (timestamps are scope-relative).

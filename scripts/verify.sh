@@ -10,6 +10,20 @@ cargo build --release --offline
 echo "== cargo test -q =="
 cargo test -q --offline --workspace
 
+echo "== simulator test matrix across host thread counts =="
+# The functional phase must be bit-identical whether the worker pool is
+# disabled (1) or draining chunks in parallel (4).
+for t in 1 4; do
+  echo "-- FD_SIM_THREADS=$t --"
+  FD_SIM_THREADS=$t cargo test -q --offline -p fd-gpu -p fd-detector
+done
+
+echo "== async host execution (asserts >= 1.3x frame throughput vs the sync engine and bit-identical outputs) =="
+# Scratch results dir: the committed results/BENCH_async_exec.json stays
+# the full-length run.
+FD_RESULTS_DIR="$(mktemp -d)" \
+  cargo run --release --offline -q -p fd-bench --bin async_exec -- --assert-min-speedup-pct 130
+
 echo "== fault matrix (every fault kind x pipeline stage) =="
 cargo test -q --offline -p fd-detector --test fault_matrix
 
