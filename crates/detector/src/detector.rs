@@ -40,6 +40,13 @@ pub struct DetectorConfig {
     /// `None` — and any inert plan — leaves behaviour bit-identical to a
     /// fault-free device.
     pub fault_plan: Option<FaultPlan>,
+    /// Fuse the smoothing/integral pipeline stages into combined
+    /// launches (see [`fd_gpu::fuse`]). `None` defers to `FD_SIM_FUSION`,
+    /// then to off (the unfused paper baseline). Detections are
+    /// bit-identical either way; fused frames pay fewer launch overheads
+    /// and keep chain-internal intermediates off the global traffic
+    /// ledger.
+    pub fusion: Option<bool>,
 }
 
 impl Default for DetectorConfig {
@@ -54,6 +61,7 @@ impl Default for DetectorConfig {
             host_threads: None,
             host_exec: None,
             fault_plan: None,
+            fusion: None,
         }
     }
 }
@@ -129,8 +137,22 @@ impl FaceDetector {
         gpu.set_host_threads(config.host_threads);
         gpu.set_host_exec(config.host_exec);
         gpu.set_fault_plan(config.fault_plan.clone());
-        let pipeline = FramePipeline::try_new(gpu, cascade, config.scale_factor)?;
+        let mut pipeline = FramePipeline::try_new(gpu, cascade, config.scale_factor)?;
+        if let Some(fusion) = config.fusion {
+            pipeline.set_fusion(fusion);
+        }
         Ok(Self { pipeline, config })
+    }
+
+    /// Whether the smoothing/integral stages launch fused.
+    pub fn fusion(&self) -> bool {
+        self.pipeline.fusion()
+    }
+
+    /// Enable or disable kernel fusion (takes effect next frame).
+    pub fn set_fusion(&mut self, fusion: bool) {
+        self.config.fusion = Some(fusion);
+        self.pipeline.set_fusion(fusion);
     }
 
     /// The active configuration.

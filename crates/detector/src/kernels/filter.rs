@@ -75,17 +75,28 @@ impl Kernel for FilterKernel {
 
         let warp = ctx.warp_size() as u64;
         let warps = covered.div_ceil(warp);
-        // Halo load: one coalesced read per tile element.
-        ctx.meter.global_load((tile_side * tile_side * 4) as u64);
+        // Halo load: one coalesced read per tile element. Buffer-tagged
+        // so a fused launch credits fusion-local traffic to on-chip rates.
+        ctx.global_load_buf(self.src, (tile_side * tile_side * 4) as u64);
         ctx.meter.shared((tile_side * tile_side) as u64 / 8);
         // Compute: 9 shared reads + ~10 FLOPs per pixel.
         ctx.meter.shared(9 * warps);
         ctx.meter.alu(10 * warps);
-        ctx.meter.global_store(4 * covered);
+        ctx.global_store_buf(self.dst, 4 * covered);
     }
 
     fn access(&self, set: &mut fd_gpu::AccessSet) {
         set.reads(self.src).writes(self.dst);
+    }
+
+    fn fusion_traits(&self) -> Option<fd_gpu::FusionTraits> {
+        Some(fd_gpu::FusionTraits {
+            read_domain: (self.width, self.height),
+            write_domain: (self.width, self.height),
+            // Each block writes only its own 16x16 tile (the halo is
+            // read-side), so consumers may follow in the same launch.
+            tile_local: true,
+        })
     }
 }
 

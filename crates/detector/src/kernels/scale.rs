@@ -60,16 +60,30 @@ impl Kernel for ScaleKernel {
         drop(dst);
 
         // Per covered thread: ~6 address ALU ops (as warp instructions) and
-        // a 4-byte store; the tex2d call meters fetches itself.
+        // a 4-byte store; the tex2d call meters fetches itself. The store
+        // is buffer-tagged so a fused chain can keep the scaled level
+        // on-chip for its consumer.
         let warp = ctx.warp_size() as u64;
         ctx.meter.alu(6 * covered.div_ceil(warp));
-        ctx.meter.global_store(4 * covered);
+        ctx.global_store_buf(self.dst, 4 * covered);
     }
 
     fn access(&self, set: &mut fd_gpu::AccessSet) {
         // The source is a texture; texture state is flushed ahead of any
         // host-side mutation, so only the buffer write needs declaring.
         set.writes(self.dst);
+    }
+
+    fn fusion_traits(&self) -> Option<fd_gpu::FusionTraits> {
+        Some(fd_gpu::FusionTraits {
+            // The read side is a texture, outside the buffer domain
+            // contract; report the output geometry (a chain head's read
+            // domain is never matched against a producer).
+            read_domain: (self.dst_w, self.dst_h),
+            write_domain: (self.dst_w, self.dst_h),
+            // Each block writes exactly its own 16x16 output tile.
+            tile_local: true,
+        })
     }
 }
 

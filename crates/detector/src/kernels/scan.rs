@@ -88,8 +88,13 @@ impl Kernel for ScanRowsKernel {
         let warps = t / ctx.warp_size() as u64;
         let segments = (w as u64).div_ceil(t);
         let log_t = 8u64; // log2(256)
-        ctx.meter.global_load(4 * w as u64);
-        ctx.meter.global_store(4 * w as u64);
+        // Buffer-tagged traffic: credited to on-chip rates when the scan
+        // runs fused behind its producer.
+        match self.input {
+            ScanInput::QuantizeF32(src) => ctx.global_load_buf(src, 4 * w as u64),
+            ScanInput::U32(src) => ctx.global_load_buf(src, 4 * w as u64),
+        }
+        ctx.global_store_buf(self.output, 4 * w as u64);
         ctx.meter.shared(segments * 2 * t / ctx.warp_size() as u64);
         ctx.meter.alu(segments * warps * 2 * log_t);
         for _ in 0..segments * 2 {
@@ -103,6 +108,15 @@ impl Kernel for ScanRowsKernel {
             ScanInput::U32(src) => set.reads(src),
         }
         .writes(self.output);
+    }
+
+    fn fusion_traits(&self) -> Option<fd_gpu::FusionTraits> {
+        Some(fd_gpu::FusionTraits {
+            read_domain: (self.width, self.height),
+            write_domain: (self.width, self.height),
+            // One block owns one row of the output.
+            tile_local: true,
+        })
     }
 }
 

@@ -77,8 +77,10 @@ impl Kernel for TransposeKernel {
         }
 
         let warps = (t * t) as u64 / ctx.warp_size() as u64;
-        ctx.meter.global_load(4 * loaded);
-        ctx.meter.global_store(4 * loaded);
+        // Buffer-tagged traffic: fusion-local intermediates are credited
+        // to on-chip rates when this transpose runs inside a fused chain.
+        ctx.global_load_buf(self.src, 4 * loaded);
+        ctx.global_store_buf(self.dst, 4 * loaded);
         // One shared store and one shared load per element — one
         // transaction per warp each way, conflict-free thanks to the
         // padding.
@@ -88,6 +90,16 @@ impl Kernel for TransposeKernel {
 
     fn access(&self, set: &mut fd_gpu::AccessSet) {
         set.reads(self.src).writes(self.dst);
+    }
+
+    fn fusion_traits(&self) -> Option<fd_gpu::FusionTraits> {
+        Some(fd_gpu::FusionTraits {
+            read_domain: (self.width, self.height),
+            // The output is the transposed matrix: domains swap, which is
+            // exactly what a consumer expecting `height x width` checks.
+            write_domain: (self.height, self.width),
+            tile_local: true,
+        })
     }
 }
 

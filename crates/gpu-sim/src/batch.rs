@@ -84,6 +84,14 @@ impl<K: Kernel> Kernel for BatchedKernel<K> {
             set.union(&part_set);
         }
     }
+
+    fn fusion_traits(&self) -> Option<crate::fuse::FusionTraits> {
+        // Parts are homogeneous (same type, same geometry), so the batch
+        // fuses exactly when one part does, with the part's traits: the
+        // stacked z dimension adds identical independent instances and
+        // changes neither the per-part domains nor tile-locality.
+        self.parts[0].fusion_traits()
+    }
 }
 
 #[cfg(test)]

@@ -69,12 +69,24 @@ impl Default for CostModel {
 
 impl CostModel {
     /// Issue-pipeline cycles for one block's metered work.
+    ///
+    /// Fusion-local traffic (intermediates a fused chain keeps on-chip,
+    /// see [`crate::fuse`]) is charged here at shared-memory rate per
+    /// would-have-been transaction instead of entering the DRAM
+    /// latency/bandwidth terms: the bytes still cost issue slots to move
+    /// through the register file and L1, but never pay `global_latency_cycles`
+    /// or occupy DRAM bandwidth. With zero fused bytes the result is
+    /// numerically identical to the pre-fusion model.
     pub fn issue_cycles(&self, c: &KernelCounters) -> f64 {
+        let fused_transactions =
+            ((c.fused_bytes_read + c.fused_bytes_written) as f64 / self.bytes_per_transaction)
+                .ceil();
         c.alu_ops as f64 * self.alu_cycles
             + c.shared_transactions as f64 * self.shared_cycles
             + c.const_broadcasts as f64 * self.const_cycles
             + c.tex_fetches as f64 * self.tex_cycles
             + c.barriers as f64 * self.barrier_cycles
+            + fused_transactions * self.shared_cycles
     }
 
     /// Un-hidden global-memory stall cycles for one block (latency term,
@@ -157,6 +169,23 @@ mod tests {
             + 2.0 * m.tex_cycles
             + m.barrier_cycles;
         assert_eq!(m.issue_cycles(&c), expect);
+    }
+
+    #[test]
+    fn fused_traffic_is_credited_to_on_chip_rates() {
+        let m = CostModel::default();
+        // 256 fused bytes -> 2 would-have-been transactions at shared rate,
+        // and none of it shows up in the DRAM latency term.
+        let c = KernelCounters {
+            fused_bytes_read: 200,
+            fused_bytes_written: 56,
+            ..KernelCounters::default()
+        };
+        assert_eq!(m.issue_cycles(&c), 2.0 * m.shared_cycles);
+        assert_eq!(m.mem_latency_cycles(&c), 0.0);
+        // The same bytes paid as global traffic would stall on DRAM.
+        let g = counters(0, 256);
+        assert_eq!(m.mem_latency_cycles(&g), 2.0 * m.global_latency_cycles);
     }
 
     #[test]

@@ -124,12 +124,27 @@ pub(crate) fn run_functional(
     threads: usize,
     total_blocks: u64,
 ) -> FunctionalResult {
-    let total = total_blocks as usize;
-    let work = total_blocks.saturating_mul(cfg.threads_per_block() as u64);
+    run_functional_range(kernel, cfg, env, threads, 0, total_blocks)
+}
+
+/// Execute the linear block range `[first_block, first_block + count)` of
+/// a launch. The general form behind [`run_functional`]; fused launches
+/// use it to run one phase (stage) at a time so producer phases complete
+/// before their consumers start.
+pub(crate) fn run_functional_range(
+    kernel: &dyn Kernel,
+    cfg: &LaunchConfig,
+    env: &LaunchEnv<'_>,
+    threads: usize,
+    first_block: u64,
+    count: u64,
+) -> FunctionalResult {
+    let total = count as usize;
+    let work = count.saturating_mul(cfg.threads_per_block() as u64);
     if threads <= 1 || work < PARALLEL_MIN_WORK {
         let mut block_costs = Vec::with_capacity(total);
         let mut totals = KernelCounters::default();
-        for lin in 0..total_blocks {
+        for lin in first_block..first_block + count {
             let (bc, c) = env.run_block(kernel, cfg, lin);
             block_costs.push(bc);
             totals.add(&c);
@@ -156,7 +171,7 @@ pub(crate) fn run_functional(
                 let end = (start + chunk).min(total);
                 let mut local = Vec::with_capacity(end - start);
                 for lin in start..end {
-                    local.push(env.run_block(kernel, cfg, lin as u64));
+                    local.push(env.run_block(kernel, cfg, first_block + lin as u64));
                 }
                 assert!(slots[idx].set(local).is_ok(), "chunk {idx} computed twice");
             });

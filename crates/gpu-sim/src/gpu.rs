@@ -49,6 +49,8 @@ pub enum LaunchError {
     /// A batched launch's per-part grid must be flat (`grid.z == 1`):
     /// the batch dimension itself is stacked on `z`.
     BatchedGridDepth { z: u32 },
+    /// A fused chain failed legality validation (see [`crate::fuse`]).
+    FusionRejected(crate::fuse::FusionError),
 }
 
 impl LaunchError {
@@ -80,6 +82,7 @@ impl std::fmt::Display for LaunchError {
             LaunchError::BatchedGridDepth { z } => {
                 write!(f, "batched launch requires a flat per-part grid, got depth {z}")
             }
+            LaunchError::FusionRejected(e) => write!(f, "fusion rejected: {e}"),
         }
     }
 }
@@ -171,6 +174,22 @@ pub struct Gpu {
     host_epoch: Instant,
     profiler: Profiler,
     fault: Option<FaultState>,
+}
+
+/// Split a launch's linear block range into `(first, count)` phase
+/// segments from the kernel's [`Kernel::phase_boundaries`] (ascending
+/// stage starts, 0 excluded). Plain kernels yield one segment.
+fn phase_segments(boundaries: Vec<u64>, total_blocks: u64) -> Vec<(u64, u64)> {
+    let mut starts = Vec::with_capacity(boundaries.len() + 1);
+    starts.push(0u64);
+    starts.extend(boundaries.into_iter().filter(|&b| b > 0 && b < total_blocks));
+    let mut segments = Vec::with_capacity(starts.len());
+    for (i, &first) in starts.iter().enumerate() {
+        let end = starts.get(i + 1).copied().unwrap_or(total_blocks);
+        debug_assert!(end > first, "phase boundaries must be ascending");
+        segments.push((first, end - first));
+    }
+    segments
 }
 
 /// Per-device fault-injection state: the plan plus the monotone attempt
@@ -504,7 +523,9 @@ impl Gpu {
 
         if self.host_exec() == HostExec::Sync {
             // Legacy engine: run the whole launch inline, one fresh
-            // thread scope per launch.
+            // thread scope per launch. A fused launch reports its stage
+            // starts as phase boundaries; each phase runs to completion
+            // before the next so consumers observe their producers.
             let env = exec::LaunchEnv {
                 mem: &self.mem,
                 constants: &self.constants,
@@ -513,8 +534,27 @@ impl Gpu {
                 warp_size: self.spec.warp_size,
             };
             let host_threads = exec::resolve_host_threads(self.host_threads);
+            let segments = phase_segments(kernel.phase_boundaries(), total_blocks);
             let exec::FunctionalResult { mut block_costs, totals } =
-                exec::run_functional(&kernel, &cfg, &env, host_threads, total_blocks);
+                if segments.len() <= 1 {
+                    exec::run_functional(&kernel, &cfg, &env, host_threads, total_blocks)
+                } else {
+                    let mut block_costs = Vec::with_capacity(total_blocks as usize);
+                    let mut totals = KernelCounters::default();
+                    for &(first, count) in &segments {
+                        let r = exec::run_functional_range(
+                            &kernel,
+                            &cfg,
+                            &env,
+                            host_threads,
+                            first,
+                            count,
+                        );
+                        block_costs.extend(r.block_costs);
+                        totals.add(&r.totals);
+                    }
+                    exec::FunctionalResult { block_costs, totals }
+                };
             if stall_cycles > 0.0 {
                 // A stream stall pins the launch's first block for the
                 // stall duration. Charged as issue cycles so warp
@@ -569,22 +609,57 @@ impl Gpu {
         // The unexecuted launches form a suffix (every flush drains the
         // whole queue). Dependencies on already-executed launches are
         // satisfied by definition and drop out of the node graph.
-        let nodes: Vec<Node<'_>> = self.pending[base..]
-            .iter()
-            .map(|p| Node {
-                kernel: &**p.kernel.as_ref().expect("unexecuted launch retains its kernel"),
-                cfg: &p.cfg,
-                total_blocks: p.total_blocks,
-                deps: p.deps.iter().filter(|&&d| d >= base).map(|&d| d - base).collect(),
-                launch_idx: p.record.launch_idx as u64,
-                name: p.record.kernel_name,
-            })
-            .collect();
+        //
+        // Fused launches expand into one node per phase, chained by
+        // deps, so the pool never interleaves a consumer stage's blocks
+        // with its producer's. External deps attach to the first phase;
+        // downstream launches depending on the fused launch point at its
+        // last phase.
+        let mut segments: Vec<Vec<(u64, u64)>> = Vec::with_capacity(self.pending.len() - base);
+        let mut node_span: Vec<(usize, usize)> = Vec::with_capacity(self.pending.len() - base);
+        let mut next_node = 0usize;
+        for p in &self.pending[base..] {
+            let kernel = p.kernel.as_ref().expect("unexecuted launch retains its kernel");
+            let segs = phase_segments(kernel.phase_boundaries(), p.total_blocks);
+            node_span.push((next_node, next_node + segs.len() - 1));
+            next_node += segs.len();
+            segments.push(segs);
+        }
+        let mut nodes: Vec<Node<'_>> = Vec::with_capacity(next_node);
+        for (k, p) in self.pending[base..].iter().enumerate() {
+            let kernel = &**p.kernel.as_ref().expect("unexecuted launch retains its kernel");
+            for (si, &(block_offset, count)) in segments[k].iter().enumerate() {
+                let deps = if si == 0 {
+                    p.deps
+                        .iter()
+                        .filter(|&&d| d >= base)
+                        .map(|&d| node_span[d - base].1)
+                        .collect()
+                } else {
+                    vec![node_span[k].0 + si - 1]
+                };
+                nodes.push(Node {
+                    kernel,
+                    cfg: &p.cfg,
+                    total_blocks: count,
+                    block_offset,
+                    deps,
+                    launch_idx: p.record.launch_idx as u64,
+                    name: p.record.kernel_name,
+                });
+            }
+        }
         let (results, spans) = self.pool.drain(&env, &nodes, threads, self.host_epoch);
         drop(nodes);
-        for (k, result) in results.into_iter().enumerate() {
-            let p = &mut self.pending[base + k];
-            let exec::FunctionalResult { mut block_costs, totals } = result;
+        let mut results = results.into_iter();
+        for (k, p) in self.pending[base..].iter_mut().enumerate() {
+            let mut block_costs = Vec::with_capacity(p.total_blocks as usize);
+            let mut totals = KernelCounters::default();
+            for _ in &segments[k] {
+                let r = results.next().expect("one functional result per node");
+                block_costs.extend(r.block_costs);
+                totals.add(&r.totals);
+            }
             if p.stall_cycles > 0.0 {
                 // See the inline-execution comment in `launch`: the stall
                 // pins the first block as issue cycles.
@@ -643,6 +718,22 @@ impl Gpu {
         self.launch(batched, cfg, stream)
     }
 
+    /// Validate a fused chain and launch it as **one** kernel (see
+    /// [`crate::fuse`]): one launch overhead for the whole chain, and
+    /// traffic on intermediates consumed inside the chain is credited to
+    /// on-chip rates. Legality failures surface as
+    /// [`LaunchError::FusionRejected`]; callers typically fall back to
+    /// launching the stages separately.
+    pub fn launch_fused(
+        &mut self,
+        chain: crate::fuse::FusedChain,
+        stream: StreamId,
+    ) -> Result<(), LaunchError> {
+        let fused = chain.validate().map_err(LaunchError::FusionRejected)?;
+        let cfg = fused.config();
+        self.launch(fused, cfg, stream)
+    }
+
     /// Launch into the default stream.
     pub fn launch_default<K: Kernel + 'static>(
         &mut self,
@@ -678,6 +769,11 @@ impl Gpu {
         self.flush_functional();
         let launches: Vec<LaunchRecord> =
             self.pending.drain(..).map(|p| p.record).collect();
+        // Harvest the opaque-launch count before the tracker forgets it:
+        // undeclared access sets silently forbid both overlap and fusion,
+        // so the profiler surfaces how many launches fell back to a full
+        // barrier in this scope.
+        self.profiler.add_opaque_launches(self.tracker.take_opaque_launches());
         self.tracker.reset();
         // Waits registered but never attached to a launch are dropped, like
         // a cudaStreamWaitEvent on a stream that never launches again.
@@ -1054,5 +1150,164 @@ mod tests {
             overlapping,
             "independent launches must overlap across workers: {spans:?}"
         );
+    }
+
+    /// `dst[i] = src[i] * k + add`, one block per 256 elements; meters its
+    /// traffic through the buffer-tagged helpers so fusion crediting
+    /// applies when the buffers are fusion-local.
+    #[derive(Clone, Copy)]
+    struct AffineKernel {
+        src: DevBuf<u32>,
+        dst: DevBuf<u32>,
+        n: usize,
+        k: u32,
+        add: u32,
+        name: &'static str,
+    }
+
+    impl Kernel for AffineKernel {
+        fn name(&self) -> &'static str {
+            self.name
+        }
+        fn run_block(&self, ctx: &mut BlockCtx<'_>) {
+            let tpb = ctx.block_dim.count() as usize;
+            let base = ctx.block_idx.x as usize * tpb;
+            let end = (base + tpb).min(self.n);
+            if base >= end {
+                return;
+            }
+            {
+                let src = ctx.mem.read(self.src);
+                let mut dst = ctx.mem.write(self.dst);
+                for i in base..end {
+                    dst[i] = src[i] * self.k + self.add;
+                }
+            }
+            let bytes = ((end - base) * 4) as u64;
+            ctx.meter.alu(2 * ctx.warps_in_block());
+            ctx.global_load_buf(self.src, bytes);
+            ctx.global_store_buf(self.dst, bytes);
+        }
+        fn access(&self, set: &mut AccessSet) {
+            set.reads(self.src).writes(self.dst);
+        }
+        fn fusion_traits(&self) -> Option<crate::fuse::FusionTraits> {
+            Some(crate::fuse::FusionTraits {
+                read_domain: (self.n, 1),
+                write_domain: (self.n, 1),
+                tile_local: true,
+            })
+        }
+    }
+
+    /// Fused chain vs the same stages launched separately, across both
+    /// host engines and thread counts: outputs bit-identical, one trace
+    /// row instead of three, (k-1) launch overheads and the intermediate
+    /// round-trips saved.
+    #[test]
+    fn fused_chain_matches_separate_launches_and_is_cheaper() {
+        let n = 8192usize;
+        let cfg = LaunchConfig::linear(n, 256);
+        let run = |fused: bool, exec: HostExec, threads: usize| {
+            let mut gpu = Gpu::new(DeviceSpec::gtx470(), ExecMode::Concurrent)
+                .with_host_exec(exec)
+                .with_host_threads(threads);
+            let a = gpu.mem.upload(&(0u32..n as u32).collect::<Vec<_>>());
+            let b = gpu.mem.alloc::<u32>(n);
+            let c = gpu.mem.alloc::<u32>(n);
+            let d = gpu.mem.alloc::<u32>(n);
+            let s = gpu.create_stream();
+            let k1 = AffineKernel { src: a, dst: b, n, k: 3, add: 1, name: "s1" };
+            let k2 = AffineKernel { src: b, dst: c, n, k: 2, add: 5, name: "s2" };
+            let k3 = AffineKernel { src: c, dst: d, n, k: 1, add: 7, name: "s3" };
+            if fused {
+                let chain = crate::fuse::FusedChain::new("s1+s2+s3")
+                    .then(k1, cfg)
+                    .then(k2, cfg)
+                    .then(k3, cfg);
+                gpu.launch_fused(chain, s).unwrap();
+            } else {
+                gpu.launch(k1, cfg, s).unwrap();
+                gpu.launch(k2, cfg, s).unwrap();
+                gpu.launch(k3, cfg, s).unwrap();
+            }
+            let t = gpu.synchronize();
+            let totals: KernelCounters = gpu
+                .profiler()
+                .kernels()
+                .values()
+                .fold(KernelCounters::default(), |mut acc, p| {
+                    acc.add(&p.counters);
+                    acc
+                });
+            (gpu.mem.download(d), t.span_us(), t.events.len(), totals)
+        };
+
+        let baseline = run(false, HostExec::Sync, 1);
+        let fused_ref = run(true, HostExec::Sync, 1);
+        assert_eq!(baseline.0, fused_ref.0, "fused results must match unfused");
+        assert_eq!(baseline.2, 3, "unfused: one trace row per stage");
+        assert_eq!(fused_ref.2, 1, "fused: a single launch");
+
+        // Timing: one launch overhead instead of three, and the two
+        // intermediates' round-trips credited to on-chip rates.
+        let overhead = DeviceSpec::gtx470().launch_overhead_us;
+        assert!(
+            fused_ref.1 + 1.9 * overhead < baseline.1,
+            "fusing 3 stages must save ~2 launch overheads: {} vs {}",
+            fused_ref.1,
+            baseline.1
+        );
+
+        // Counters: the intermediates' store+load traffic moved from the
+        // global ledger to the fused ledger; the chain's external read
+        // (a) and write (d) stay global.
+        let (bc, fc) = (&baseline.3, &fused_ref.3);
+        assert_eq!(fc.fused_bytes(), (4 * n * 4) as u64, "b,c round-trips become fused");
+        assert_eq!(bc.fused_bytes(), 0);
+        assert_eq!(fc.global_bytes_read, (n * 4) as u64);
+        assert_eq!(fc.global_bytes_written, (n * 4) as u64);
+        assert_eq!(
+            bc.global_bytes() - fc.global_bytes(),
+            fc.fused_bytes(),
+            "credited traffic accounts for every avoided global byte"
+        );
+
+        // Engine/thread-count invariance, fused and unfused alike.
+        for exec in [HostExec::Sync, HostExec::Async] {
+            for threads in [1, 4] {
+                let f = run(true, exec, threads);
+                assert_eq!(f.0, fused_ref.0, "{exec:?}/{threads}");
+                assert_eq!(f.1.to_bits(), fused_ref.1.to_bits(), "{exec:?}/{threads}");
+                let u = run(false, exec, threads);
+                assert_eq!(u.0, baseline.0, "{exec:?}/{threads}");
+                assert_eq!(u.1.to_bits(), baseline.1.to_bits(), "{exec:?}/{threads}");
+            }
+        }
+    }
+
+    /// A launch after a fused chain that reads the chain's output must
+    /// order behind the whole chain in the async engine (its dependency
+    /// points at the chain's *last* phase node).
+    #[test]
+    fn downstream_of_fused_chain_sees_final_stage_output() {
+        let n = 8192usize;
+        let cfg = LaunchConfig::linear(n, 256);
+        let mut gpu = Gpu::new(DeviceSpec::gtx470(), ExecMode::Concurrent)
+            .with_host_exec(HostExec::Async)
+            .with_host_threads(4);
+        let a = gpu.mem.upload(&vec![1u32; n]);
+        let b = gpu.mem.alloc::<u32>(n);
+        let c = gpu.mem.alloc::<u32>(n);
+        let s = gpu.create_stream();
+        let s2 = gpu.create_stream();
+        let chain = crate::fuse::FusedChain::new("mul+add")
+            .then(AffineKernel { src: a, dst: b, n, k: 5, add: 0, name: "mul" }, cfg)
+            .then(AffineKernel { src: b, dst: c, n, k: 1, add: 2, name: "add" }, cfg);
+        gpu.launch_fused(chain, s).unwrap();
+        // Different stream: ordered only by the RAW hazard on c.
+        gpu.launch(DoubleKernel { buf: c }, LaunchConfig::linear(n, 256), s2).unwrap();
+        gpu.synchronize();
+        assert!(gpu.mem.read(c).iter().all(|&v| v == (1 * 5 + 2) * 2));
     }
 }

@@ -52,6 +52,11 @@ pub(crate) struct DepTracker {
     last_opaque: Option<usize>,
     event_sources: HashMap<u32, usize>,
     next_idx: usize,
+    /// Launches enqueued with an undeclared (opaque) access set since the
+    /// last harvest. Each is a full-barrier fallback that forbids both
+    /// overlap and fusion; [`crate::Gpu::synchronize`] hands the count to
+    /// the profiler so silently-serializing kernels are visible.
+    opaque_launches: u64,
 }
 
 impl DepTracker {
@@ -68,6 +73,13 @@ impl DepTracker {
         self.last_opaque = None;
         self.event_sources.clear();
         self.next_idx = 0;
+        self.opaque_launches = 0;
+    }
+
+    /// Return and clear the opaque-launch count accumulated since the
+    /// last harvest (or reset).
+    pub(crate) fn take_opaque_launches(&mut self) -> u64 {
+        std::mem::take(&mut self.opaque_launches)
     }
 
     /// Record that `event` will be fired by the pending launch at `idx`
@@ -110,6 +122,7 @@ impl DepTracker {
             // everything.
             deps.extend(0..idx);
             self.last_opaque = Some(idx);
+            self.opaque_launches += 1;
             // An opaque launch may have written any buffer.
             for state in self.buf_states.values_mut() {
                 state.last_writer = Some(idx);
@@ -248,6 +261,19 @@ mod tests {
         t.on_enqueue(S0, &writes(&[1]), &[]);
         t.reset();
         assert!(t.on_enqueue(S0, &reads(&[1]), &[]).is_empty());
+    }
+
+    #[test]
+    fn opaque_launches_are_counted_and_taken() {
+        let mut t = DepTracker::new();
+        t.on_enqueue(S0, &writes(&[1]), &[]);
+        t.on_enqueue(S1, &opaque(), &[]);
+        t.on_enqueue(S2, &opaque(), &[]);
+        assert_eq!(t.take_opaque_launches(), 2);
+        assert_eq!(t.take_opaque_launches(), 0, "harvest clears the count");
+        t.on_enqueue(S0, &opaque(), &[]);
+        t.reset();
+        assert_eq!(t.take_opaque_launches(), 0, "reset drops unharvested counts");
     }
 
     impl AccessSet {

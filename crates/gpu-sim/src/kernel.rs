@@ -1,7 +1,8 @@
 //! Kernel trait, launch configuration and the per-block execution context.
 
 use crate::dim::{div_ceil, Dim3};
-use crate::memory::{ConstBank, DeviceMemory, TexId, Texture2D};
+use crate::fuse::FusionTraits;
+use crate::memory::{ConstBank, DevBuf, DeviceMemory, DeviceScalar, TexId, Texture2D};
 use crate::meter::Meter;
 
 /// Grid/block geometry and shared-memory request for a launch, mirroring the
@@ -82,6 +83,23 @@ pub trait Kernel: Send + Sync {
     fn access(&self, set: &mut crate::memory::AccessSet) {
         set.mark_opaque();
     }
+
+    /// Describe this kernel's producer/consumer shape for kernel fusion
+    /// (see [`crate::fuse`]). The default declares the kernel unfusable,
+    /// which is always safe; kernels with a regular element-wise or
+    /// tile-local structure override this to opt in.
+    fn fusion_traits(&self) -> Option<FusionTraits> {
+        None
+    }
+
+    /// Linear block offsets at which execution must not interleave with
+    /// earlier blocks of the same launch. Plain kernels have none (blocks
+    /// are independent by construction); a fused chain reports its stage
+    /// starts so the engines insert intra-launch barriers between the
+    /// producer and consumer phases.
+    fn phase_boundaries(&self) -> Vec<u64> {
+        Vec::new()
+    }
 }
 
 /// Execution context for one thread block: geometry, memory spaces and the
@@ -102,6 +120,10 @@ pub struct BlockCtx<'a> {
     warp_size: u32,
     shared_limit_bytes: u32,
     shared_used_bytes: u32,
+    /// Arena ids of buffers that are fusion-local in the current launch:
+    /// traffic on them is metered as on-chip, not global (see
+    /// [`crate::fuse`]). Empty for plain launches.
+    fusion_local: Vec<usize>,
 }
 
 impl<'a> BlockCtx<'a> {
@@ -128,7 +150,15 @@ impl<'a> BlockCtx<'a> {
             warp_size,
             shared_limit_bytes,
             shared_used_bytes: 0,
+            fusion_local: Vec::new(),
         }
+    }
+
+    /// Mark buffers as fusion-local for the remainder of this block.
+    /// Called by [`crate::FusedKernel`] before delegating to a stage.
+    pub(crate) fn set_fusion_local(&mut self, ids: &[usize]) {
+        self.fusion_local.clear();
+        self.fusion_local.extend_from_slice(ids);
     }
 
     /// SIMT width of the device.
@@ -201,6 +231,31 @@ impl<'a> BlockCtx<'a> {
     /// Record a `__syncthreads()` executed by all warps of the block.
     pub fn syncthreads(&self) {
         self.meter.barrier(self.warps_in_block());
+    }
+
+    /// Meter a global-memory read of `bytes` bytes from `buf`, routed to
+    /// the fused-traffic counters when `buf` is fusion-local in this
+    /// launch. Kernels that can participate in fusion use this instead of
+    /// calling [`Meter::global_load`] directly so their intermediates are
+    /// credited when a chain keeps them on-chip.
+    #[inline]
+    pub fn global_load_buf<T: DeviceScalar>(&self, buf: DevBuf<T>, bytes: u64) {
+        if self.fusion_local.contains(&buf.raw_id()) {
+            self.meter.fused_load(bytes);
+        } else {
+            self.meter.global_load(bytes);
+        }
+    }
+
+    /// Meter a global-memory write of `bytes` bytes to `buf`; see
+    /// [`Self::global_load_buf`].
+    #[inline]
+    pub fn global_store_buf<T: DeviceScalar>(&self, buf: DevBuf<T>, bytes: u64) {
+        if self.fusion_local.contains(&buf.raw_id()) {
+            self.meter.fused_store(bytes);
+        } else {
+            self.meter.global_store(bytes);
+        }
     }
 
     /// Iterate the block's threads in warp order, invoking `f(lane_set)` for

@@ -93,6 +93,7 @@ pub mod exec;
 pub mod device;
 pub mod dim;
 pub mod fault;
+pub mod fuse;
 pub mod kernel;
 pub mod memory;
 pub mod meter;
@@ -111,6 +112,9 @@ pub use device::DeviceSpec;
 pub use dim::Dim3;
 pub use exec::THREADS_ENV_VAR;
 pub use fault::{FaultCursor, FaultPlan, FaultStats};
+pub use fuse::{
+    env_fusion_default, FusedChain, FusedKernel, FusionError, FusionTraits, FUSION_ENV_VAR,
+};
 pub use gpu::{Gpu, HostExec, LaunchError, HOST_EXEC_ENV_VAR, MAX_FUNCTIONAL_BLOCKS};
 pub use kernel::{BlockCtx, Kernel, LaunchConfig};
 pub use memory::{

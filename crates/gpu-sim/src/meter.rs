@@ -25,6 +25,13 @@ pub struct KernelCounters {
     pub global_bytes_read: u64,
     /// Bytes written to global memory.
     pub global_bytes_written: u64,
+    /// Bytes read from fusion-local intermediates: traffic a standalone
+    /// launch would have paid as global reads, but which a fused chain
+    /// keeps on-chip (see [`crate::fuse`]). Costed at shared-memory rate.
+    pub fused_bytes_read: u64,
+    /// Bytes written to fusion-local intermediates (see
+    /// [`Self::fused_bytes_read`]).
+    pub fused_bytes_written: u64,
     /// Block-wide barriers executed (per warp).
     pub barriers: u64,
     /// Conditional branches executed by warps.
@@ -55,14 +62,23 @@ impl KernelCounters {
         self.tex_fetches += other.tex_fetches;
         self.global_bytes_read += other.global_bytes_read;
         self.global_bytes_written += other.global_bytes_written;
+        self.fused_bytes_read += other.fused_bytes_read;
+        self.fused_bytes_written += other.fused_bytes_written;
         self.barriers += other.barriers;
         self.branches += other.branches;
         self.divergent_branches += other.divergent_branches;
     }
 
-    /// Total global traffic in bytes.
+    /// Total global traffic in bytes. Fusion-local bytes are excluded:
+    /// they never reach DRAM.
     pub fn global_bytes(&self) -> u64 {
         self.global_bytes_read + self.global_bytes_written
+    }
+
+    /// Total fusion-local traffic in bytes (DRAM round-trips avoided by
+    /// kernel fusion).
+    pub fn fused_bytes(&self) -> u64 {
+        self.fused_bytes_read + self.fused_bytes_written
     }
 }
 
@@ -75,6 +91,8 @@ pub struct Meter {
     tex_fetches: Cell<u64>,
     global_bytes_read: Cell<u64>,
     global_bytes_written: Cell<u64>,
+    fused_bytes_read: Cell<u64>,
+    fused_bytes_written: Cell<u64>,
     barriers: Cell<u64>,
     branches: Cell<u64>,
     divergent_branches: Cell<u64>,
@@ -121,6 +139,18 @@ impl Meter {
         self.global_bytes_written.set(self.global_bytes_written.get() + bytes);
     }
 
+    /// Record a read of `bytes` bytes from a fusion-local intermediate.
+    #[inline]
+    pub fn fused_load(&self, bytes: u64) {
+        self.fused_bytes_read.set(self.fused_bytes_read.get() + bytes);
+    }
+
+    /// Record a write of `bytes` bytes to a fusion-local intermediate.
+    #[inline]
+    pub fn fused_store(&self, bytes: u64) {
+        self.fused_bytes_written.set(self.fused_bytes_written.get() + bytes);
+    }
+
     /// Record a block barrier executed by `warps` warps.
     #[inline]
     pub fn barrier(&self, warps: u64) {
@@ -154,6 +184,8 @@ impl Meter {
             tex_fetches: self.tex_fetches.get(),
             global_bytes_read: self.global_bytes_read.get(),
             global_bytes_written: self.global_bytes_written.get(),
+            fused_bytes_read: self.fused_bytes_read.get(),
+            fused_bytes_written: self.fused_bytes_written.get(),
             barriers: self.barriers.get(),
             branches: self.branches.get(),
             divergent_branches: self.divergent_branches.get(),
@@ -186,6 +218,22 @@ mod tests {
         assert_eq!(c.barriers, 18);
         assert_eq!(c.branches, 2);
         assert_eq!(c.divergent_branches, 1);
+    }
+
+    #[test]
+    fn fused_bytes_stay_out_of_global_traffic() {
+        let m = Meter::new();
+        m.global_load(100);
+        m.fused_load(64);
+        m.fused_store(32);
+        let c = m.snapshot();
+        assert_eq!(c.global_bytes(), 100);
+        assert_eq!(c.fused_bytes(), 96);
+        let mut sum = KernelCounters::default();
+        sum.add(&c);
+        sum.add(&c);
+        assert_eq!(sum.fused_bytes_read, 128);
+        assert_eq!(sum.fused_bytes_written, 64);
     }
 
     #[test]

@@ -42,6 +42,11 @@ pub(crate) struct Node<'a> {
     pub kernel: &'a dyn Kernel,
     pub cfg: &'a LaunchConfig,
     pub total_blocks: u64,
+    /// First linear block id this node executes. Zero for whole launches;
+    /// a fused launch is expanded into one node per phase, each covering
+    /// `[block_offset, block_offset + total_blocks)` of the shared grid,
+    /// chained by deps so producer phases complete before consumers start.
+    pub block_offset: u64,
     pub deps: Vec<usize>,
     /// Global launch index, for span labels only.
     pub launch_idx: u64,
@@ -201,7 +206,11 @@ impl<'a> DrainJob<'a> {
             let result = catch_unwind(AssertUnwindSafe(|| {
                 let mut local = Vec::with_capacity(end - start);
                 for lin in start..end {
-                    local.push(self.env.run_block(node.kernel, node.cfg, lin as u64));
+                    local.push(self.env.run_block(
+                        node.kernel,
+                        node.cfg,
+                        node.block_offset + lin as u64,
+                    ));
                 }
                 local
             }));
@@ -448,7 +457,7 @@ fn drain_serial(
         let mut block_costs = Vec::with_capacity(node.total_blocks as usize);
         let mut totals = KernelCounters::default();
         for lin in 0..node.total_blocks {
-            let (bc, c) = env.run_block(node.kernel, node.cfg, lin);
+            let (bc, c) = env.run_block(node.kernel, node.cfg, node.block_offset + lin);
             block_costs.push(bc);
             totals.add(&c);
         }
@@ -539,6 +548,7 @@ mod tests {
                 kernel: &k1,
                 cfg: &cfg,
                 total_blocks: cfg.total_blocks(),
+                block_offset: 0,
                 deps: vec![],
                 launch_idx: 0,
                 name: "k1",
@@ -547,6 +557,7 @@ mod tests {
                 kernel: &k2,
                 cfg: &cfg,
                 total_blocks: cfg.total_blocks(),
+                block_offset: 0,
                 deps: vec![0],
                 launch_idx: 1,
                 name: "k2",
@@ -555,6 +566,7 @@ mod tests {
                 kernel: &k3,
                 cfg: &cfg,
                 total_blocks: cfg.total_blocks(),
+                block_offset: 0,
                 deps: vec![],
                 launch_idx: 2,
                 name: "k3",
@@ -600,6 +612,7 @@ mod tests {
                 kernel: &k,
                 cfg: &cfg,
                 total_blocks: cfg.total_blocks(),
+                block_offset: 0,
                 deps: vec![],
                 launch_idx: round,
                 name: "k",
@@ -622,6 +635,7 @@ mod tests {
             kernel: &k,
             cfg: &cfg,
             total_blocks: cfg.total_blocks(),
+            block_offset: 0,
             deps: vec![],
             launch_idx: 0,
             name: "tiny",
@@ -657,6 +671,7 @@ mod tests {
             kernel: &k,
             cfg: &cfg,
             total_blocks: cfg.total_blocks(),
+            block_offset: 0,
             deps: vec![],
             launch_idx: 0,
             name: "boom",

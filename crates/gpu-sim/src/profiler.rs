@@ -19,6 +19,10 @@ pub struct TraceEvent {
     pub t_start_us: f64,
     pub t_end_us: f64,
     pub blocks: u64,
+    /// Launch overhead charged before `t_start_us` (driver/runtime cost;
+    /// includes profiling overhead in serial mode). A fused launch pays
+    /// this once where its constituents would have paid it k times.
+    pub overhead_us: f64,
     pub counters: KernelCounters,
 }
 
@@ -98,6 +102,7 @@ pub struct Profiler {
     traces: Vec<TraceEvent>,
     per_kernel: BTreeMap<&'static str, KernelProfile>,
     host_spans: Vec<HostSpan>,
+    opaque_launches: u64,
 }
 
 /// Host spans carry host wall-clock times and so vary run to run; they
@@ -108,6 +113,7 @@ impl std::fmt::Debug for Profiler {
         f.debug_struct("Profiler")
             .field("traces", &self.traces)
             .field("per_kernel", &self.per_kernel)
+            .field("opaque_launches", &self.opaque_launches)
             .finish_non_exhaustive()
     }
 }
@@ -132,6 +138,21 @@ impl Profiler {
     /// Ingest host-execution spans from one asynchronous drain.
     pub fn absorb_host_spans(&mut self, spans: Vec<HostSpan>) {
         self.host_spans.extend(spans);
+    }
+
+    /// Ingest the count of undeclared-access (full-barrier) launches
+    /// harvested from the dependency tracker at a sync point.
+    pub(crate) fn add_opaque_launches(&mut self, n: u64) {
+        self.opaque_launches += n;
+    }
+
+    /// Launches enqueued without a declared [`AccessSet`]
+    /// (the [`Kernel::access`](crate::Kernel::access) default). Each one
+    /// is a full barrier: it forbids both asynchronous overlap and
+    /// fusion, so a non-zero count flags kernels silently serializing
+    /// the pipeline.
+    pub fn opaque_launches(&self) -> u64 {
+        self.opaque_launches
     }
 
     /// All recorded trace rows, in launch order.
@@ -163,6 +184,7 @@ impl Profiler {
         self.traces.clear();
         self.per_kernel.clear();
         self.host_spans.clear();
+        self.opaque_launches = 0;
     }
 
     /// Render the trace as aligned text rows (a poor man's Fig. 6).
@@ -190,23 +212,49 @@ impl Profiler {
     /// side by side.
     pub fn render_chrome_trace(&self) -> String {
         let mut out = String::from("[");
-        for (i, e) in self.traces.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            out.push_str(&format!(
-                "\n  {{\"name\":\"{}\",\"cat\":\"kernel\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\
-                 \"pid\":0,\"tid\":{},\"args\":{{\"launch\":{},\"blocks\":{}}}}}",
-                e.kernel_name,
-                e.t_start_us,
-                e.duration_us(),
-                e.stream.index(),
-                e.launch_idx,
-                e.blocks,
-            ));
+        let mut first = true;
+        for e in &self.traces {
+            Self::push_device_event(&mut out, &mut first, e);
         }
         out.push_str("\n]\n");
         out
+    }
+
+    /// Append one trace row as a `"cat":"kernel"` complete event,
+    /// preceded — when the launch paid a non-zero overhead — by its own
+    /// `"cat":"overhead"` slice spanning `[t_start - overhead, t_start]`,
+    /// so launch cost shows up as a distinct ribbon in the viewer rather
+    /// than silently padding the gap between kernels.
+    fn push_device_event(out: &mut String, first: &mut bool, e: &TraceEvent) {
+        if e.overhead_us > 0.0 {
+            if !*first {
+                out.push(',');
+            }
+            *first = false;
+            out.push_str(&format!(
+                "\n  {{\"name\":\"launch {}\",\"cat\":\"overhead\",\"ph\":\"X\",\"ts\":{:.3},\
+                 \"dur\":{:.3},\"pid\":0,\"tid\":{},\"args\":{{\"launch\":{}}}}}",
+                e.kernel_name,
+                e.t_start_us - e.overhead_us,
+                e.overhead_us,
+                e.stream.index(),
+                e.launch_idx,
+            ));
+        }
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+        out.push_str(&format!(
+            "\n  {{\"name\":\"{}\",\"cat\":\"kernel\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\
+             \"pid\":0,\"tid\":{},\"args\":{{\"launch\":{},\"blocks\":{}}}}}",
+            e.kernel_name,
+            e.t_start_us,
+            e.duration_us(),
+            e.stream.index(),
+            e.launch_idx,
+            e.blocks,
+        ));
     }
 
     /// [`Profiler::render_chrome_trace`] plus a host-execution lane:
@@ -220,20 +268,7 @@ impl Profiler {
         let mut out = String::from("[");
         let mut first = true;
         for e in &self.traces {
-            if !first {
-                out.push(',');
-            }
-            first = false;
-            out.push_str(&format!(
-                "\n  {{\"name\":\"{}\",\"cat\":\"kernel\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\
-                 \"pid\":0,\"tid\":{},\"args\":{{\"launch\":{},\"blocks\":{}}}}}",
-                e.kernel_name,
-                e.t_start_us,
-                e.duration_us(),
-                e.stream.index(),
-                e.launch_idx,
-                e.blocks,
-            ));
+            Self::push_device_event(&mut out, &mut first, e);
         }
         for s in &self.host_spans {
             if !first {
@@ -268,6 +303,7 @@ mod tests {
             t_start_us: t0,
             t_end_us: t1,
             blocks: 1,
+            overhead_us: 0.0,
             counters: KernelCounters {
                 global_bytes_read: read,
                 branches: 100,
@@ -340,6 +376,41 @@ mod tests {
     fn chrome_trace_of_empty_profiler_is_an_empty_array() {
         let p = Profiler::new();
         assert_eq!(p.render_chrome_trace(), "[\n]\n");
+    }
+
+    #[test]
+    fn launch_overhead_renders_as_its_own_slice() {
+        let mut p = Profiler::new();
+        let mut with_overhead = ev("scale", 3, 5.0, 7.0, 0);
+        with_overhead.overhead_us = 4.0;
+        p.absorb(&[with_overhead, ev("cascade", 1, 7.0, 10.0, 64)]);
+        let s = p.render_chrome_trace();
+
+        // One extra slice for the launch that paid overhead, none for the
+        // one that did not; the JSON stays well-formed.
+        assert_eq!(s.matches("\"cat\":\"overhead\"").count(), 1);
+        assert_eq!(s.matches("\"cat\":\"kernel\"").count(), 2);
+        assert_eq!(s.matches("\"name\"").count(), 3);
+        assert_eq!(s.matches("},").count(), 2, "comma-separated");
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+        assert_eq!(s.matches('"').count() % 2, 0, "quotes must balance");
+
+        // The slice ends where the kernel starts: [t_start-ovh, t_start].
+        assert!(s.contains("\"name\":\"launch scale\""));
+        assert!(s.contains("\"ts\":1.000,\"dur\":4.000"));
+        // Host renderer shows the same slice.
+        assert_eq!(p.render_chrome_trace_with_host(), s);
+    }
+
+    #[test]
+    fn opaque_launch_count_accumulates_and_resets() {
+        let mut p = Profiler::new();
+        assert_eq!(p.opaque_launches(), 0);
+        p.add_opaque_launches(2);
+        p.add_opaque_launches(1);
+        assert_eq!(p.opaque_launches(), 3);
+        p.reset();
+        assert_eq!(p.opaque_launches(), 0);
     }
 
     fn span(worker: usize, launch: u64, t0: f64, t1: f64) -> HostSpan {

@@ -184,6 +184,10 @@ pub fn simulate(
             end_us: None,
         })
         .collect();
+    // Launch overhead actually charged to each launch, reported on the
+    // trace so tools can attribute it as its own slice (fusion's saved
+    // overheads then show up in traces, not just aggregate spans).
+    let mut overheads = vec![0.0f64; n];
 
     // Map every event to the launch that records it.
     let mut event_source: std::collections::HashMap<EventId, usize> = Default::default();
@@ -207,6 +211,16 @@ pub fn simulate(
     let mut heap: BinaryHeap<Reverse<Completion>> = BinaryHeap::new();
     let mut now = 0.0f64;
     let mut completed = 0usize;
+    // Anti-starvation reservation: when a ready launch cannot place its
+    // next block anywhere, the *oldest* such launch reserves one SM; no
+    // other launch may issue blocks there until the holder places a
+    // block. Without this, a wide block (say 18 warps) starves
+    // indefinitely behind a drip of narrow blocks from younger launches
+    // that backfill every freed slot — real work distributors dispatch
+    // blocks in kernel order and drain capacity for the oldest pending
+    // kernel instead. A single slot with age preemption keeps the rest of
+    // the device free for backfill while the reserved SM drains.
+    let mut reservation: Option<(usize, usize)> = None; // (launch, sm)
 
     // A launch with zero blocks completes the instant it becomes ready.
     let zero_block_complete =
@@ -264,6 +278,7 @@ pub fn simulate(
                         0.0
                     };
                 let t = ready_at.max(now) + overhead;
+                overheads[i] = overhead;
                 states[i].ready_us = Some(t);
                 if zero_block_complete(&mut states, i, t) {
                     completed += 1;
@@ -297,10 +312,14 @@ pub fn simulate(
             let l = &launches[i];
             let started_before = states[i].next_block > 0;
             while states[i].next_block < l.block_costs.len() {
-                // Find the SM with the most free warps that fits this block.
+                // Find the SM with the most free warps that fits this block,
+                // skipping an SM reserved for a starving older launch.
                 let mut best: Option<usize> = None;
                 let mut best_free = 0i64;
                 for (s, sm) in sms.iter().enumerate() {
+                    if reservation.is_some_and(|(holder, rs)| rs == s && holder != i) {
+                        continue;
+                    }
                     let fits = sm.blocks < spec.max_blocks_per_sm
                         && sm.warps + l.warps_per_block <= spec.max_warps_per_sm
                         && sm.threads + l.threads_per_block <= spec.max_threads_per_sm
@@ -313,7 +332,32 @@ pub fn simulate(
                         }
                     }
                 }
-                let Some(s) = best else { break };
+                let Some(s) = best else {
+                    // Could not place the next block. The oldest stalled
+                    // launch claims the reservation (preempting a younger
+                    // holder) on the SM with the most free warps; it is
+                    // sticky until the holder places a block, so draining
+                    // capacity there cannot be backfilled by others.
+                    match reservation {
+                        Some((holder, _)) if holder <= i => {}
+                        _ => {
+                            let pick = sms
+                                .iter()
+                                .enumerate()
+                                .max_by_key(|(s, sm)| {
+                                    (spec.max_warps_per_sm as i64 - sm.warps as i64, Reverse(*s))
+                                })
+                                .map(|(s, _)| s);
+                            if let Some(s) = pick {
+                                reservation = Some((i, s));
+                            }
+                        }
+                    }
+                    break;
+                };
+                if reservation.is_some_and(|(holder, _)| holder == i) {
+                    reservation = None;
+                }
                 let bc = l.block_costs[states[i].next_block];
                 let sm = &mut sms[s];
                 sm.blocks += 1;
@@ -410,6 +454,7 @@ pub fn simulate(
             stream: l.stream,
             t_start_us: start,
             t_end_us: end,
+            overhead_us: overheads[i],
             blocks: l.block_costs.len() as u64,
             counters: l.counters,
         });
@@ -516,6 +561,29 @@ mod tests {
         let t = simulate(&spec(), &CostModel::default(), ExecMode::Concurrent, &launches);
         assert_eq!(t.events[0].t_start_us, t.events[0].t_end_us);
         assert!(t.events[1].t_end_us > t.events[1].t_start_us);
+    }
+
+    #[test]
+    fn wide_blocks_are_not_starved_by_narrow_backfill() {
+        // 1 SM, 48 warps. An 18-warp-block kernel becomes ready (behind a
+        // same-stream predecessor) while younger launches drip hundreds of
+        // 8-warp blocks that would backfill every freed slot. The
+        // anti-starvation reservation must drain the SM for the wide block
+        // instead of making it wait for the whole drip to finish.
+        let mut sp = DeviceSpec::single_sm();
+        sp.launch_overhead_us = 0.0;
+        let prefix = record(0, 1, 6, 1215.0, 8);
+        let wide = record(1, 1, 1, 1215.0, 18);
+        let drips: Vec<_> = (2..=5).map(|i| record(i, i as u32, 50, 1215.0, 8)).collect();
+        let mut launches = vec![prefix, wide];
+        launches.extend(drips);
+        let t = simulate(&sp, &CostModel::default(), ExecMode::Concurrent, &launches);
+        let wide_start = t.events[1].t_start_us;
+        let first_drip_end = t.events[2].t_end_us;
+        assert!(
+            wide_start < first_drip_end,
+            "wide kernel starved: starts {wide_start} vs first drip end {first_drip_end}"
+        );
     }
 
     #[test]

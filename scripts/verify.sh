@@ -24,6 +24,14 @@ echo "== async host execution (asserts >= 1.3x frame throughput vs the sync engi
 FD_RESULTS_DIR="$(mktemp -d)" \
   cargo run --release --offline -q -p fd-bench --bin async_exec -- --assert-min-speedup-pct 130
 
+echo "== kernel fusion (asserts >= 1.2x end-to-end speedup, >= 1.15x batched, bit-identical detections) =="
+# The bench's identity check sweeps both host engines and thread counts
+# via DetectorConfig (the FD_SIM_THREADS matrix above additionally runs
+# the fusion_identity proptests under both env settings). Scratch results
+# dir: the committed results/BENCH_fusion.json stays the reference run.
+FD_RESULTS_DIR="$(mktemp -d)" \
+  cargo run --release --offline -q -p fd-bench --bin fusion -- --assert-min-speedup-pct 120 --assert-min-batched-pct 115
+
 echo "== fault matrix (every fault kind x pipeline stage) =="
 cargo test -q --offline -p fd-detector --test fault_matrix
 
