@@ -44,8 +44,10 @@ fn server(cascade: &Cascade, batched: bool, depth: usize) -> DetectionServer {
         queue_depth_per_class: depth,
         batch: BatchPolicy { enabled: batched, ..BatchPolicy::default() },
         // The sweep measures raw capacity and queueing latency; shedding
-        // would censor exactly the saturated tail we want to see.
+        // would censor exactly the saturated tail we want to see. The
+        // default retry/health layers are inert without injected faults.
         shed_late: false,
+        ..ServeConfig::default()
     };
     DetectionServer::new(cascade, det, cfg).expect("detector construction")
 }

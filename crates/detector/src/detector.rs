@@ -285,7 +285,24 @@ impl FaceDetector {
             return Err(DetectorError::InvalidConfig { reason: "empty frame batch" });
         };
         let plan = self.pipeline.plan_for(first)?;
-        let (batch_outputs, timeline) = self.pipeline.run_batch_with_plan(frames, &plan)?;
+        self.detect_batch_with_plan(frames, &plan)
+    }
+
+    /// [`Self::detect_batch`] with an explicit pyramid plan, which may be
+    /// a prefix of the full plan ([`Self::pyramid_plan`]) to shed the
+    /// finest scales of every frame in the batch — the batched analogue
+    /// of [`Self::detect_with_plan`], used by `fd-serve` for degraded
+    /// completions under deadline pressure. With the full plan this is
+    /// bit-identical to [`Self::detect_batch`].
+    pub fn detect_batch_with_plan(
+        &mut self,
+        frames: &[&GrayImage],
+        plan: &[(usize, usize)],
+    ) -> Result<Vec<FrameResult>, DetectorError> {
+        if frames.is_empty() {
+            return Err(DetectorError::InvalidConfig { reason: "empty frame batch" });
+        }
+        let (batch_outputs, timeline) = self.pipeline.run_batch_with_plan(frames, plan)?;
         Ok(batch_outputs
             .iter()
             .map(|outputs| {

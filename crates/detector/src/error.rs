@@ -63,6 +63,31 @@ impl DetectorError {
         }
         self
     }
+
+    /// For an injected launch fault on a batched submission, the batch
+    /// slot (frame index within the batch) the device attributed the
+    /// fault to. `None` for every other error and for plain launches.
+    pub fn batch_slot(&self) -> Option<usize> {
+        match self {
+            Self::Launch { source, .. } => source.batch_slot(),
+            _ => None,
+        }
+    }
+
+    /// `true` when the error is a *device-side* fault (an injected launch
+    /// failure) rather than a request-caused rejection (bad geometry,
+    /// invalid configuration, ...). A serving layer's retry and health
+    /// machinery only reacts to device faults: retrying a malformed
+    /// request cannot succeed and must not trip a breaker.
+    pub fn is_device_fault(&self) -> bool {
+        matches!(
+            self,
+            Self::Launch {
+                source: LaunchError::InjectedTimeout { .. } | LaunchError::InjectedTransient { .. },
+                ..
+            }
+        )
+    }
 }
 
 impl fmt::Display for DetectorError {
@@ -119,17 +144,24 @@ mod tests {
             kernel: "cascade_eval",
             level: Some(3),
             frame: None,
-            source: LaunchError::InjectedTransient { kernel: "cascade_eval" },
+            source: LaunchError::InjectedTransient { kernel: "cascade_eval", batch_slot: None },
         };
         assert!(transient.is_transient());
+        assert!(transient.is_device_fault());
+        assert_eq!(transient.batch_slot(), None);
         let timeout = DetectorError::Launch {
             kernel: "cascade_eval",
             level: Some(3),
             frame: None,
-            source: LaunchError::InjectedTimeout { kernel: "cascade_eval" },
+            source: LaunchError::InjectedTimeout { kernel: "cascade_eval", batch_slot: Some(2) },
         };
         assert!(!timeout.is_transient());
+        assert!(timeout.is_device_fault());
+        assert_eq!(timeout.batch_slot(), Some(2));
         assert!(!DetectorError::BadPlaybackFps { fps: f64::NAN }.is_transient());
+        assert!(!DetectorError::BadPlaybackFps { fps: f64::NAN }.is_device_fault());
+        let too_small = DetectorError::FrameTooSmall { width: 8, height: 8, window: 20 };
+        assert!(!too_small.is_device_fault(), "request-caused errors are not device faults");
     }
 
     #[test]
@@ -138,7 +170,7 @@ mod tests {
             kernel: "scale_bilinear",
             level: Some(0),
             frame: None,
-            source: LaunchError::InjectedTransient { kernel: "scale_bilinear" },
+            source: LaunchError::InjectedTransient { kernel: "scale_bilinear", batch_slot: None },
         }
         .at_frame(17);
         let msg = e.to_string();

@@ -122,6 +122,15 @@ impl Default for RecoveryPolicy {
     }
 }
 
+impl RecoveryPolicy {
+    /// Deterministic backoff before retry `k` (0-based):
+    /// `backoff_base_ms * 2^k`. Shared by the streaming retry loop and
+    /// `fd-serve`'s batch recovery so both charge identical virtual time.
+    pub fn backoff_ms(&self, retry: u32) -> f64 {
+        self.backoff_base_ms * f64::powi(2.0, retry as i32)
+    }
+}
+
 /// Accumulated streaming statistics.
 ///
 /// `PartialEq` compares the `f64` accumulators exactly (not within a
@@ -312,8 +321,7 @@ impl VideoDetector {
             match self.detector.detect_with_plan(luma, plan) {
                 Ok(r) => break Ok(r),
                 Err(e) if e.is_transient() && report.retries < self.policy.max_retries => {
-                    report.backoff_ms +=
-                        self.policy.backoff_base_ms * f64::powi(2.0, report.retries as i32);
+                    report.backoff_ms += self.policy.backoff_ms(report.retries);
                     report.retries += 1;
                 }
                 Err(e) => break Err(e),

@@ -92,6 +92,10 @@ impl<K: Kernel> Kernel for BatchedKernel<K> {
         // changes neither the per-part domains nor tile-locality.
         self.parts[0].fusion_traits()
     }
+
+    fn batch_parts(&self) -> usize {
+        self.parts.len()
+    }
 }
 
 #[cfg(test)]

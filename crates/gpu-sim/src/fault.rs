@@ -36,12 +36,27 @@ pub(crate) enum FaultDomain {
     CopyCorruption = 4,
     /// Sub-draws positioning the poisoned region within a buffer.
     CorruptionOffset = 5,
+    /// Sub-draws attributing an injected launch fault to one slot of a
+    /// batched launch (the part whose blocks hit the fault). Drawn only
+    /// when a fault actually fires, in its own domain, so attribution
+    /// never shifts any other draw sequence.
+    BatchAttribution = 6,
+}
+
+/// Mix `(seed, domain)` into a full-width base *before* the counter is
+/// folded in. A plain `seed ^ counter` would let a small seed merely
+/// permute the low counter values — every small seed would then draw
+/// the same *set* of verdicts over a short run, so seed sweeps at low
+/// fault rates would not actually vary the fault pattern.
+#[inline]
+fn draw_base(seed: u64, domain: FaultDomain) -> u64 {
+    splitmix64(seed ^ (domain as u64).wrapping_mul(0xA24BAED4963EE407))
 }
 
 /// Deterministic uniform draw in `[0, 1)` for `(seed, domain, counter)`.
 #[inline]
 pub(crate) fn fault_draw(seed: u64, domain: FaultDomain, counter: u64) -> f64 {
-    let h = splitmix64(seed ^ (domain as u64).wrapping_mul(0xA24BAED4963EE407) ^ counter);
+    let h = splitmix64(draw_base(seed, domain).wrapping_add(counter));
     // 53 high bits -> f64 in [0, 1).
     (h >> 11) as f64 / (1u64 << 53) as f64
 }
@@ -49,7 +64,7 @@ pub(crate) fn fault_draw(seed: u64, domain: FaultDomain, counter: u64) -> f64 {
 /// Deterministic u64 for `(seed, domain, counter)` (region placement).
 #[inline]
 pub(crate) fn fault_bits(seed: u64, domain: FaultDomain, counter: u64) -> u64 {
-    splitmix64(seed ^ (domain as u64).wrapping_mul(0xA24BAED4963EE407) ^ counter)
+    splitmix64(draw_base(seed, domain).wrapping_add(counter))
 }
 
 /// A seeded, deterministic fault-injection plan.
@@ -184,6 +199,22 @@ mod tests {
             .count();
         let rate = hits as f64 / n as f64;
         assert!((0.03..0.07).contains(&rate), "empirical rate {rate}");
+    }
+
+    #[test]
+    fn small_seeds_draw_independent_sequences() {
+        // Regression: `seed ^ counter` used to make every small seed a
+        // permutation of the same draw set, so a seed sweep at a low
+        // rate either all fired or all stayed clean. Distinct seeds must
+        // produce genuinely different verdict sets over a short run.
+        let hits = |seed: u64| {
+            (0..40u64)
+                .filter(|&c| fault_draw(seed, FaultDomain::LaunchTimeout, c) < 0.02)
+                .count()
+        };
+        let counts: Vec<usize> = (0..32).map(hits).collect();
+        assert!(counts.iter().any(|&c| c == 0), "some seeds must stay clean at 2%/40");
+        assert!(counts.iter().any(|&c| c > 0), "some seeds must fire at 2%/40");
     }
 
     #[test]

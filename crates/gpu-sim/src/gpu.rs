@@ -41,11 +41,14 @@ pub enum LaunchError {
     /// Injected fault: the launch timed out on the device. Unrecoverable
     /// for this launch — retrying draws the same verdict class on real
     /// hardware (the engine is wedged), so callers should skip the work.
-    InjectedTimeout { kernel: &'static str },
+    /// `batch_slot` attributes the fault to one part of a batched launch
+    /// (`None` for plain launches, where the whole launch is the unit).
+    InjectedTimeout { kernel: &'static str, batch_slot: Option<usize> },
     /// Injected fault: a transient launch failure (spurious
     /// `cudaErrorLaunchFailure` under engine contention). A retry is a
-    /// fresh draw and typically succeeds.
-    InjectedTransient { kernel: &'static str },
+    /// fresh draw and typically succeeds. `batch_slot` as for
+    /// [`LaunchError::InjectedTimeout`].
+    InjectedTransient { kernel: &'static str, batch_slot: Option<usize> },
     /// A batched launch's per-part grid must be flat (`grid.z == 1`):
     /// the batch dimension itself is stacked on `z`.
     BatchedGridDepth { z: u32 },
@@ -57,6 +60,17 @@ impl LaunchError {
     /// Whether a bounded retry of the same launch can reasonably succeed.
     pub fn is_transient(&self) -> bool {
         matches!(self, LaunchError::InjectedTransient { .. })
+    }
+
+    /// For injected faults on a batched launch, the part index the fault
+    /// is attributed to. `None` for non-injected errors and for faults on
+    /// plain (single-part) launches.
+    pub fn batch_slot(&self) -> Option<usize> {
+        match self {
+            LaunchError::InjectedTimeout { batch_slot, .. }
+            | LaunchError::InjectedTransient { batch_slot, .. } => *batch_slot,
+            _ => None,
+        }
     }
 }
 
@@ -73,11 +87,19 @@ impl std::fmt::Display for LaunchError {
             LaunchError::GridTooLarge { requested, limit } => {
                 write!(f, "grid of {requested} blocks exceeds functional-simulation limit {limit}")
             }
-            LaunchError::InjectedTimeout { kernel } => {
-                write!(f, "injected fault: launch of `{kernel}` timed out")
+            LaunchError::InjectedTimeout { kernel, batch_slot } => {
+                write!(f, "injected fault: launch of `{kernel}` timed out")?;
+                if let Some(slot) = batch_slot {
+                    write!(f, " (batch slot {slot})")?;
+                }
+                Ok(())
             }
-            LaunchError::InjectedTransient { kernel } => {
-                write!(f, "injected fault: transient launch failure for `{kernel}`")
+            LaunchError::InjectedTransient { kernel, batch_slot } => {
+                write!(f, "injected fault: transient launch failure for `{kernel}`")?;
+                if let Some(slot) = batch_slot {
+                    write!(f, " (batch slot {slot})")?;
+                }
+                Ok(())
             }
             LaunchError::BatchedGridDepth { z } => {
                 write!(f, "batched launch requires a flat per-part grid, got depth {z}")
@@ -483,18 +505,35 @@ impl Gpu {
             f.attempts += 1;
             f.stats.launch_attempts += 1;
             let p = &f.plan;
+            // Attribute an injected fault to one part of a batched launch:
+            // a sub-draw in its own domain, keyed on the same attempt
+            // counter, made only when a fault actually fires — so it never
+            // shifts the other domains' sequences and an inert plan never
+            // draws it at all.
+            let batch_slot = |seed: u64| {
+                let parts = kernel.batch_parts();
+                (parts > 1)
+                    .then(|| (crate::fault::fault_bits(seed, FaultDomain::BatchAttribution, attempt)
+                        % parts as u64) as usize)
+            };
             if p.launch_timeout_rate > 0.0
                 && fault_draw(p.seed, FaultDomain::LaunchTimeout, attempt) < p.launch_timeout_rate
             {
                 f.stats.launch_timeouts += 1;
-                return Err(LaunchError::InjectedTimeout { kernel: kernel.name() });
+                return Err(LaunchError::InjectedTimeout {
+                    kernel: kernel.name(),
+                    batch_slot: batch_slot(p.seed),
+                });
             }
             if p.transient_launch_rate > 0.0
                 && fault_draw(p.seed, FaultDomain::LaunchTransient, attempt)
                     < p.transient_launch_rate
             {
                 f.stats.transient_launch_failures += 1;
-                return Err(LaunchError::InjectedTransient { kernel: kernel.name() });
+                return Err(LaunchError::InjectedTransient {
+                    kernel: kernel.name(),
+                    batch_slot: batch_slot(p.seed),
+                });
             }
             if p.stall_rate > 0.0
                 && fault_draw(p.seed, FaultDomain::StreamStall, attempt) < p.stall_rate
@@ -941,12 +980,14 @@ mod tests {
             let verdicts: Vec<_> = (0..100)
                 .map(|_| match launch_until_verdict(&mut gpu, buf) {
                     Ok(()) => 0u8,
-                    Err(LaunchError::InjectedTransient { kernel }) => {
+                    Err(LaunchError::InjectedTransient { kernel, batch_slot }) => {
                         assert_eq!(kernel, "double");
+                        assert_eq!(batch_slot, None, "plain launches carry no slot");
                         1
                     }
-                    Err(LaunchError::InjectedTimeout { kernel }) => {
+                    Err(LaunchError::InjectedTimeout { kernel, batch_slot }) => {
                         assert_eq!(kernel, "double");
+                        assert_eq!(batch_slot, None, "plain launches carry no slot");
                         2
                     }
                     Err(e) => panic!("unexpected error {e}"),
@@ -961,8 +1002,44 @@ mod tests {
         assert!(sa.transient_launch_failures > 0, "20% over 100 attempts must fire");
         assert!(sa.launch_timeouts > 0);
         assert_eq!(sa.launch_attempts, 100);
-        assert!(LaunchError::InjectedTransient { kernel: "k" }.is_transient());
-        assert!(!LaunchError::InjectedTimeout { kernel: "k" }.is_transient());
+        assert!(LaunchError::InjectedTransient { kernel: "k", batch_slot: None }.is_transient());
+        assert!(!LaunchError::InjectedTimeout { kernel: "k", batch_slot: None }.is_transient());
+    }
+
+    #[test]
+    fn batched_launch_faults_attribute_a_slot() {
+        // A faulted batched launch must name one in-range part; the
+        // attribution must be reproducible across identical runs.
+        let collect = || {
+            let mut gpu = Gpu::new(DeviceSpec::gtx470(), ExecMode::Serial);
+            gpu.set_fault_plan(Some(FaultPlan::seeded(11).with_transient_launch_failures(0.3)));
+            let parts = 6usize;
+            let bufs: Vec<_> = (0..parts).map(|_| gpu.mem.alloc::<u32>(128)).collect();
+            let mut slots = Vec::new();
+            for _ in 0..60 {
+                let kernels: Vec<_> =
+                    bufs.iter().map(|&buf| DoubleKernel { buf }).collect();
+                let s = gpu.create_stream();
+                match gpu.launch_batched(kernels, LaunchConfig::linear(128, 64), s) {
+                    Ok(()) => slots.push(None),
+                    Err(e) => {
+                        let slot = e.batch_slot().expect("batched fault must carry a slot");
+                        assert!(slot < parts, "slot {slot} out of range");
+                        slots.push(Some(slot));
+                    }
+                }
+                gpu.synchronize();
+            }
+            slots
+        };
+        let a = collect();
+        assert_eq!(a, collect(), "slot attribution must be deterministic");
+        let faulted: Vec<_> = a.iter().filter_map(|s| *s).collect();
+        assert!(faulted.len() > 5, "30% over 60 attempts must fire");
+        assert!(
+            faulted.iter().collect::<std::collections::HashSet<_>>().len() > 1,
+            "attribution must spread across slots, got {faulted:?}"
+        );
     }
 
     #[test]

@@ -100,6 +100,14 @@ pub trait Kernel: Send + Sync {
     fn phase_boundaries(&self) -> Vec<u64> {
         Vec::new()
     }
+
+    /// Number of independent batch parts this launch carries. Plain
+    /// kernels are a single part; [`crate::BatchedKernel`] overrides this
+    /// with its part count so injected launch faults can be attributed to
+    /// one slot of the batch (see [`crate::LaunchError::batch_slot`]).
+    fn batch_parts(&self) -> usize {
+        1
+    }
 }
 
 /// Execution context for one thread block: geometry, memory spaces and the

@@ -82,20 +82,29 @@ impl DynamicBatcher {
         &self.policy
     }
 
+    /// The batch-size limit after an external cap (e.g. the health
+    /// machine's brown-out shrink) is applied on top of the policy.
+    fn capped_max(&self, cap: Option<usize>) -> usize {
+        let max = self.policy.effective_max();
+        cap.map_or(max, |c| max.min(c.max(1)))
+    }
+
     /// Decide whether to dispatch at `now_us`. `next_arrival_us` is the
     /// earliest future submission (strictly after `now_us`), or `None`
-    /// when the arrival calendar is exhausted. The queue must be
-    /// non-empty.
+    /// when the arrival calendar is exhausted. `cap` further restricts
+    /// the policy's batch size (`None` = policy cap only). The queue
+    /// must be non-empty.
     pub fn decide(
         &self,
         queue: &RequestQueue,
         now_us: f64,
         next_arrival_us: Option<f64>,
+        cap: Option<usize>,
     ) -> BatchDecision {
         let Some(head) = queue.peek_edf() else {
             return BatchDecision::Dispatch; // vacuous; the server never asks
         };
-        let max = self.policy.effective_max();
+        let max = self.capped_max(cap);
         if !self.policy.enabled || queue.count_geometry(head.geometry()) >= max {
             return BatchDecision::Dispatch;
         }
@@ -111,12 +120,13 @@ impl DynamicBatcher {
     }
 
     /// Remove the batch to dispatch: the EDF head plus up to
-    /// `max_batch_size - 1` same-geometry requests in EDF order.
-    pub fn form(&self, queue: &mut RequestQueue) -> Vec<DetectionRequest> {
+    /// `max_batch_size - 1` same-geometry requests in EDF order, further
+    /// limited by `cap` when given.
+    pub fn form(&self, queue: &mut RequestQueue, cap: Option<usize>) -> Vec<DetectionRequest> {
         let Some(geometry) = queue.peek_edf().map(|r| r.geometry()) else {
             return Vec::new();
         };
-        queue.take_batch(geometry, self.policy.effective_max())
+        queue.take_batch(geometry, self.capped_max(cap))
     }
 }
 
@@ -149,7 +159,7 @@ mod tests {
     fn full_batch_dispatches_immediately() {
         let b = DynamicBatcher::new(BatchPolicy { max_batch_size: 2, ..BatchPolicy::default() });
         let q = queue_with(vec![req(0, 0.0, 1e6, 8), req(1, 0.0, 1e6, 8)]);
-        assert_eq!(b.decide(&q, 0.0, Some(50.0)), BatchDecision::Dispatch);
+        assert_eq!(b.decide(&q, 0.0, Some(50.0), None), BatchDecision::Dispatch);
     }
 
     #[test]
@@ -160,18 +170,18 @@ mod tests {
             ..BatchPolicy::default()
         });
         let q = queue_with(vec![req(0, 0.0, 1e6, 8)]);
-        assert_eq!(b.decide(&q, 0.0, Some(300.0)), BatchDecision::WaitUntil(300.0));
+        assert_eq!(b.decide(&q, 0.0, Some(300.0), None), BatchDecision::WaitUntil(300.0));
         // ... but never past the forced-dispatch point.
-        assert_eq!(b.decide(&q, 0.0, Some(5000.0)), BatchDecision::WaitUntil(1000.0));
+        assert_eq!(b.decide(&q, 0.0, Some(5000.0), None), BatchDecision::WaitUntil(1000.0));
         // Once the head has waited max_wait, dispatch regardless.
-        assert_eq!(b.decide(&q, 1000.0, Some(5000.0)), BatchDecision::Dispatch);
+        assert_eq!(b.decide(&q, 1000.0, Some(5000.0), None), BatchDecision::Dispatch);
     }
 
     #[test]
     fn exhausted_arrivals_dispatch_immediately() {
         let b = DynamicBatcher::new(BatchPolicy::default());
         let q = queue_with(vec![req(0, 0.0, 1e6, 8)]);
-        assert_eq!(b.decide(&q, 0.0, None), BatchDecision::Dispatch);
+        assert_eq!(b.decide(&q, 0.0, None, None), BatchDecision::Dispatch);
     }
 
     #[test]
@@ -179,10 +189,23 @@ mod tests {
         let b = DynamicBatcher::new(BatchPolicy { enabled: false, ..BatchPolicy::default() });
         assert_eq!(b.policy().effective_max(), 1);
         let mut q = queue_with(vec![req(0, 0.0, 1e6, 8), req(1, 0.0, 2e6, 8)]);
-        assert_eq!(b.decide(&q, 0.0, Some(10.0)), BatchDecision::Dispatch);
-        let batch = b.form(&mut q);
+        assert_eq!(b.decide(&q, 0.0, Some(10.0), None), BatchDecision::Dispatch);
+        let batch = b.form(&mut q, None);
         assert_eq!(batch.len(), 1);
         assert_eq!(batch[0].id, RequestId(0));
+    }
+
+    #[test]
+    fn external_cap_shrinks_the_batch() {
+        let b = DynamicBatcher::new(BatchPolicy { max_batch_size: 8, ..BatchPolicy::default() });
+        let mut q = queue_with((0..4).map(|i| req(i, 0.0, 1e6, 8)).collect());
+        // A brown-out cap of 2 makes 4 queued requests a "full" batch.
+        assert_eq!(b.decide(&q, 0.0, Some(50.0), Some(2)), BatchDecision::Dispatch);
+        assert_eq!(b.form(&mut q, Some(2)).len(), 2);
+        // A cap above the policy maximum changes nothing: the remaining
+        // two requests fit one policy-sized batch.
+        assert_eq!(b.form(&mut q, Some(99)).len(), 2);
+        assert!(q.is_empty());
     }
 
     #[test]
@@ -194,7 +217,7 @@ mod tests {
             req(2, 0.0, 75.0, 16),
             req(3, 0.0, 60.0, 8),
         ]);
-        let batch = b.form(&mut q);
+        let batch = b.form(&mut q, None);
         let ids: Vec<_> = batch.iter().map(|r| r.id.0).collect();
         assert_eq!(ids, [1, 2], "head geometry, EDF order");
         assert_eq!(q.len(), 2);

@@ -1,0 +1,273 @@
+//! Server health machine: brown-out admission and a fail-fast breaker.
+//!
+//! The per-stream supervisor (`fd_detector::supervisor`) already showed
+//! that a consecutive-fault circuit breaker with tick-based cool-down
+//! and half-open probes keeps a faulting pipeline from burning its
+//! budget on doomed work. This module ports that machine to the serving
+//! layer, where the reaction is *admission control* rather than session
+//! quarantine:
+//!
+//! * **Healthy** — full batching, every class admitted;
+//! * **BrownOut** — after `brownout_after` consecutive device faults the
+//!   server sheds load pre-emptively: the dynamic batcher's cap shrinks
+//!   to `brownout_batch_cap` (smaller blast radius per faulted
+//!   submission) and the lowest-priority class is rejected at arrival;
+//! * **Open** — after `open_after` consecutive faults the breaker trips:
+//!   every arrival is rejected fail-fast (no queueing, no device time)
+//!   until `cooldown_us` of virtual time passes;
+//! * **HalfOpen** — after cool-down one probe batch (cap 1) is allowed
+//!   through: success closes the breaker back to Healthy, another device
+//!   fault re-opens it for a fresh cool-down.
+//!
+//! Every transition is driven by the virtual clock and the deterministic
+//! fault sequence, so health trajectories are bit-identical across runs
+//! and host-thread settings. Under a zero-fault plan the machine never
+//! leaves Healthy and the server's behavior is byte-identical to one
+//! without a health layer.
+
+use crate::request::Priority;
+
+/// Health state of the serving loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ServerHealth {
+    /// Normal operation.
+    Healthy,
+    /// Sustained faults: shrunken batches, lowest class rejected.
+    BrownOut,
+    /// Breaker tripped: fail-fast all arrivals until `until_us`.
+    Open {
+        /// Virtual instant the cool-down ends.
+        until_us: f64,
+    },
+    /// Cool-down elapsed: one probe submission decides re-close/re-open.
+    HalfOpen,
+}
+
+/// Thresholds and reactions for the health machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthPolicy {
+    /// Master switch; `false` pins the machine to Healthy forever.
+    pub enabled: bool,
+    /// Consecutive device faults before entering BrownOut.
+    pub brownout_after: u32,
+    /// Consecutive device faults before the breaker trips Open.
+    pub open_after: u32,
+    /// Batch-size cap while browned out (also applies to the half-open
+    /// probe, which is always a single request).
+    pub brownout_batch_cap: usize,
+    /// Virtual µs the breaker stays Open before probing.
+    pub cooldown_us: f64,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            brownout_after: 2,
+            open_after: 4,
+            brownout_batch_cap: 2,
+            cooldown_us: 20_000.0,
+        }
+    }
+}
+
+impl HealthPolicy {
+    /// A policy that never reacts (the machine stays Healthy).
+    pub fn disabled() -> Self {
+        Self { enabled: false, ..Self::default() }
+    }
+}
+
+/// What a reported device fault did to the machine (for stats).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultReaction {
+    /// No state change.
+    None,
+    /// Entered BrownOut.
+    BrownedOut,
+    /// Breaker tripped Healthy/BrownOut → Open.
+    Tripped,
+    /// A half-open probe failed; breaker re-opened.
+    ProbeFailed,
+}
+
+/// The breaker itself: consecutive-fault counter plus state.
+#[derive(Debug, Clone)]
+pub struct HealthMachine {
+    policy: HealthPolicy,
+    state: ServerHealth,
+    consecutive_faults: u32,
+}
+
+impl HealthMachine {
+    pub fn new(policy: HealthPolicy) -> Self {
+        Self { policy, state: ServerHealth::Healthy, consecutive_faults: 0 }
+    }
+
+    pub fn policy(&self) -> &HealthPolicy {
+        &self.policy
+    }
+
+    pub fn state(&self) -> ServerHealth {
+        self.state
+    }
+
+    /// Consecutive device faults since the last successful submission.
+    pub fn consecutive_faults(&self) -> u32 {
+        self.consecutive_faults
+    }
+
+    /// When Open, the cool-down expiry instant.
+    pub fn open_until(&self) -> Option<f64> {
+        match self.state {
+            ServerHealth::Open { until_us } => Some(until_us),
+            _ => None,
+        }
+    }
+
+    /// Advance the machine to `now_us`: an expired cool-down moves
+    /// Open → HalfOpen. Returns `true` on that transition.
+    pub fn tick(&mut self, now_us: f64) -> bool {
+        if let ServerHealth::Open { until_us } = self.state {
+            if now_us >= until_us {
+                self.state = ServerHealth::HalfOpen;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Report a successful device submission. Returns `true` when it was
+    /// a half-open probe closing the breaker.
+    pub fn on_ok(&mut self) -> bool {
+        self.consecutive_faults = 0;
+        match self.state {
+            ServerHealth::HalfOpen => {
+                self.state = ServerHealth::Healthy;
+                true
+            }
+            ServerHealth::BrownOut => {
+                self.state = ServerHealth::Healthy;
+                false
+            }
+            _ => false,
+        }
+    }
+
+    /// Report a device fault (an injected launch failure — request-caused
+    /// errors must not reach here).
+    pub fn on_device_fault(&mut self, now_us: f64) -> FaultReaction {
+        if !self.policy.enabled {
+            return FaultReaction::None;
+        }
+        self.consecutive_faults = self.consecutive_faults.saturating_add(1);
+        match self.state {
+            ServerHealth::HalfOpen => {
+                self.state = ServerHealth::Open { until_us: now_us + self.policy.cooldown_us };
+                FaultReaction::ProbeFailed
+            }
+            ServerHealth::Open { .. } => FaultReaction::None,
+            ServerHealth::Healthy | ServerHealth::BrownOut => {
+                if self.consecutive_faults >= self.policy.open_after {
+                    self.state =
+                        ServerHealth::Open { until_us: now_us + self.policy.cooldown_us };
+                    FaultReaction::Tripped
+                } else if self.consecutive_faults >= self.policy.brownout_after
+                    && self.state == ServerHealth::Healthy
+                {
+                    self.state = ServerHealth::BrownOut;
+                    FaultReaction::BrownedOut
+                } else {
+                    FaultReaction::None
+                }
+            }
+        }
+    }
+
+    /// Whether a request of `priority` is admitted at arrival.
+    pub fn admits(&self, priority: Priority) -> bool {
+        match self.state {
+            ServerHealth::Healthy | ServerHealth::HalfOpen => true,
+            ServerHealth::BrownOut => priority != Priority::Bulk,
+            ServerHealth::Open { .. } => false,
+        }
+    }
+
+    /// The batch-size cap the current state imposes on the dynamic
+    /// batcher (`None` = no cap beyond the batching policy's own).
+    pub fn batch_cap(&self) -> Option<usize> {
+        match self.state {
+            ServerHealth::Healthy => None,
+            ServerHealth::BrownOut => Some(self.policy.brownout_batch_cap.max(1)),
+            // The half-open probe is a single request; Open never
+            // dispatches, the cap is vacuous.
+            ServerHealth::HalfOpen | ServerHealth::Open { .. } => Some(1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faults_walk_healthy_to_brownout_to_open() {
+        let mut m = HealthMachine::new(HealthPolicy::default());
+        assert_eq!(m.state(), ServerHealth::Healthy);
+        assert!(m.admits(Priority::Bulk));
+        assert_eq!(m.on_device_fault(0.0), FaultReaction::None);
+        assert_eq!(m.on_device_fault(10.0), FaultReaction::BrownedOut);
+        assert_eq!(m.state(), ServerHealth::BrownOut);
+        assert!(m.admits(Priority::Interactive));
+        assert!(!m.admits(Priority::Bulk), "brown-out sheds the lowest class");
+        assert_eq!(m.batch_cap(), Some(2));
+        assert_eq!(m.on_device_fault(20.0), FaultReaction::None);
+        assert_eq!(m.on_device_fault(30.0), FaultReaction::Tripped);
+        assert_eq!(m.state(), ServerHealth::Open { until_us: 30.0 + 20_000.0 });
+        assert!(!m.admits(Priority::Interactive), "open fails fast every class");
+    }
+
+    #[test]
+    fn success_closes_brownout_and_resets_the_counter() {
+        let mut m = HealthMachine::new(HealthPolicy::default());
+        m.on_device_fault(0.0);
+        m.on_device_fault(1.0);
+        assert_eq!(m.state(), ServerHealth::BrownOut);
+        assert!(!m.on_ok(), "not a probe");
+        assert_eq!(m.state(), ServerHealth::Healthy);
+        assert_eq!(m.consecutive_faults(), 0);
+    }
+
+    #[test]
+    fn cooldown_probes_half_open_then_closes_or_reopens() {
+        let mut m = HealthMachine::new(HealthPolicy::default());
+        for i in 0..4 {
+            m.on_device_fault(i as f64);
+        }
+        let until = m.open_until().unwrap();
+        assert!(!m.tick(until - 1.0), "cool-down still running");
+        assert!(m.tick(until));
+        assert_eq!(m.state(), ServerHealth::HalfOpen);
+        assert_eq!(m.batch_cap(), Some(1), "probe is a single request");
+        assert!(m.admits(Priority::Bulk), "the probe may be any class");
+        // Probe fails: re-armed cool-down from the fault instant.
+        assert_eq!(m.on_device_fault(until + 5.0), FaultReaction::ProbeFailed);
+        assert_eq!(m.open_until(), Some(until + 5.0 + 20_000.0));
+        // Second probe succeeds: breaker closes.
+        let until2 = m.open_until().unwrap();
+        assert!(m.tick(until2));
+        assert!(m.on_ok(), "probe success");
+        assert_eq!(m.state(), ServerHealth::Healthy);
+    }
+
+    #[test]
+    fn disabled_policy_never_leaves_healthy() {
+        let mut m = HealthMachine::new(HealthPolicy::disabled());
+        for i in 0..50 {
+            assert_eq!(m.on_device_fault(i as f64), FaultReaction::None);
+        }
+        assert_eq!(m.state(), ServerHealth::Healthy);
+        assert_eq!(m.batch_cap(), None);
+        assert!(m.admits(Priority::Bulk));
+    }
+}

@@ -15,8 +15,15 @@
 //!   earliest-deadline-first, and requests whose deadline passes while
 //!   queued are deterministically shed instead of wasting device time;
 //! * [`ServeStats`] — latency quantiles (p50/p95/p99 in virtual µs),
-//!   queue-depth high-water marks, shed/reject and batch-occupancy
-//!   accounting.
+//!   queue-depth high-water marks, shed/reject, batch-occupancy and
+//!   fault-recovery accounting;
+//! * fault tolerance — under an injected `fd_gpu::FaultPlan`, faulted
+//!   batches are retried with bounded deterministic backoff, poisoned
+//!   requests are isolated by device attribution or bisection so their
+//!   batchmates still complete ([`RetryPolicy`]), deadline pressure
+//!   degrades re-attempts to shed-scale plans, and sustained faults
+//!   drive brown-out admission and a fail-fast breaker with half-open
+//!   probes ([`HealthPolicy`]).
 //!
 //! Everything runs on a virtual clock against the simulated GPU: a
 //! serving run is a pure function of its submissions and configuration,
@@ -44,13 +51,17 @@
 //! ```
 
 pub mod batcher;
+pub mod health;
 pub mod queue;
+pub mod recovery;
 pub mod request;
 pub mod server;
 pub mod stats;
 
 pub use batcher::{BatchDecision, BatchPolicy, DynamicBatcher};
+pub use health::{FaultReaction, HealthMachine, HealthPolicy, ServerHealth};
 pub use queue::RequestQueue;
+pub use recovery::{RecoveryStep, RetryPolicy};
 pub use request::{DetectionRequest, Priority, RequestId};
 pub use server::{
     CompletedRequest, DetectionServer, RequestOutcome, ServeConfig, ServeError,

@@ -1,0 +1,169 @@
+//! Batch recovery: poisoning isolation, bounded retries, degraded plans.
+//!
+//! A batched submission fails as a unit: one injected launch fault
+//! surfaces as a single [`DetectorError`] for the whole batch, and
+//! before this layer existed every batchmate of a poisoned request was
+//! failed with it. Recovery turns that unit failure into per-request
+//! outcomes on the virtual clock:
+//!
+//! * **transient faults** are retried in place with the deterministic
+//!   exponential backoff of [`RecoveryPolicy`] (the same schedule the
+//!   streaming retry loop charges), bounded by `max_retries`;
+//! * **attributed faults** — when the device names the poisoned batch
+//!   slot ([`DetectorError::batch_slot`]) — fail exactly that request
+//!   and resubmit the survivors;
+//! * **unattributed faults** bisect the batch and resubmit both halves,
+//!   charging real re-submission latency, so a poisoned request is
+//!   cornered in `O(log n)` extra submissions instead of failing `n`;
+//! * **request-caused errors** (bad geometry, invalid configuration)
+//!   fail the whole group immediately — no retry can fix a malformed
+//!   request and it must not consume the fault budget.
+//!
+//! Every decision is a pure function of the error, the retry count and
+//! the group size, so recovery trajectories are as deterministic as the
+//! fault sequences that trigger them.
+
+use fd_detector::{DetectorError, RecoveryPolicy};
+
+/// Per-request retry policy for the serving loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Master switch; `false` reproduces the legacy behavior exactly
+    /// (any submission error fails every batch member, no retries).
+    pub enabled: bool,
+    /// Retry budget and backoff schedule, shared with the streaming
+    /// layer: `max_retries` transient retries per group lineage,
+    /// `backoff_ms(k)` virtual backoff before retry `k`, and
+    /// `max_shed_levels` pyramid levels a degraded re-attempt may shed.
+    pub recovery: RecoveryPolicy,
+    /// Consult request deadlines while recovering: members whose
+    /// deadline passes mid-recovery expire instead of burning retries,
+    /// and re-attempts under deadline pressure shed pyramid scales
+    /// (completing as `Degraded`) when `max_shed_levels` allows.
+    pub deadline_aware: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            recovery: RecoveryPolicy { max_shed_levels: 2, ..RecoveryPolicy::default() },
+            deadline_aware: true,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The legacy no-recovery policy: a submission error fails the whole
+    /// batch, exactly as the pre-fault-tolerance server did.
+    pub fn disabled() -> Self {
+        Self { enabled: false, ..Self::default() }
+    }
+
+    /// Backoff charged before transient retry `k` (0-based), virtual µs.
+    pub fn backoff_us(&self, retry: u32) -> f64 {
+        self.recovery.backoff_ms(retry) * 1000.0
+    }
+
+    /// Decide how to react to `error` from a submission of `group_len`
+    /// requests that has already spent `retries` transient retries.
+    pub fn next_step(
+        &self,
+        error: &DetectorError,
+        retries: u32,
+        group_len: usize,
+    ) -> RecoveryStep {
+        if !self.enabled || !error.is_device_fault() {
+            return RecoveryStep::FailAll;
+        }
+        if error.is_transient() && retries < self.recovery.max_retries {
+            return RecoveryStep::RetrySame { backoff_us: self.backoff_us(retries) };
+        }
+        // Timeout, or transient budget exhausted: the launch class is
+        // wedged for this composition — peel the poisoned member off.
+        if group_len <= 1 {
+            return RecoveryStep::FailAll;
+        }
+        match error.batch_slot() {
+            Some(slot) if slot < group_len => RecoveryStep::IsolateSlot { slot },
+            _ => RecoveryStep::Bisect,
+        }
+    }
+}
+
+/// Reaction to one failed batch submission.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RecoveryStep {
+    /// Re-submit the same group after charging `backoff_us`.
+    RetrySame { backoff_us: f64 },
+    /// Fail the request at `slot`; re-submit the survivors.
+    IsolateSlot { slot: usize },
+    /// Split the group in half and re-submit both halves.
+    Bisect,
+    /// Fail every member of the group.
+    FailAll,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fd_gpu::LaunchError;
+
+    fn transient(batch_slot: Option<usize>) -> DetectorError {
+        DetectorError::Launch {
+            kernel: "cascade_eval",
+            level: Some(1),
+            frame: None,
+            source: LaunchError::InjectedTransient { kernel: "cascade_eval", batch_slot },
+        }
+    }
+
+    fn timeout(batch_slot: Option<usize>) -> DetectorError {
+        DetectorError::Launch {
+            kernel: "cascade_eval",
+            level: Some(1),
+            frame: None,
+            source: LaunchError::InjectedTimeout { kernel: "cascade_eval", batch_slot },
+        }
+    }
+
+    #[test]
+    fn transients_retry_with_exponential_backoff_until_budget() {
+        let p = RetryPolicy::default();
+        assert_eq!(
+            p.next_step(&transient(None), 0, 4),
+            RecoveryStep::RetrySame { backoff_us: 2_000.0 }
+        );
+        assert_eq!(
+            p.next_step(&transient(None), 2, 4),
+            RecoveryStep::RetrySame { backoff_us: 8_000.0 }
+        );
+        // Budget exhausted (default max_retries = 3): fall to isolation.
+        assert_eq!(p.next_step(&transient(None), 3, 4), RecoveryStep::Bisect);
+        assert_eq!(p.next_step(&transient(None), 3, 1), RecoveryStep::FailAll);
+    }
+
+    #[test]
+    fn timeouts_isolate_by_slot_or_bisect() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.next_step(&timeout(Some(2)), 0, 4), RecoveryStep::IsolateSlot { slot: 2 });
+        assert_eq!(p.next_step(&timeout(None), 0, 4), RecoveryStep::Bisect);
+        // A stale out-of-range slot (cannot index this group) bisects.
+        assert_eq!(p.next_step(&timeout(Some(9)), 0, 4), RecoveryStep::Bisect);
+        assert_eq!(p.next_step(&timeout(Some(0)), 0, 1), RecoveryStep::FailAll);
+    }
+
+    #[test]
+    fn request_caused_errors_never_retry() {
+        let p = RetryPolicy::default();
+        let bad = DetectorError::FrameTooSmall { width: 8, height: 8, window: 24 };
+        assert_eq!(p.next_step(&bad, 0, 4), RecoveryStep::FailAll);
+    }
+
+    #[test]
+    fn disabled_policy_fails_everything() {
+        let p = RetryPolicy::disabled();
+        assert_eq!(p.next_step(&transient(None), 0, 4), RecoveryStep::FailAll);
+        assert_eq!(p.next_step(&timeout(Some(1)), 0, 4), RecoveryStep::FailAll);
+    }
+}

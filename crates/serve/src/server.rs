@@ -11,13 +11,26 @@
 //! sets, batch compositions, statistics — is a deterministic function
 //! of the submissions and the configuration, bit-identical at any
 //! `FD_SIM_THREADS`.
+//!
+//! Under an injected [`fd_gpu::FaultPlan`] the loop additionally runs a
+//! fault-tolerance layer (see [`crate::recovery`] and [`crate::health`]):
+//! faulted batches are retried, bisected or slot-isolated so one
+//! poisoned request cannot fail its batchmates; retries are bounded and
+//! deadline-aware, degrading to shed-scale plans under pressure; and
+//! sustained faults drive brown-out admission and a fail-fast breaker.
+//! All of it engages only on error paths, so a zero-fault configuration
+//! is byte-identical to a server without the layer.
+
+use std::collections::VecDeque;
 
 use fd_detector::{DetectorConfig, DetectorError, FaceDetector, FrameResult};
 use fd_haar::Cascade;
 use fd_imgproc::GrayImage;
 
 use crate::batcher::{BatchDecision, BatchPolicy, DynamicBatcher};
+use crate::health::{FaultReaction, HealthMachine, HealthPolicy, ServerHealth};
 use crate::queue::RequestQueue;
+use crate::recovery::{RecoveryStep, RetryPolicy};
 use crate::request::{DetectionRequest, Priority, RequestId};
 use crate::stats::ServeStats;
 
@@ -33,11 +46,24 @@ pub struct ServeConfig {
     /// them late (deterministic load shedding). Disabling serves
     /// everything, however late.
     pub shed_late: bool,
+    /// Fault recovery for batched submissions (retries, isolation,
+    /// degraded completions). [`RetryPolicy::disabled`] reproduces the
+    /// legacy fail-the-batch behavior.
+    pub retry: RetryPolicy,
+    /// Health machine driving brown-out admission and the fail-fast
+    /// breaker. [`HealthPolicy::disabled`] pins the server Healthy.
+    pub health: HealthPolicy,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
-        Self { queue_depth_per_class: 64, batch: BatchPolicy::default(), shed_late: true }
+        Self {
+            queue_depth_per_class: 64,
+            batch: BatchPolicy::default(),
+            shed_late: true,
+            retry: RetryPolicy::default(),
+            health: HealthPolicy::default(),
+        }
     }
 }
 
@@ -85,6 +111,21 @@ pub enum RequestOutcome {
         /// The detection output.
         result: FrameResult,
     },
+    /// Completed with a degraded (shed-scale) pyramid plan: a fault
+    /// recovery re-attempt under deadline pressure dropped the finest
+    /// `shed_levels` scales so the batch could finish in time.
+    Degraded {
+        /// When its (final) submission was dispatched.
+        dispatched_us: f64,
+        /// When that submission drained.
+        completed_us: f64,
+        /// Requests sharing the final submission.
+        batch_size: usize,
+        /// Pyramid levels shed from the full plan.
+        shed_levels: usize,
+        /// The (coarser) detection output.
+        result: FrameResult,
+    },
     /// Shed while queued: its deadline passed before dispatch.
     ShedLate {
         /// Virtual instant of the shed decision.
@@ -92,9 +133,27 @@ pub enum RequestOutcome {
     },
     /// Refused at arrival: its priority class's queue was full.
     RejectedQueueFull,
-    /// Its batch's device submission failed.
+    /// Refused at arrival: the server was browned out and this request's
+    /// class is shed pre-emptively under sustained faults.
+    RejectedBrownOut,
+    /// Refused at arrival fail-fast: the breaker was open.
+    RejectedFailFast,
+    /// Its batch's device submission failed (after `attempts`
+    /// submissions when recovery was enabled).
     Failed {
         dispatched_us: f64,
+        /// Device submissions that included this request.
+        attempts: u32,
+        error: DetectorError,
+    },
+    /// Its deadline passed while its batch was in fault recovery, so
+    /// further retries were abandoned.
+    Expired {
+        /// Virtual instant recovery gave up on it.
+        expired_us: f64,
+        /// Device submissions that included this request.
+        attempts: u32,
+        /// The fault that put its batch into recovery.
         error: DetectorError,
     },
 }
@@ -110,18 +169,24 @@ pub struct CompletedRequest {
 }
 
 impl CompletedRequest {
-    /// Arrival-to-completion latency for served requests.
+    /// Arrival-to-completion latency for requests that produced a
+    /// result (served or degraded).
     pub fn latency_us(&self) -> Option<f64> {
         match &self.outcome {
-            RequestOutcome::Served { completed_us, .. } => Some(completed_us - self.arrival_us),
+            RequestOutcome::Served { completed_us, .. }
+            | RequestOutcome::Degraded { completed_us, .. } => {
+                Some(completed_us - self.arrival_us)
+            }
             _ => None,
         }
     }
 
-    /// Whether a served request made its deadline.
+    /// Whether a completed (served or degraded) request made its
+    /// deadline.
     pub fn met_deadline(&self) -> Option<bool> {
         match &self.outcome {
-            RequestOutcome::Served { completed_us, .. } => {
+            RequestOutcome::Served { completed_us, .. }
+            | RequestOutcome::Degraded { completed_us, .. } => {
                 Some(*completed_us <= self.deadline_us)
             }
             _ => None,
@@ -137,13 +202,31 @@ pub struct DetectionServer {
     queue: RequestQueue,
     batcher: DynamicBatcher,
     shed_late: bool,
+    retry: RetryPolicy,
+    health: HealthMachine,
     now_us: f64,
     next_seq: u64,
+    /// Span of the last successful device submission, used to project
+    /// whether a recovery re-attempt can still make a group's deadline.
+    last_span_us: f64,
     /// Future submissions, kept sorted by (arrival, seq) *descending* so
     /// the next one pops off the back in O(1).
     arrivals: Vec<DetectionRequest>,
     completed: Vec<CompletedRequest>,
     stats: ServeStats,
+}
+
+/// A (sub-)batch moving through fault recovery inside one dispatch.
+struct RecoveryGroup {
+    reqs: Vec<DetectionRequest>,
+    /// Transient retries this group's lineage has spent.
+    retries: u32,
+    /// Device submissions that have included this group's members.
+    attempts: u32,
+    /// The most recent fault of this lineage; `None` marks a fault-free
+    /// first attempt, which gates the expiry filter and shed decision so
+    /// fault-free dispatches stay byte-identical to the legacy path.
+    last_error: Option<DetectorError>,
 }
 
 impl DetectionServer {
@@ -166,8 +249,11 @@ impl DetectionServer {
             queue: RequestQueue::new(config.queue_depth_per_class),
             batcher: DynamicBatcher::new(config.batch),
             shed_late: config.shed_late,
+            retry: config.retry,
+            health: HealthMachine::new(config.health),
             now_us: 0.0,
             next_seq: 0,
+            last_span_us: 0.0,
             arrivals: Vec::new(),
             completed: Vec::new(),
             stats: ServeStats::default(),
@@ -177,6 +263,11 @@ impl DetectionServer {
     /// The current virtual time, µs.
     pub fn now_us(&self) -> f64 {
         self.now_us
+    }
+
+    /// The server's current health state.
+    pub fn health(&self) -> ServerHealth {
+        self.health.state()
     }
 
     /// The wrapped detector (profiler access, device inspection).
@@ -263,7 +354,26 @@ impl DetectionServer {
     /// dispatch). Returns `false` when idle with nothing pending —
     /// closed-loop drivers interleave [`Self::submit`] between steps.
     pub fn step(&mut self) -> bool {
+        self.health.tick(self.now_us);
+        if self.health.state() != ServerHealth::Healthy {
+            self.stats.brownout_ticks += 1;
+        }
         self.ingest_due();
+        // Breaker open: dispatch is suspended. Jump the clock to the
+        // cool-down expiry or the next arrival (which gets rejected
+        // fail-fast at ingest), whichever comes first.
+        if let Some(until) = self.health.open_until() {
+            let next_arrival = self.arrivals.last().map(|r| r.arrival_us);
+            if self.arrivals.is_empty() && self.queue.is_empty() {
+                return false;
+            }
+            let target = match next_arrival {
+                Some(a) if a < until => a,
+                _ => until,
+            };
+            self.now_us = self.now_us.max(target);
+            return true;
+        }
         if self.queue.is_empty() {
             let Some(next) = self.arrivals.last() else {
                 return false;
@@ -278,19 +388,14 @@ impl DetectionServer {
             if !late.is_empty() {
                 for req in late {
                     self.stats.shed_late += 1;
-                    self.completed.push(CompletedRequest {
-                        id: req.id,
-                        priority: req.priority,
-                        arrival_us: req.arrival_us,
-                        deadline_us: req.deadline_us,
-                        outcome: RequestOutcome::ShedLate { shed_us: self.now_us },
-                    });
+                    self.finish(req, RequestOutcome::ShedLate { shed_us: self.now_us });
                 }
                 return true;
             }
         }
         let next_arrival = self.arrivals.last().map(|r| r.arrival_us);
-        match self.batcher.decide(&self.queue, self.now_us, next_arrival) {
+        let cap = self.health.batch_cap();
+        match self.batcher.decide(&self.queue, self.now_us, next_arrival, cap) {
             BatchDecision::WaitUntil(t) => {
                 self.now_us = self.now_us.max(t);
             }
@@ -302,82 +407,270 @@ impl DetectionServer {
     }
 
     /// Move arrivals whose time has come into the queue, rejecting into
-    /// the completion log when a class is full.
+    /// the completion log when a class is full or the health machine
+    /// refuses the class (brown-out / breaker-open fail-fast).
     fn ingest_due(&mut self) {
         while self.arrivals.last().is_some_and(|r| r.arrival_us <= self.now_us) {
             let Some(req) = self.arrivals.pop() else { break };
+            if !self.health.admits(req.priority) {
+                let outcome = if matches!(self.health.state(), ServerHealth::Open { .. }) {
+                    self.stats.rejected_failfast += 1;
+                    RequestOutcome::RejectedFailFast
+                } else {
+                    self.stats.rejected_brownout += 1;
+                    RequestOutcome::RejectedBrownOut
+                };
+                self.finish(req, outcome);
+                continue;
+            }
             if let Err(req) = self.queue.offer(req) {
                 self.stats.rejected_full += 1;
                 self.stats.rejected_per_class[req.priority.index()] += 1;
-                self.completed.push(CompletedRequest {
-                    id: req.id,
-                    priority: req.priority,
-                    arrival_us: req.arrival_us,
-                    deadline_us: req.deadline_us,
-                    outcome: RequestOutcome::RejectedQueueFull,
-                });
+                self.finish(req, RequestOutcome::RejectedQueueFull);
             }
         }
         self.stats.max_queue_depth = self.stats.max_queue_depth.max(self.queue.len());
     }
 
+    /// Log a request's final outcome.
+    fn finish(&mut self, req: DetectionRequest, outcome: RequestOutcome) {
+        self.completed.push(CompletedRequest {
+            id: req.id,
+            priority: req.priority,
+            arrival_us: req.arrival_us,
+            deadline_us: req.deadline_us,
+            outcome,
+        });
+    }
+
+    /// Fail every member of `reqs` with clones of `error`.
+    fn fail_group(
+        &mut self,
+        reqs: Vec<DetectionRequest>,
+        dispatched_us: f64,
+        attempts: u32,
+        error: &DetectorError,
+    ) {
+        for req in reqs {
+            self.stats.failed += 1;
+            self.finish(
+                req,
+                RequestOutcome::Failed { dispatched_us, attempts, error: error.clone() },
+            );
+        }
+    }
+
     /// Submit the EDF head's batch to the device and complete its
-    /// members at the submission's drain time.
+    /// members at the submission's drain time, running fault recovery
+    /// (retry / isolate / bisect / degrade) on submission errors.
     fn dispatch(&mut self) {
-        let batch = self.batcher.form(&mut self.queue);
+        let cap = self.health.batch_cap();
+        let batch = self.batcher.form(&mut self.queue, cap);
         if batch.is_empty() {
             return;
         }
-        let dispatched_us = self.now_us;
-        let frames: Vec<&GrayImage> = batch.iter().map(|r| &r.frame).collect();
-        match self.detector.detect_batch(&frames) {
-            Ok(results) => {
-                let span_us = results.first().map_or(0.0, |r| r.timeline.span_us());
-                self.now_us += span_us;
-                self.stats.gpu_busy_us += span_us;
-                self.stats.batches += 1;
-                self.stats.batched_requests += batch.len() as u64;
-                let batch_size = batch.len();
-                for (req, result) in batch.into_iter().zip(results) {
-                    let latency = self.now_us - req.arrival_us;
-                    self.stats.served += 1;
-                    self.stats.latency.record(latency);
-                    self.stats.latency_per_class[req.priority.index()].record(latency);
-                    if self.now_us <= req.deadline_us {
-                        self.stats.deadline_met += 1;
-                    } else {
-                        self.stats.deadline_missed += 1;
-                    }
-                    self.completed.push(CompletedRequest {
-                        id: req.id,
-                        priority: req.priority,
-                        arrival_us: req.arrival_us,
-                        deadline_us: req.deadline_us,
-                        outcome: RequestOutcome::Served {
-                            dispatched_us,
-                            completed_us: self.now_us,
-                            batch_size,
-                            result,
-                        },
-                    });
-                }
-                self.stats.makespan_us = self.stats.makespan_us.max(self.now_us);
-            }
+        // One full-pyramid plan per dispatch (the batch shares a
+        // geometry). A planning error is request-caused — bad geometry,
+        // not a device fault — so it fails the members immediately
+        // without touching the health machine or the retry budget.
+        let full_plan = match self.detector.pyramid_plan(&batch[0].frame) {
+            Ok(p) => p,
             Err(error) => {
-                // The submission was rejected before consuming device
-                // time; its members fail, the server keeps serving.
-                for req in batch {
-                    self.stats.failed += 1;
-                    self.completed.push(CompletedRequest {
-                        id: req.id,
-                        priority: req.priority,
-                        arrival_us: req.arrival_us,
-                        deadline_us: req.deadline_us,
-                        outcome: RequestOutcome::Failed {
-                            dispatched_us,
-                            error: error.clone(),
-                        },
-                    });
+                let dispatched_us = self.now_us;
+                self.fail_group(batch, dispatched_us, 1, &error);
+                return;
+            }
+        };
+        let mut groups = VecDeque::new();
+        groups.push_back(RecoveryGroup {
+            reqs: batch,
+            retries: 0,
+            attempts: 0,
+            last_error: None,
+        });
+        while let Some(mut group) = groups.pop_front() {
+            // Deadline-aware recovery: once a lineage has faulted,
+            // members whose deadline already passed expire instead of
+            // burning further submissions. Never applied on the
+            // fault-free first attempt, so zero-fault runs stay
+            // byte-identical to the legacy path.
+            if self.retry.enabled && self.retry.deadline_aware {
+                if let Some(err) = group.last_error.clone() {
+                    let now = self.now_us;
+                    let attempts = group.attempts;
+                    let mut live = Vec::with_capacity(group.reqs.len());
+                    for req in group.reqs.drain(..) {
+                        if req.deadline_us > now {
+                            live.push(req);
+                        } else {
+                            self.stats.expired += 1;
+                            self.finish(
+                                req,
+                                RequestOutcome::Expired {
+                                    expired_us: now,
+                                    attempts,
+                                    error: err.clone(),
+                                },
+                            );
+                        }
+                    }
+                    group.reqs = live;
+                }
+            }
+            if group.reqs.is_empty() {
+                continue;
+            }
+
+            // Degraded re-attempt: a faulted lineage that projects to
+            // finish past its earliest deadline sheds the finest scales
+            // (bounded by the policy; at least one level always runs).
+            let max_shed = self.retry.recovery.max_shed_levels;
+            let shed = if group.last_error.is_some()
+                && self.retry.enabled
+                && self.retry.deadline_aware
+                && max_shed > 0
+            {
+                let earliest = group
+                    .reqs
+                    .iter()
+                    .map(|r| r.deadline_us)
+                    .fold(f64::INFINITY, f64::min);
+                if self.now_us + self.last_span_us >= earliest {
+                    max_shed.min(full_plan.len().saturating_sub(1))
+                } else {
+                    0
+                }
+            } else {
+                0
+            };
+            let plan = &full_plan[..full_plan.len() - shed];
+
+            let dispatched_us = self.now_us;
+            group.attempts += 1;
+            let frames: Vec<&GrayImage> = group.reqs.iter().map(|r| &r.frame).collect();
+            let submission = self.detector.detect_batch_with_plan(&frames, plan);
+            drop(frames);
+            match submission {
+                Ok(results) => {
+                    if self.health.on_ok() {
+                        self.stats.probes_succeeded += 1;
+                    }
+                    let span_us = results.first().map_or(0.0, |r| r.timeline.span_us());
+                    self.now_us += span_us;
+                    self.last_span_us = span_us;
+                    self.stats.gpu_busy_us += span_us;
+                    self.stats.batches += 1;
+                    self.stats.batched_requests += group.reqs.len() as u64;
+                    let batch_size = group.reqs.len();
+                    if results.len() != batch_size {
+                        // Typed guard instead of a zip that would
+                        // silently truncate: an injected fault must
+                        // never panic or desync the event loop.
+                        let error = DetectorError::InvalidConfig {
+                            reason: "batch result count does not match batch size",
+                        };
+                        self.fail_group(group.reqs, dispatched_us, group.attempts, &error);
+                        continue;
+                    }
+                    for (req, result) in group.reqs.into_iter().zip(results) {
+                        let latency = self.now_us - req.arrival_us;
+                        self.stats.latency.record(latency);
+                        self.stats.latency_per_class[req.priority.index()].record(latency);
+                        if self.now_us <= req.deadline_us {
+                            self.stats.deadline_met += 1;
+                        } else {
+                            self.stats.deadline_missed += 1;
+                        }
+                        let completed_us = self.now_us;
+                        let outcome = if shed == 0 {
+                            self.stats.served += 1;
+                            RequestOutcome::Served {
+                                dispatched_us,
+                                completed_us,
+                                batch_size,
+                                result,
+                            }
+                        } else {
+                            self.stats.degraded_completions += 1;
+                            RequestOutcome::Degraded {
+                                dispatched_us,
+                                completed_us,
+                                batch_size,
+                                shed_levels: shed,
+                                result,
+                            }
+                        };
+                        self.finish(req, outcome);
+                    }
+                    self.stats.makespan_us = self.stats.makespan_us.max(self.now_us);
+                }
+                Err(error) => {
+                    // The submission was rejected before consuming
+                    // device time; only recovery backoff advances the
+                    // clock on this path.
+                    if error.is_device_fault() {
+                        match self.health.on_device_fault(self.now_us) {
+                            FaultReaction::Tripped => self.stats.breaker_trips += 1,
+                            FaultReaction::ProbeFailed => {
+                                self.stats.breaker_trips += 1;
+                                self.stats.probes_failed += 1;
+                            }
+                            FaultReaction::BrownedOut | FaultReaction::None => {}
+                        }
+                    }
+                    match self.retry.next_step(&error, group.retries, group.reqs.len()) {
+                        RecoveryStep::FailAll => {
+                            self.fail_group(group.reqs, dispatched_us, group.attempts, &error);
+                        }
+                        RecoveryStep::RetrySame { backoff_us } => {
+                            self.now_us += backoff_us;
+                            self.stats.retries_issued += 1;
+                            self.stats.retry_backoff_us += backoff_us;
+                            group.retries += 1;
+                            group.last_error = Some(error);
+                            groups.push_front(group);
+                        }
+                        RecoveryStep::IsolateSlot { slot } => {
+                            // The device named the poisoned member: fail
+                            // exactly it, resubmit the survivors.
+                            self.stats.poisoned_requests += 1;
+                            self.stats.failed += 1;
+                            let poisoned = group.reqs.remove(slot);
+                            self.finish(
+                                poisoned,
+                                RequestOutcome::Failed {
+                                    dispatched_us,
+                                    attempts: group.attempts,
+                                    error: error.clone(),
+                                },
+                            );
+                            group.last_error = Some(error);
+                            if !group.reqs.is_empty() {
+                                groups.push_front(group);
+                            }
+                        }
+                        RecoveryStep::Bisect => {
+                            // No attribution: split and resubmit both
+                            // halves (first half first), cornering the
+                            // poisoned member in O(log n) submissions.
+                            self.stats.batches_bisected += 1;
+                            let mid = group.reqs.len() / 2;
+                            let tail = group.reqs.split_off(mid);
+                            let head = std::mem::take(&mut group.reqs);
+                            groups.push_front(RecoveryGroup {
+                                reqs: tail,
+                                retries: group.retries,
+                                attempts: group.attempts,
+                                last_error: Some(error.clone()),
+                            });
+                            groups.push_front(RecoveryGroup {
+                                reqs: head,
+                                retries: group.retries,
+                                attempts: group.attempts,
+                                last_error: Some(error),
+                            });
+                        }
+                    }
                 }
             }
         }
@@ -597,6 +890,12 @@ mod tests {
                         RequestOutcome::ShedLate { shed_us } => (1, shed_us.to_bits()),
                         RequestOutcome::RejectedQueueFull => (2, 0),
                         RequestOutcome::Failed { .. } => (3, 0),
+                        RequestOutcome::Degraded { completed_us, result, .. } => {
+                            (4, completed_us.to_bits() ^ result.raw.len() as u64)
+                        }
+                        RequestOutcome::Expired { expired_us, .. } => (5, expired_us.to_bits()),
+                        RequestOutcome::RejectedBrownOut => (6, 0),
+                        RequestOutcome::RejectedFailFast => (7, 0),
                     };
                     (c.id, kind, t)
                 })

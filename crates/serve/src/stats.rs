@@ -74,8 +74,35 @@ pub struct ServeStats {
     /// Per-class breakdown of `rejected_full` (indexed by
     /// [`Priority::index`]).
     pub rejected_per_class: [u64; 3],
-    /// Requests whose batch failed on the device.
+    /// Requests whose batch failed on the device (after recovery, when
+    /// enabled, exhausted its options).
     pub failed: u64,
+    /// Requests completed with a shed-scale (degraded) plan under
+    /// deadline pressure during fault recovery.
+    pub degraded_completions: u64,
+    /// Requests whose deadline passed mid-recovery (retries abandoned).
+    pub expired: u64,
+    /// Requests refused at arrival while the server was browned out.
+    pub rejected_brownout: u64,
+    /// Requests refused fail-fast while the breaker was open.
+    pub rejected_failfast: u64,
+    /// Same-group re-submissions issued for transient faults.
+    pub retries_issued: u64,
+    /// Virtual µs of retry backoff charged to the clock.
+    pub retry_backoff_us: f64,
+    /// Failed groups split in half to corner an unattributed fault.
+    pub batches_bisected: u64,
+    /// Requests isolated as the poisoned member of a faulted batch
+    /// (device-attributed slot or cornered by bisection).
+    pub poisoned_requests: u64,
+    /// Event-loop steps spent in a non-Healthy state.
+    pub brownout_ticks: u64,
+    /// Times the breaker tripped to Open (including failed probes).
+    pub breaker_trips: u64,
+    /// Half-open probes that closed the breaker.
+    pub probes_succeeded: u64,
+    /// Half-open probes that re-opened the breaker.
+    pub probes_failed: u64,
     /// Served requests that completed by their deadline.
     pub deadline_met: u64,
     /// Served requests that completed after their deadline.
@@ -90,7 +117,8 @@ pub struct ServeStats {
     pub gpu_busy_us: f64,
     /// Virtual time of the last completion.
     pub makespan_us: f64,
-    /// Queueing + service latency of served requests.
+    /// Queueing + service latency of completed requests (served and
+    /// degraded).
     pub latency: LatencyHistogram,
     /// Per-class latency (indexed by [`Priority::index`]).
     pub latency_per_class: [LatencyHistogram; 3],
@@ -117,6 +145,15 @@ impl ServeStats {
     /// Latency histogram of one priority class.
     pub fn class_latency(&self, class: Priority) -> &LatencyHistogram {
         &self.latency_per_class[class.index()]
+    }
+
+    /// Useful completions (full or degraded) per submitted request —
+    /// the fault-tolerance figure of merit the chaos bench gates on.
+    pub fn goodput(&self) -> f64 {
+        if self.submitted == 0 {
+            return 0.0;
+        }
+        (self.served + self.degraded_completions) as f64 / self.submitted as f64
     }
 }
 
@@ -159,5 +196,18 @@ mod tests {
         assert_eq!(stats.throughput_rps(), 10.0);
         assert_eq!(ServeStats::default().mean_batch_occupancy(), 0.0);
         assert_eq!(ServeStats::default().throughput_rps(), 0.0);
+    }
+
+    #[test]
+    fn goodput_counts_full_and_degraded_completions() {
+        let stats = ServeStats {
+            submitted: 10,
+            served: 7,
+            degraded_completions: 2,
+            failed: 1,
+            ..ServeStats::default()
+        };
+        assert_eq!(stats.goodput(), 0.9);
+        assert_eq!(ServeStats::default().goodput(), 0.0);
     }
 }

@@ -1,0 +1,327 @@
+//! Chaos matrix: seeded fault plans × batching × retry policy.
+//!
+//! Sweeps the serving loop's fault-tolerance layer across injected
+//! fault kinds, batching on/off and retry on/off, asserting on every
+//! cell that (a) accounting is exact — each submitted request gets
+//! exactly one terminal outcome and the stats counters tile the
+//! submission count, (b) the run is deterministic — an identical
+//! configuration reproduces identical outcomes bit-for-bit, and
+//! (c) recovery actually recovers: transient-only plans keep goodput
+//! high, poisoned batches fail at most the poisoned member's worth of
+//! requests, and stall-only plans (which slow but never reject) serve
+//! everything.
+
+use fd_detector::DetectorConfig;
+use fd_gpu::FaultPlan;
+use fd_haar::{Cascade, FeatureKind, HaarFeature, Stage, Stump};
+use fd_imgproc::GrayImage;
+use fd_serve::{
+    BatchPolicy, DetectionServer, HealthPolicy, Priority, RequestOutcome, RetryPolicy,
+    ServeConfig,
+};
+
+fn edge_cascade() -> Cascade {
+    let f = HaarFeature::from_params(FeatureKind::EdgeH, 6, 4, 6, 8);
+    let mut c = Cascade::new("edge", 24);
+    c.stages.push(Stage {
+        stumps: vec![Stump { feature: f, threshold: 8192, left: -1.0, right: 1.0 }],
+        threshold: 0.5,
+    });
+    c
+}
+
+fn pattern_frame(w: usize, h: usize, shift: usize) -> GrayImage {
+    GrayImage::from_fn(w, h, |x, y| {
+        let x = x + shift;
+        if (20..30).contains(&x) && (14..34).contains(&y) {
+            5.0
+        } else if (30..40).contains(&x) && (14..34).contains(&y) {
+            250.0
+        } else {
+            120.0
+        }
+    })
+}
+
+fn server(plan: Option<FaultPlan>, batched: bool, retry: RetryPolicy) -> DetectionServer {
+    let det = DetectorConfig {
+        min_neighbors: 1,
+        fault_plan: plan,
+        ..DetectorConfig::default()
+    };
+    let cfg = ServeConfig {
+        batch: BatchPolicy { enabled: batched, ..BatchPolicy::default() },
+        retry,
+        ..ServeConfig::default()
+    };
+    DetectionServer::new(&edge_cascade(), det, cfg).expect("server construction")
+}
+
+/// Submit `n` spread-out standard requests with a generous SLO.
+fn submit_wave(s: &mut DetectionServer, n: u64, gap_us: f64, slo_us: f64) {
+    for i in 0..n {
+        s.submit(
+            pattern_frame(64, 48, (i % 4) as usize),
+            Priority::ALL[(i % 3) as usize],
+            i as f64 * gap_us,
+            slo_us,
+        )
+        .expect("valid submission");
+    }
+}
+
+/// One terminal outcome per submission; stats counters tile the total.
+fn assert_accounting(s: &DetectionServer, submitted: u64) {
+    let st = s.stats();
+    assert_eq!(st.submitted, submitted);
+    assert_eq!(s.completed().len() as u64, submitted, "every request gets an outcome");
+    let tiled = st.served
+        + st.degraded_completions
+        + st.shed_late
+        + st.rejected_full
+        + st.rejected_brownout
+        + st.rejected_failfast
+        + st.failed
+        + st.expired;
+    assert_eq!(tiled, submitted, "outcome counters must tile the submissions");
+    // The outcome log agrees with the counters.
+    let mut by_kind = [0u64; 8];
+    for c in s.completed() {
+        let k = match &c.outcome {
+            RequestOutcome::Served { .. } => 0,
+            RequestOutcome::Degraded { .. } => 1,
+            RequestOutcome::ShedLate { .. } => 2,
+            RequestOutcome::RejectedQueueFull => 3,
+            RequestOutcome::RejectedBrownOut => 4,
+            RequestOutcome::RejectedFailFast => 5,
+            RequestOutcome::Failed { .. } => 6,
+            RequestOutcome::Expired { .. } => 7,
+        };
+        by_kind[k] += 1;
+    }
+    assert_eq!(
+        by_kind,
+        [
+            st.served,
+            st.degraded_completions,
+            st.shed_late,
+            st.rejected_full,
+            st.rejected_brownout,
+            st.rejected_failfast,
+            st.failed,
+            st.expired,
+        ]
+    );
+}
+
+fn fingerprint(s: &DetectionServer) -> Vec<(u64, u8, u64)> {
+    s.completed()
+        .iter()
+        .map(|c| {
+            let (kind, t) = match &c.outcome {
+                RequestOutcome::Served { completed_us, result, .. } => {
+                    (0u8, completed_us.to_bits() ^ result.raw.len() as u64)
+                }
+                RequestOutcome::Degraded { completed_us, shed_levels, result, .. } => {
+                    (1, completed_us.to_bits() ^ (*shed_levels as u64) ^ result.raw.len() as u64)
+                }
+                RequestOutcome::ShedLate { shed_us } => (2, shed_us.to_bits()),
+                RequestOutcome::RejectedQueueFull => (3, 0),
+                RequestOutcome::RejectedBrownOut => (4, 0),
+                RequestOutcome::RejectedFailFast => (5, 0),
+                RequestOutcome::Failed { attempts, .. } => (6, *attempts as u64),
+                RequestOutcome::Expired { expired_us, .. } => (7, expired_us.to_bits()),
+            };
+            (c.id.0, kind, t)
+        })
+        .collect()
+}
+
+#[test]
+fn chaos_matrix_accounts_exactly_and_reproduces() {
+    let n = 24u64;
+    let plans: Vec<(&str, Option<FaultPlan>)> = vec![
+        ("none", None),
+        ("inert", Some(FaultPlan::seeded(3))),
+        ("transient2%", Some(FaultPlan::seeded(3).with_transient_launch_failures(0.02))),
+        ("timeout1%", Some(FaultPlan::seeded(5).with_launch_timeouts(0.01))),
+        ("stalls", Some(FaultPlan::seeded(7).with_stream_stalls(0.05, 300.0))),
+        (
+            "mixed",
+            Some(
+                FaultPlan::seeded(9)
+                    .with_transient_launch_failures(0.02)
+                    .with_launch_timeouts(0.005)
+                    .with_stream_stalls(0.02, 200.0),
+            ),
+        ),
+    ];
+    for (name, plan) in &plans {
+        for batched in [false, true] {
+            for retry in [RetryPolicy::disabled(), RetryPolicy::default()] {
+                let run = || {
+                    let mut s = server(plan.clone(), batched, retry.clone());
+                    submit_wave(&mut s, n, 400.0, 1e6);
+                    s.run();
+                    assert_accounting(&s, n);
+                    fingerprint(&s)
+                };
+                assert_eq!(
+                    run(),
+                    run(),
+                    "cell (plan={name}, batched={batched}, retry={}) must reproduce",
+                    retry.enabled
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn stall_only_plans_serve_every_request() {
+    // Stalls stretch the timeline but never reject a launch: no retries,
+    // no failures, everything served (the SLO is generous).
+    for batched in [false, true] {
+        let mut s = server(
+            Some(FaultPlan::seeded(21).with_stream_stalls(0.2, 400.0)),
+            batched,
+            RetryPolicy::default(),
+        );
+        submit_wave(&mut s, 16, 400.0, 1e6);
+        s.run();
+        assert_eq!(s.stats().served, 16, "batched={batched}");
+        assert_eq!(s.stats().failed, 0);
+        assert_eq!(s.stats().retries_issued, 0);
+    }
+}
+
+#[test]
+fn transient_faults_recover_to_high_goodput() {
+    let mut s = server(
+        Some(FaultPlan::seeded(42).with_transient_launch_failures(0.02)),
+        true,
+        RetryPolicy::default(),
+    );
+    submit_wave(&mut s, 40, 400.0, 1e6);
+    s.run();
+    let st = s.stats();
+    assert!(st.retries_issued > 0, "a 2% rate over a 40-request run must fault");
+    assert!(
+        st.goodput() >= 0.9,
+        "bounded retries must absorb transients: goodput {:.3}",
+        st.goodput()
+    );
+    // Without retries, the same plan loses whole batches.
+    let mut legacy = server(
+        Some(FaultPlan::seeded(42).with_transient_launch_failures(0.02)),
+        true,
+        RetryPolicy::disabled(),
+    );
+    submit_wave(&mut legacy, 40, 400.0, 1e6);
+    legacy.run();
+    assert!(
+        legacy.stats().failed > st.failed,
+        "retries must strictly reduce failures ({} vs {})",
+        legacy.stats().failed,
+        st.failed
+    );
+}
+
+#[test]
+fn poisoned_batch_fails_at_most_the_poisoned_member() {
+    // Six simultaneous same-geometry requests form one batch of 6. Under
+    // a timeout-only plan (non-retryable, slot-attributed), recovery
+    // must corner each poisoned request: batchmates complete Ok or
+    // Degraded. Sweep seeds to cover different poisoned slots.
+    let mut saw_single_poison = false;
+    for seed in 0..24u64 {
+        let plan = FaultPlan::seeded(seed).with_launch_timeouts(0.002);
+        let mut s = server(Some(plan), true, RetryPolicy::default());
+        for i in 0..6u64 {
+            s.submit(pattern_frame(64, 48, (i % 4) as usize), Priority::Standard, 0.0, 1e9)
+                .expect("valid submission");
+        }
+        s.run();
+        let st = s.stats();
+        assert_eq!(st.expired + st.shed_late, 0, "seed {seed}: generous SLO never expires");
+        assert_eq!(
+            st.served + st.degraded_completions + st.failed,
+            6,
+            "seed {seed}: all terminal"
+        );
+        // Isolation contract: every failed request was individually
+        // poisoned — never a batchmate casualty.
+        assert_eq!(
+            st.failed, st.poisoned_requests,
+            "seed {seed}: only poisoned members may fail"
+        );
+        if st.failed == 1 {
+            saw_single_poison = true;
+            assert_eq!(st.served + st.degraded_completions, 5, "seed {seed}: batchmates live");
+        }
+    }
+    assert!(
+        saw_single_poison,
+        "sweep must include a run where exactly one request is poisoned"
+    );
+}
+
+#[test]
+fn sustained_timeouts_trip_brownout_then_open_then_recover() {
+    // A per-launch timeout rate of 2% compounds over the ~32 launches of
+    // each dispatch to roughly a coin-flip per request: fault streaks
+    // walk the health machine Healthy → BrownOut → Open, and the
+    // cool-down's half-open probe finds a clean request to close it.
+    let plan = FaultPlan::seeded(0).with_launch_timeouts(0.02);
+    let det = DetectorConfig {
+        min_neighbors: 1,
+        fault_plan: Some(plan),
+        ..DetectorConfig::default()
+    };
+    let cfg = ServeConfig {
+        batch: BatchPolicy { enabled: false, ..BatchPolicy::default() },
+        retry: RetryPolicy::default(),
+        health: HealthPolicy { cooldown_us: 5_000.0, ..HealthPolicy::default() },
+        ..ServeConfig::default()
+    };
+    let mut s = DetectionServer::new(&edge_cascade(), det, cfg).expect("server");
+    submit_wave(&mut s, 60, 300.0, 1e6);
+    s.run();
+    let st = s.stats();
+    assert!(st.breaker_trips > 0, "the fault streaks must trip the breaker");
+    assert!(st.brownout_ticks > 0, "non-Healthy steps must be accounted");
+    assert!(
+        st.probes_succeeded > 0,
+        "the fault rate leaves room for a successful probe to close the breaker"
+    );
+    assert!(st.served > 0, "the server must keep serving around the faults");
+    assert_accounting(&s, 60);
+}
+
+#[test]
+fn brownout_rejects_only_the_lowest_class() {
+    let plan = FaultPlan::seeded(2).with_launch_timeouts(0.5);
+    let det = DetectorConfig {
+        min_neighbors: 1,
+        fault_plan: Some(plan),
+        ..DetectorConfig::default()
+    };
+    let cfg = ServeConfig {
+        batch: BatchPolicy { enabled: false, ..BatchPolicy::default() },
+        // No Open state in this run: trip threshold out of reach.
+        health: HealthPolicy { open_after: u32::MAX, ..HealthPolicy::default() },
+        ..ServeConfig::default()
+    };
+    let mut s = DetectionServer::new(&edge_cascade(), det, cfg).expect("server");
+    submit_wave(&mut s, 48, 300.0, 1e6);
+    s.run();
+    let st = s.stats();
+    assert!(st.rejected_brownout > 0, "50% timeouts must brown the server out");
+    assert_eq!(st.rejected_failfast, 0, "breaker can never open in this config");
+    for c in s.completed() {
+        if matches!(c.outcome, RequestOutcome::RejectedBrownOut) {
+            assert_eq!(c.priority, Priority::Bulk, "brown-out sheds only the lowest class");
+        }
+    }
+    assert_accounting(&s, 48);
+}

@@ -47,6 +47,12 @@ echo "== serve load (asserts batched p99 <= unbatched p99 and >= 1.5x throughput
 FD_RESULTS_DIR="$(mktemp -d)" \
   cargo run --release --offline -q -p fd-bench --bin serve_load -- --requests 150
 
+echo "== serve faults (asserts zero-fault byte-identity, goodput >= 0.9 and p99 <= 1.5x fault-free under chaos) =="
+# Scratch results dir: the committed results/BENCH_serve_faults.json
+# stays the full-length run.
+FD_RESULTS_DIR="$(mktemp -d)" \
+  cargo run --release --offline -q -p fd-bench --bin serve_faults -- --requests 150
+
 echo "== cargo clippy --all-targets -- -D warnings =="
 cargo clippy --all-targets --offline -- -D warnings
 

@@ -21,8 +21,10 @@
 //! * [`detector`] (`fd-detector`) — the paper's pipeline and the public
 //!   [`prelude::FaceDetector`] API;
 //! * [`serve`] (`fd-serve`) — a deterministic request-serving frontend
-//!   with dynamic cross-request batching and SLO-aware (EDF + shedding)
-//!   scheduling on a virtual clock;
+//!   with dynamic cross-request batching, SLO-aware (EDF + shedding)
+//!   scheduling on a virtual clock, and fault-tolerant serving
+//!   (batch-poisoning isolation, deadline-aware retries, brown-out
+//!   admission) under injected device faults;
 //! * [`eval`] (`fd-eval`) — Hungarian-matched TPR/FP accuracy evaluation.
 //!
 //! ## Quickstart
@@ -72,5 +74,8 @@ pub mod prelude {
     pub use fd_gpu::{DeviceSpec, ExecMode};
     pub use fd_haar::{Cascade, FeatureKind, HaarFeature, Stage, Stump};
     pub use fd_imgproc::{GrayImage, IntegralImage, Rect, RgbImage};
-    pub use fd_serve::{BatchPolicy, DetectionServer, Priority, ServeConfig, ServeStats};
+    pub use fd_serve::{
+        BatchPolicy, DetectionServer, HealthPolicy, Priority, RetryPolicy, ServeConfig,
+        ServeStats, ServerHealth,
+    };
 }
