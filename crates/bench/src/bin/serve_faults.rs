@@ -113,6 +113,7 @@ fn fingerprint(server: &DetectionServer) -> u64 {
             RequestOutcome::RejectedFailFast => eat(1003),
             RequestOutcome::Failed { attempts, .. } => eat(1004 ^ u64::from(*attempts)),
             RequestOutcome::Expired { expired_us, .. } => eat(1005 ^ expired_us.to_bits()),
+            RequestOutcome::Evicted { evicted_us } => eat(1006 ^ evicted_us.to_bits()),
         }
     }
     h

@@ -15,7 +15,7 @@
 //! server's determinism — the identical serving run.
 
 use fd_imgproc::GrayImage;
-use fd_serve::{DetectionServer, Priority, RequestOutcome};
+use fd_serve::{DetectionServer, FleetServer, Priority, RequestOutcome};
 
 /// Minimal 64-bit LCG (Knuth's MMIX multiplier), good enough for
 /// inter-arrival sampling and frame variation without pulling a full
@@ -96,6 +96,30 @@ pub fn submit_open_loop(
         server
             .submit(frame, priority, arrival, slo_us)
             .expect("open-loop submission is valid");
+    }
+}
+
+/// The fleet twin of [`submit_open_loop`]: the identical seeded arrival
+/// pattern and frame sequence, submitted through the [`FleetServer`]
+/// front door (which routes each request to a device lane). A fleet of
+/// one therefore receives bit-identical traffic to a single server.
+#[allow(clippy::too_many_arguments)]
+pub fn submit_open_loop_fleet(
+    fleet: &mut FleetServer,
+    seed: u64,
+    n: usize,
+    rate_rps: f64,
+    w: usize,
+    h: usize,
+    priority: Priority,
+    slo_us: f64,
+) {
+    let mut rng = Lcg::new(seed ^ 0xF0F0);
+    for arrival in exponential_arrivals_us(seed, n, rate_rps) {
+        let frame = pattern_frame(w, h, rng.next_u64());
+        fleet
+            .submit(frame, priority, arrival, slo_us)
+            .expect("open-loop fleet submission is valid");
     }
 }
 

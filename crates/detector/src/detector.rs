@@ -228,6 +228,40 @@ impl FaceDetector {
         Ok(self.pipeline.projected_pool_bytes(width, height)? + self.pipeline.const_bytes())
     }
 
+    /// Geometry-independent constant-memory footprint (the staged
+    /// cascade tables), the one-time part of
+    /// [`Self::projected_device_bytes`].
+    pub fn const_bytes(&self) -> usize {
+        self.pipeline.const_bytes()
+    }
+
+    /// Build `n` detectors over `n` independent simulated devices — the
+    /// per-device handles of a serving fleet. Every replica shares the
+    /// configuration, but an attached fault plan is forked per replica
+    /// via [`FaultPlan::for_replica`], so device faults strike the fleet
+    /// independently instead of in lockstep (replica 0 keeps the plan
+    /// verbatim, making a 1-replica fleet identical to a single
+    /// detector).
+    pub fn try_new_replicas(
+        cascade: &Cascade,
+        config: DetectorConfig,
+        n: usize,
+    ) -> Result<Vec<Self>, DetectorError> {
+        if n == 0 {
+            return Err(DetectorError::InvalidConfig {
+                reason: "a fleet needs at least one device replica",
+            });
+        }
+        (0..n)
+            .map(|i| {
+                let mut cfg = config.clone();
+                cfg.fault_plan =
+                    config.fault_plan.as_ref().map(|p| p.for_replica(i as u64));
+                Self::try_new(cascade, cfg)
+            })
+            .collect()
+    }
+
     /// The full pyramid plan for a frame (largest level first). A
     /// deadline controller truncates this and calls
     /// [`Self::detect_with_plan`] to shed the smallest scales.

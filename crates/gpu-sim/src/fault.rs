@@ -139,6 +139,22 @@ impl FaultPlan {
         self.stall_us * clock_ghz * 1e3
     }
 
+    /// The plan a fleet replica `index` runs: identical rates and
+    /// magnitudes, but an independently mixed seed per replica so the
+    /// devices of a multi-GPU fleet fault independently rather than in
+    /// lockstep. Replica 0 keeps the plan verbatim — a fleet of one
+    /// reproduces the original device's fault sequence bit-for-bit.
+    /// An inert plan stays inert on every replica.
+    pub fn for_replica(&self, index: u64) -> FaultPlan {
+        if index == 0 {
+            return self.clone();
+        }
+        FaultPlan {
+            seed: splitmix64(self.seed ^ index.wrapping_mul(0xD1B54A32D192ED03)),
+            ..self.clone()
+        }
+    }
+
     /// `true` when no fault can ever fire: the device is guaranteed to
     /// behave bit-identically to one without a plan.
     pub fn is_inert(&self) -> bool {
@@ -222,5 +238,31 @@ mod tests {
         assert!(FaultPlan::seeded(1).is_inert());
         assert!(!FaultPlan::seeded(1).with_transient_launch_failures(0.05).is_inert());
         assert!(!FaultPlan::seeded(1).with_stream_stalls(0.1, 300.0).is_inert());
+    }
+
+    #[test]
+    fn replica_plans_preserve_rates_and_fault_independently() {
+        let base = FaultPlan::seeded(9).with_transient_launch_failures(0.1);
+        assert_eq!(base.for_replica(0), base, "replica 0 is the original device");
+        let r1 = base.for_replica(1);
+        let r2 = base.for_replica(2);
+        assert_eq!(r1.transient_launch_rate, base.transient_launch_rate);
+        assert_ne!(r1.seed, base.seed);
+        assert_ne!(r1.seed, r2.seed);
+        // Same replica index always derives the same seed.
+        assert_eq!(base.for_replica(1), r1);
+        // The derived seeds draw genuinely different verdict sequences.
+        let verdicts = |p: &FaultPlan| -> Vec<bool> {
+            (0..64)
+                .map(|c| {
+                    fault_draw(p.seed, FaultDomain::LaunchTransient, c)
+                        < p.transient_launch_rate
+                })
+                .collect()
+        };
+        assert_ne!(verdicts(&base), verdicts(&r1), "replicas must not fault in lockstep");
+        assert_ne!(verdicts(&r1), verdicts(&r2));
+        // Inertness survives replica derivation.
+        assert!(FaultPlan::seeded(3).for_replica(5).is_inert());
     }
 }

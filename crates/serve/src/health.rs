@@ -125,6 +125,13 @@ impl HealthMachine {
         }
     }
 
+    /// Whether the breaker is currently Open (dispatch suspended). The
+    /// fleet router consults this directly instead of probing
+    /// [`Self::open_until`] for the expiry it does not need.
+    pub fn is_open(&self) -> bool {
+        matches!(self.state, ServerHealth::Open { .. })
+    }
+
     /// Advance the machine to `now_us`: an expired cool-down moves
     /// Open → HalfOpen. Returns `true` on that transition.
     pub fn tick(&mut self, now_us: f64) -> bool {
@@ -225,6 +232,19 @@ mod tests {
         assert_eq!(m.on_device_fault(30.0), FaultReaction::Tripped);
         assert_eq!(m.state(), ServerHealth::Open { until_us: 30.0 + 20_000.0 });
         assert!(!m.admits(Priority::Interactive), "open fails fast every class");
+        assert!(m.is_open());
+    }
+
+    #[test]
+    fn is_open_tracks_exactly_the_open_state() {
+        let mut m = HealthMachine::new(HealthPolicy::default());
+        assert!(!m.is_open());
+        for i in 0..4 {
+            m.on_device_fault(i as f64);
+        }
+        assert!(m.is_open());
+        m.tick(m.open_until().unwrap());
+        assert!(!m.is_open(), "half-open is not open");
     }
 
     #[test]

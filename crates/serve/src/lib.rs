@@ -25,6 +25,14 @@
 //!   drive brown-out admission and a fail-fast breaker with half-open
 //!   probes ([`HealthPolicy`]).
 //!
+//! * fleet serving — [`FleetServer`] shards requests across N simulated
+//!   devices behind one front door: geometry-affine routing with
+//!   per-device memory-budget admission ([`Router`]), breaker-open
+//!   failover that migrates queued work to healthy replicas with
+//!   deadlines intact, drain/kill/rejoin device lifecycle, and
+//!   deterministic work stealing between per-device queues. A fleet of
+//!   one reduces byte-for-byte to a single [`DetectionServer`].
+//!
 //! Everything runs on a virtual clock against the simulated GPU: a
 //! serving run is a pure function of its submissions and configuration,
 //! bit-identical across runs and across `FD_SIM_THREADS` settings.
@@ -51,18 +59,22 @@
 //! ```
 
 pub mod batcher;
+pub mod fleet;
 pub mod health;
 pub mod queue;
 pub mod recovery;
 pub mod request;
+pub mod router;
 pub mod server;
 pub mod stats;
 
 pub use batcher::{BatchDecision, BatchPolicy, DynamicBatcher};
+pub use fleet::{DeviceState, FleetConfig, FleetServer, StealPolicy};
 pub use health::{FaultReaction, HealthMachine, HealthPolicy, ServerHealth};
 pub use queue::RequestQueue;
 pub use recovery::{RecoveryStep, RetryPolicy};
 pub use request::{DetectionRequest, Priority, RequestId};
+pub use router::{LaneView, RoutePolicy, Router, RouterStats};
 pub use server::{
     CompletedRequest, DetectionServer, RequestOutcome, ServeConfig, ServeError,
 };

@@ -103,6 +103,18 @@ impl RequestQueue {
         batch
     }
 
+    /// Remove and return every queued request, in EDF order — the fleet
+    /// layer's evacuation primitive (breaker-open failover, device kill,
+    /// work stealing). Because every selector on this queue is
+    /// order-independent (EDF minimum, geometry filter, deadline
+    /// filter), draining and re-offering a subset is behavior-neutral.
+    pub fn drain_all(&mut self) -> Vec<DetectionRequest> {
+        let mut all: Vec<DetectionRequest> =
+            self.classes.iter_mut().flat_map(|c| c.drain(..)).collect();
+        all.sort_by(|a, b| a.edf_cmp(b));
+        all
+    }
+
     /// Remove and return every queued request whose deadline already
     /// passed at `now_us`, in EDF order (the deterministic shed set).
     pub fn take_late(&mut self, now_us: f64) -> Vec<DetectionRequest> {
@@ -188,6 +200,19 @@ mod tests {
         assert_eq!(q.len(), 2);
         assert!(q.take_late(1000.0).len() == 2);
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn drain_all_empties_every_class_in_edf_order() {
+        let mut q = RequestQueue::new(8);
+        q.offer(req(0, Priority::Standard, 300.0, 8)).unwrap();
+        q.offer(req(1, Priority::Bulk, 100.0, 8)).unwrap();
+        q.offer(req(2, Priority::Interactive, 200.0, 16)).unwrap();
+        let drained = q.drain_all();
+        let ids: Vec<_> = drained.iter().map(|r| r.id.0).collect();
+        assert_eq!(ids, [1, 2, 0], "EDF order across classes and geometries");
+        assert!(q.is_empty());
+        assert!(q.drain_all().is_empty());
     }
 
     #[test]

@@ -75,6 +75,10 @@ pub enum ServeError {
     InvalidSubmission { reason: &'static str },
     /// Building the wrapped detector failed.
     Detector(DetectorError),
+    /// A fleet front door could not place the request on any device:
+    /// every admitting lane is draining or dead, or no device's memory
+    /// budget can take the frame's geometry.
+    NoCapacity { width: usize, height: usize },
 }
 
 impl std::fmt::Display for ServeError {
@@ -84,6 +88,9 @@ impl std::fmt::Display for ServeError {
                 write!(f, "invalid submission: {reason}")
             }
             ServeError::Detector(e) => write!(f, "detector construction failed: {e}"),
+            ServeError::NoCapacity { width, height } => {
+                write!(f, "no fleet device can admit a {width}x{height} request")
+            }
         }
     }
 }
@@ -155,6 +162,13 @@ pub enum RequestOutcome {
         attempts: u32,
         /// The fault that put its batch into recovery.
         error: DetectorError,
+    },
+    /// Its fleet device was killed (or drained away from under it) and
+    /// no surviving replica could take it over. Only the fleet layer
+    /// emits this; a single server never does.
+    Evicted {
+        /// Virtual instant the device was lost.
+        evicted_us: f64,
     },
 }
 
@@ -296,6 +310,66 @@ impl DetectionServer {
         std::mem::take(&mut self.completed)
     }
 
+    /// Whether the fail-fast breaker is currently open (dispatch
+    /// suspended until the cool-down elapses).
+    pub fn breaker_open(&self) -> bool {
+        self.health.is_open()
+    }
+
+    /// Requests sitting in the dispatch queue (excluding the calendar).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Arrival instant of the next calendar entry, if any.
+    pub fn next_arrival_us(&self) -> Option<f64> {
+        self.arrivals.last().map(|r| r.arrival_us)
+    }
+
+    /// Pull every queued (already-arrived, not-yet-launched) request off
+    /// the dispatch queue in EDF order — the fleet's evacuation and
+    /// work-stealing primitive.
+    pub(crate) fn take_queued(&mut self) -> Vec<DetectionRequest> {
+        self.queue.drain_all()
+    }
+
+    /// Pull every not-yet-arrived request off the calendar, earliest
+    /// first (fleet kill/drain re-routes these to surviving lanes).
+    pub(crate) fn take_calendar(&mut self) -> Vec<DetectionRequest> {
+        let mut reqs = std::mem::take(&mut self.arrivals);
+        reqs.reverse();
+        reqs
+    }
+
+    /// Hand a request migrated from another lane to this one without
+    /// counting a fresh submission: already-arrived requests go straight
+    /// onto the dispatch queue (bounced back if the class is full),
+    /// future ones back onto the calendar.
+    pub(crate) fn inject(&mut self, req: DetectionRequest) -> Result<(), DetectionRequest> {
+        if req.arrival_us <= self.now_us {
+            self.queue.offer(req)?;
+            self.stats.max_queue_depth = self.stats.max_queue_depth.max(self.queue.len());
+        } else {
+            let pos = self
+                .arrivals
+                .partition_point(|r| {
+                    r.arrival_us
+                        .total_cmp(&req.arrival_us)
+                        .then(r.seq.cmp(&req.seq))
+                        .is_gt()
+                });
+            self.arrivals.insert(pos, req);
+        }
+        Ok(())
+    }
+
+    /// Move the clock forward to `t_us` (never backward). Migrated work
+    /// is handed over at the source lane's instant; the receiving lane
+    /// must not serve it in its own past.
+    pub(crate) fn advance_to(&mut self, t_us: f64) {
+        self.now_us = self.now_us.max(t_us);
+    }
+
     /// Schedule a detection request: `frame` arrives at `arrival_us`
     /// (which must not lie in the past) with deadline
     /// `arrival_us + slo_us`. Returns the request's id; its outcome
@@ -328,6 +402,14 @@ impl DetectionServer {
             frame,
             seq,
         };
+        self.enqueue(req);
+        Ok(id)
+    }
+
+    /// Put an already-built request on the arrival calendar and count
+    /// the submission. The fleet front door routes here with its own
+    /// (fleet-global) ids, so per-lane sequence state stays untouched.
+    pub(crate) fn enqueue(&mut self, req: DetectionRequest) {
         // Insert keeping descending (arrival, seq) so pop() yields the
         // earliest; ties resolve by submission order.
         let pos = self
@@ -340,7 +422,6 @@ impl DetectionServer {
             });
         self.arrivals.insert(pos, req);
         self.stats.submitted += 1;
-        Ok(id)
     }
 
     /// Run the event loop until the arrival calendar and the queue are
@@ -896,6 +977,7 @@ mod tests {
                         RequestOutcome::Expired { expired_us, .. } => (5, expired_us.to_bits()),
                         RequestOutcome::RejectedBrownOut => (6, 0),
                         RequestOutcome::RejectedFailFast => (7, 0),
+                        RequestOutcome::Evicted { evicted_us } => (8, evicted_us.to_bits()),
                     };
                     (c.id, kind, t)
                 })

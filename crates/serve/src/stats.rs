@@ -7,7 +7,7 @@ use crate::request::Priority;
 /// sorted rank. Serving runs are bounded (one sample per served
 /// request), so exactness is affordable and keeps the quantiles — and
 /// therefore the benches' pass/fail assertions — fully deterministic.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct LatencyHistogram {
     samples_us: Vec<f64>,
 }
@@ -15,6 +15,19 @@ pub struct LatencyHistogram {
 impl LatencyHistogram {
     pub fn record(&mut self, latency_us: f64) {
         self.samples_us.push(latency_us);
+    }
+
+    /// The raw samples, in recording order.
+    pub fn samples_us(&self) -> &[f64] {
+        &self.samples_us
+    }
+
+    /// Fold `other`'s samples into this histogram. Because quantiles are
+    /// answered from the full sample set, the merged histogram's
+    /// quantiles are *exact* — identical to recomputing over the union
+    /// of both sample sets, never an approximation.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        self.samples_us.extend_from_slice(&other.samples_us);
     }
 
     pub fn len(&self) -> usize {
@@ -61,7 +74,7 @@ impl LatencyHistogram {
 }
 
 /// Aggregate accounting for one serving run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ServeStats {
     /// Requests submitted to the arrival calendar.
     pub submitted: u64,
@@ -86,6 +99,10 @@ pub struct ServeStats {
     pub rejected_brownout: u64,
     /// Requests refused fail-fast while the breaker was open.
     pub rejected_failfast: u64,
+    /// Requests evicted from a lost (killed or draining) fleet device
+    /// that no surviving replica could take. Only the fleet layer emits
+    /// these; a single server never does.
+    pub evicted: u64,
     /// Same-group re-submissions issued for transient faults.
     pub retries_issued: u64,
     /// Virtual µs of retry backoff charged to the clock.
@@ -155,6 +172,78 @@ impl ServeStats {
         }
         (self.served + self.degraded_completions) as f64 / self.submitted as f64
     }
+
+    /// Roll `other` into this report — the fleet aggregator that turns
+    /// per-device stats into one fleet-wide view. Counters and busy time
+    /// add; high-water marks (`max_queue_depth`, `makespan_us`) take the
+    /// max; latency histograms merge by sample union, so the merged
+    /// quantiles are exact (see [`LatencyHistogram::merge`]). The
+    /// exhaustive destructure makes adding a `ServeStats` field without
+    /// deciding its merge rule a compile error.
+    pub fn merge(&mut self, other: &ServeStats) {
+        let ServeStats {
+            submitted,
+            served,
+            shed_late,
+            rejected_full,
+            rejected_per_class,
+            failed,
+            degraded_completions,
+            expired,
+            rejected_brownout,
+            rejected_failfast,
+            evicted,
+            retries_issued,
+            retry_backoff_us,
+            batches_bisected,
+            poisoned_requests,
+            brownout_ticks,
+            breaker_trips,
+            probes_succeeded,
+            probes_failed,
+            deadline_met,
+            deadline_missed,
+            batches,
+            batched_requests,
+            max_queue_depth,
+            gpu_busy_us,
+            makespan_us,
+            latency,
+            latency_per_class,
+        } = other;
+        self.submitted += submitted;
+        self.served += served;
+        self.shed_late += shed_late;
+        self.rejected_full += rejected_full;
+        for (mine, theirs) in self.rejected_per_class.iter_mut().zip(rejected_per_class) {
+            *mine += theirs;
+        }
+        self.failed += failed;
+        self.degraded_completions += degraded_completions;
+        self.expired += expired;
+        self.rejected_brownout += rejected_brownout;
+        self.rejected_failfast += rejected_failfast;
+        self.evicted += evicted;
+        self.retries_issued += retries_issued;
+        self.retry_backoff_us += retry_backoff_us;
+        self.batches_bisected += batches_bisected;
+        self.poisoned_requests += poisoned_requests;
+        self.brownout_ticks += brownout_ticks;
+        self.breaker_trips += breaker_trips;
+        self.probes_succeeded += probes_succeeded;
+        self.probes_failed += probes_failed;
+        self.deadline_met += deadline_met;
+        self.deadline_missed += deadline_missed;
+        self.batches += batches;
+        self.batched_requests += batched_requests;
+        self.max_queue_depth = self.max_queue_depth.max(*max_queue_depth);
+        self.gpu_busy_us += gpu_busy_us;
+        self.makespan_us = self.makespan_us.max(*makespan_us);
+        self.latency.merge(latency);
+        for (mine, theirs) in self.latency_per_class.iter_mut().zip(latency_per_class) {
+            mine.merge(theirs);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -196,6 +285,73 @@ mod tests {
         assert_eq!(stats.throughput_rps(), 10.0);
         assert_eq!(ServeStats::default().mean_batch_occupancy(), 0.0);
         assert_eq!(ServeStats::default().throughput_rps(), 0.0);
+    }
+
+    #[test]
+    fn merged_quantiles_equal_recomputing_from_the_union() {
+        // Three per-device sample sets with distinct shapes.
+        let sets: [&[f64]; 3] =
+            [&[900.0, 120.0, 340.0], &[55.0, 2100.0, 640.0, 10.0], &[470.0]];
+        let mut merged = ServeStats::default();
+        let mut union = LatencyHistogram::default();
+        for samples in sets {
+            let mut device = ServeStats::default();
+            for &s in samples {
+                device.latency.record(s);
+                device.latency_per_class[1].record(s);
+                union.record(s);
+            }
+            device.served = samples.len() as u64;
+            device.submitted = samples.len() as u64;
+            merged.merge(&device);
+        }
+        for q in [0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0] {
+            assert_eq!(
+                merged.latency.quantile_us(q),
+                union.quantile_us(q),
+                "merged q={q} must equal the union's"
+            );
+            assert_eq!(merged.latency_per_class[1].quantile_us(q), union.quantile_us(q));
+        }
+        assert_eq!(merged.latency.len(), 8);
+        assert_eq!(merged.served, 8);
+        assert_eq!(merged.latency.mean_us(), union.mean_us());
+    }
+
+    #[test]
+    fn merge_sums_counters_and_maxes_high_water_marks() {
+        let a = ServeStats {
+            submitted: 10,
+            served: 8,
+            failed: 2,
+            rejected_per_class: [1, 2, 3],
+            max_queue_depth: 5,
+            makespan_us: 1000.0,
+            gpu_busy_us: 400.0,
+            ..ServeStats::default()
+        };
+        let b = ServeStats {
+            submitted: 4,
+            served: 4,
+            rejected_per_class: [0, 1, 0],
+            max_queue_depth: 9,
+            makespan_us: 700.0,
+            gpu_busy_us: 100.0,
+            ..ServeStats::default()
+        };
+        let mut m = a.clone();
+        m.merge(&b);
+        assert_eq!(m.submitted, 14);
+        assert_eq!(m.served, 12);
+        assert_eq!(m.failed, 2);
+        assert_eq!(m.rejected_per_class, [1, 3, 3]);
+        assert_eq!(m.max_queue_depth, 9, "high-water mark takes the max");
+        assert_eq!(m.makespan_us, 1000.0);
+        assert_eq!(m.gpu_busy_us, 500.0);
+        // Merging a default is the identity.
+        let mut id = a.clone();
+        id.merge(&ServeStats::default());
+        assert_eq!(id, a);
     }
 
     #[test]

@@ -11,13 +11,14 @@
 //! requests, and stall-only plans (which slow but never reject) serve
 //! everything.
 
-use fd_detector::DetectorConfig;
-use fd_gpu::FaultPlan;
+use fd_detector::{DetectorConfig, FaceDetector};
+use fd_gpu::{FaultPlan, HostExec};
 use fd_haar::{Cascade, FeatureKind, HaarFeature, Stage, Stump};
 use fd_imgproc::GrayImage;
 use fd_serve::{
-    BatchPolicy, DetectionServer, HealthPolicy, Priority, RequestOutcome, RetryPolicy,
-    ServeConfig,
+    BatchPolicy, CompletedRequest, DetectionServer, DeviceState, FleetConfig, FleetServer,
+    HealthPolicy, Priority, RequestOutcome, RetryPolicy, RoutePolicy, ServeConfig, ServeStats,
+    StealPolicy,
 };
 
 fn edge_cascade() -> Cascade {
@@ -75,6 +76,12 @@ fn assert_accounting(s: &DetectionServer, submitted: u64) {
     let st = s.stats();
     assert_eq!(st.submitted, submitted);
     assert_eq!(s.completed().len() as u64, submitted, "every request gets an outcome");
+    assert_outcomes_tile(st, s.completed(), submitted);
+}
+
+/// Outcome counters (including fleet evictions) tile the submissions
+/// and agree with the completion log, whichever layer produced it.
+fn assert_outcomes_tile(st: &ServeStats, completed: &[CompletedRequest], submitted: u64) {
     let tiled = st.served
         + st.degraded_completions
         + st.shed_late
@@ -82,11 +89,12 @@ fn assert_accounting(s: &DetectionServer, submitted: u64) {
         + st.rejected_brownout
         + st.rejected_failfast
         + st.failed
-        + st.expired;
+        + st.expired
+        + st.evicted;
     assert_eq!(tiled, submitted, "outcome counters must tile the submissions");
     // The outcome log agrees with the counters.
-    let mut by_kind = [0u64; 8];
-    for c in s.completed() {
+    let mut by_kind = [0u64; 9];
+    for c in completed {
         let k = match &c.outcome {
             RequestOutcome::Served { .. } => 0,
             RequestOutcome::Degraded { .. } => 1,
@@ -96,6 +104,7 @@ fn assert_accounting(s: &DetectionServer, submitted: u64) {
             RequestOutcome::RejectedFailFast => 5,
             RequestOutcome::Failed { .. } => 6,
             RequestOutcome::Expired { .. } => 7,
+            RequestOutcome::Evicted { .. } => 8,
         };
         by_kind[k] += 1;
     }
@@ -110,12 +119,17 @@ fn assert_accounting(s: &DetectionServer, submitted: u64) {
             st.rejected_failfast,
             st.failed,
             st.expired,
+            st.evicted,
         ]
     );
 }
 
 fn fingerprint(s: &DetectionServer) -> Vec<(u64, u8, u64)> {
-    s.completed()
+    fingerprint_log(s.completed())
+}
+
+fn fingerprint_log(completed: &[CompletedRequest]) -> Vec<(u64, u8, u64)> {
+    completed
         .iter()
         .map(|c| {
             let (kind, t) = match &c.outcome {
@@ -131,6 +145,7 @@ fn fingerprint(s: &DetectionServer) -> Vec<(u64, u8, u64)> {
                 RequestOutcome::RejectedFailFast => (5, 0),
                 RequestOutcome::Failed { attempts, .. } => (6, *attempts as u64),
                 RequestOutcome::Expired { expired_us, .. } => (7, expired_us.to_bits()),
+                RequestOutcome::Evicted { evicted_us } => (8, evicted_us.to_bits()),
             };
             (c.id.0, kind, t)
         })
@@ -324,4 +339,173 @@ fn brownout_rejects_only_the_lowest_class() {
         }
     }
     assert_accounting(&s, 48);
+}
+
+// ---------------------------------------------------------------------
+// Fleet chaos: device-level failures behind the FleetServer front door.
+// ---------------------------------------------------------------------
+
+/// Fleet accounting: every fleet submission gets exactly one terminal
+/// outcome, wherever in the fleet (or at fleet level, for evictions) it
+/// was produced.
+fn assert_fleet_accounting(f: &FleetServer, submitted: u64) {
+    let st: ServeStats = f.stats();
+    assert_eq!(st.submitted, submitted);
+    assert_eq!(f.completed().len() as u64, submitted, "every request gets an outcome");
+    assert_outcomes_tile(&st, f.completed(), submitted);
+}
+
+#[test]
+fn open_breaker_migrates_the_backlog_to_the_healthy_replica() {
+    // Device 0 gets a pathological timeout plan (~80% of its dispatches
+    // fault), device 1 an inert plan with an independent seed. Sixteen
+    // simultaneous requests fill the queues; device 0's fault streak
+    // walks its health machine to Open, at which point its queued
+    // backlog must migrate to device 1 and complete there.
+    let run = || {
+        let det = |plan: FaultPlan| DetectorConfig {
+            min_neighbors: 1,
+            fault_plan: Some(plan),
+            ..DetectorConfig::default()
+        };
+        let detectors = vec![
+            FaceDetector::try_new(
+                &edge_cascade(),
+                det(FaultPlan::seeded(11).with_launch_timeouts(0.05)),
+            )
+            .expect("hot detector"),
+            FaceDetector::try_new(&edge_cascade(), det(FaultPlan::seeded(12)))
+                .expect("inert detector"),
+        ];
+        let mut f = FleetServer::from_detectors(
+            detectors,
+            FleetConfig {
+                serve: ServeConfig {
+                    batch: BatchPolicy { enabled: false, ..BatchPolicy::default() },
+                    ..ServeConfig::default()
+                },
+                steal: StealPolicy::disabled(),
+                ..FleetConfig::default()
+            },
+        );
+        for i in 0..16u64 {
+            f.submit(pattern_frame(64, 48, (i % 4) as usize), Priority::Standard, 0.0, 1e9)
+                .expect("valid submission");
+        }
+        f.run();
+        assert_fleet_accounting(&f, 16);
+        assert!(
+            f.device_stats(0).breaker_trips > 0,
+            "the hot device's fault streak must open its breaker"
+        );
+        assert!(
+            f.router_stats().migrations > 0,
+            "the open breaker must evacuate the queued backlog"
+        );
+        assert!(
+            f.device_stats(1).served > 0,
+            "the healthy replica must serve migrated work"
+        );
+        assert_eq!(f.stats().evicted, 0, "a healthy replica exists; nothing is evicted");
+        (fingerprint_log(f.completed()), f.router_stats().migrations)
+    };
+    assert_eq!(run(), run(), "device-level chaos must be seed-reproducible");
+}
+
+#[test]
+fn drain_reroutes_future_arrivals_and_rejoin_restores_service() {
+    let mut f = FleetServer::new(
+        &edge_cascade(),
+        DetectorConfig { min_neighbors: 1, ..DetectorConfig::default() },
+        2,
+        FleetConfig::default(),
+    )
+    .expect("fleet");
+    // A spread-out wave: geometry affinity keeps it on device 0.
+    for i in 0..12u64 {
+        f.submit(
+            pattern_frame(64, 48, (i % 4) as usize),
+            Priority::Standard,
+            i as f64 * 400.0,
+            1e9,
+        )
+        .expect("valid submission");
+    }
+    // Serve the head of the wave, then drain device 0 mid-run.
+    while f.device_stats(0).served == 0 && f.step() {}
+    let served_before_drain = f.device_stats(0).served;
+    assert!(served_before_drain > 0, "device 0 serves the head of the wave");
+    f.drain_device(0);
+    assert_eq!(f.device_state(0), DeviceState::Draining);
+    f.run();
+    assert_fleet_accounting(&f, 12);
+    assert_eq!(f.stats().served, 12, "nothing is lost across the drain");
+    assert!(
+        f.router_stats().migrations > 0,
+        "the drained device's future arrivals must re-route"
+    );
+    assert!(
+        f.device_stats(1).served > 0,
+        "the other device picks up the re-routed arrivals"
+    );
+    // Rejoined, the device takes (and serves) traffic again.
+    f.rejoin_device(0);
+    assert_eq!(f.device_state(0), DeviceState::Active);
+    let t = f.now_us();
+    for i in 0..6u64 {
+        f.submit(pattern_frame(64, 48, (i % 4) as usize), Priority::Standard, t, 1e9)
+            .expect("valid submission");
+    }
+    f.run();
+    assert_fleet_accounting(&f, 18);
+    assert!(
+        f.device_stats(0).served > served_before_drain,
+        "the rejoined device serves again"
+    );
+}
+
+#[test]
+fn stolen_work_is_bit_identical_across_host_threads_and_engines() {
+    // Sticky affinity piles ten same-geometry requests on device 0
+    // while device 1 serves one small request and goes idle — work
+    // stealing must engage, and the full fleet outcome (including which
+    // lane served what, when) must be bit-identical across host thread
+    // counts and both host execution engines.
+    let run = |threads: usize, exec: HostExec| {
+        let det = DetectorConfig {
+            min_neighbors: 1,
+            host_threads: Some(threads),
+            host_exec: Some(exec),
+            ..DetectorConfig::default()
+        };
+        let mut f = FleetServer::new(
+            &edge_cascade(),
+            det,
+            2,
+            FleetConfig {
+                route: RoutePolicy { affinity_slack: 64, ..RoutePolicy::default() },
+                ..FleetConfig::default()
+            },
+        )
+        .expect("fleet");
+        for i in 0..10u64 {
+            f.submit(pattern_frame(64, 48, (i % 4) as usize), Priority::Standard, 0.0, 1e9)
+                .expect("valid submission");
+        }
+        f.submit(pattern_frame(32, 48, 0), Priority::Standard, 0.0, 1e9)
+            .expect("valid submission");
+        f.run();
+        assert_fleet_accounting(&f, 11);
+        assert!(f.router_stats().steals > 0, "the idle lane must steal the backlog");
+        let devices: Vec<usize> = f.completed_device().to_vec();
+        (fingerprint_log(f.completed()), devices, f.router_stats().steals)
+    };
+    let reference = run(1, HostExec::Sync);
+    for (threads, exec) in [(1, HostExec::Async), (4, HostExec::Sync), (4, HostExec::Async)] {
+        assert_eq!(
+            run(threads, exec),
+            reference,
+            "steals must reproduce at threads={threads}, exec={exec:?}"
+        );
+    }
 }

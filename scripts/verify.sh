@@ -53,6 +53,12 @@ echo "== serve faults (asserts zero-fault byte-identity, goodput >= 0.9 and p99 
 FD_RESULTS_DIR="$(mktemp -d)" \
   cargo run --release --offline -q -p fd-bench --bin serve_faults -- --requests 150
 
+echo "== serve fleet (asserts >= 3x throughput at 4 devices, kill-one goodput >= 0.70 with p99 <= 1.5x baseline, fleet-of-1 byte-identity) =="
+# Scratch results dir: the committed results/BENCH_serve_fleet.json
+# stays the full-length run.
+FD_RESULTS_DIR="$(mktemp -d)" \
+  cargo run --release --offline -q -p fd-bench --bin serve_fleet -- --requests 200
+
 echo "== cargo clippy --all-targets -- -D warnings =="
 cargo clippy --all-targets --offline -- -D warnings
 

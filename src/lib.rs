@@ -22,9 +22,11 @@
 //!   [`prelude::FaceDetector`] API;
 //! * [`serve`] (`fd-serve`) — a deterministic request-serving frontend
 //!   with dynamic cross-request batching, SLO-aware (EDF + shedding)
-//!   scheduling on a virtual clock, and fault-tolerant serving
+//!   scheduling on a virtual clock, fault-tolerant serving
 //!   (batch-poisoning isolation, deadline-aware retries, brown-out
-//!   admission) under injected device faults;
+//!   admission) under injected device faults, and an N-device fleet
+//!   front door (geometry-affine routing, breaker-open failover,
+//!   drain/kill/rejoin, deterministic work stealing);
 //! * [`eval`] (`fd-eval`) — Hungarian-matched TPR/FP accuracy evaluation.
 //!
 //! ## Quickstart
@@ -75,7 +77,7 @@ pub mod prelude {
     pub use fd_haar::{Cascade, FeatureKind, HaarFeature, Stage, Stump};
     pub use fd_imgproc::{GrayImage, IntegralImage, Rect, RgbImage};
     pub use fd_serve::{
-        BatchPolicy, DetectionServer, HealthPolicy, Priority, RetryPolicy, ServeConfig,
-        ServeStats, ServerHealth,
+        BatchPolicy, DetectionServer, FleetConfig, FleetServer, HealthPolicy, Priority,
+        RetryPolicy, RoutePolicy, ServeConfig, ServeStats, ServerHealth, StealPolicy,
     };
 }
