@@ -14,6 +14,7 @@
 //! always produces the identical arrival pattern and therefore — by the
 //! server's determinism — the identical serving run.
 
+use fd_detector::{Backend, Detector};
 use fd_imgproc::GrayImage;
 use fd_serve::{DetectionServer, FleetServer, Priority, RequestOutcome};
 
@@ -77,11 +78,32 @@ pub fn pattern_frame(w: usize, h: usize, variant: u64) -> GrayImage {
     })
 }
 
+/// The per-request backend class sequence for mixed Haar/CNN traffic:
+/// request `i` is CNN-classed when the `i`-th draw of a seeded [`Lcg`]
+/// falls below `cnn_fraction`. Deterministic in `(seed, n,
+/// cnn_fraction)`, and independent of the arrival/frame streams so the
+/// same traffic can be replayed with a different class mix.
+pub fn backend_sequence(seed: u64, n: usize, cnn_fraction: f64) -> Vec<Backend> {
+    assert!((0.0..=1.0).contains(&cnn_fraction), "cnn_fraction must be in [0, 1]");
+    let mut rng = Lcg::new(seed ^ 0xBAC0);
+    (0..n)
+        .map(|_| {
+            if rng.next_f64() < cnn_fraction {
+                Backend::Cnn
+            } else {
+                Backend::Haar
+            }
+        })
+        .collect()
+}
+
 /// Submit an open-loop request pattern: `n` frames of `w`x`h` arriving
 /// per [`exponential_arrivals_us`], all in `priority` with a fixed
-/// `slo_us`. Call before `server.run()`.
-pub fn submit_open_loop(
-    server: &mut DetectionServer,
+/// `slo_us`. Call before `server.run()`. The request class is the
+/// server's own backend (a single server owns one detector); mixed
+/// traffic goes through [`submit_open_loop_fleet_mixed`].
+pub fn submit_open_loop<D: Detector>(
+    server: &mut DetectionServer<D>,
     seed: u64,
     n: usize,
     rate_rps: f64,
@@ -104,8 +126,8 @@ pub fn submit_open_loop(
 /// front door (which routes each request to a device lane). A fleet of
 /// one therefore receives bit-identical traffic to a single server.
 #[allow(clippy::too_many_arguments)]
-pub fn submit_open_loop_fleet(
-    fleet: &mut FleetServer,
+pub fn submit_open_loop_fleet<D: Detector>(
+    fleet: &mut FleetServer<D>,
     seed: u64,
     n: usize,
     rate_rps: f64,
@@ -123,14 +145,43 @@ pub fn submit_open_loop_fleet(
     }
 }
 
+/// [`submit_open_loop_fleet`] with a per-request backend class: the
+/// identical seeded arrival and frame streams, each request classed
+/// Haar or CNN by [`backend_sequence`] and submitted through
+/// [`FleetServer::submit_to_backend`]. With `cnn_fraction == 0.0` every
+/// request is Haar-classed and the traffic is bit-identical to
+/// [`submit_open_loop_fleet`] against a Haar fleet.
+#[allow(clippy::too_many_arguments)]
+pub fn submit_open_loop_fleet_mixed<D: Detector>(
+    fleet: &mut FleetServer<D>,
+    seed: u64,
+    n: usize,
+    rate_rps: f64,
+    w: usize,
+    h: usize,
+    priority: Priority,
+    slo_us: f64,
+    cnn_fraction: f64,
+) {
+    let mut rng = Lcg::new(seed ^ 0xF0F0);
+    let backends = backend_sequence(seed, n, cnn_fraction);
+    for (arrival, backend) in exponential_arrivals_us(seed, n, rate_rps).into_iter().zip(backends)
+    {
+        let frame = pattern_frame(w, h, rng.next_u64());
+        fleet
+            .submit_to_backend(frame, priority, arrival, slo_us, backend)
+            .expect("mixed open-loop fleet submission is valid");
+    }
+}
+
 /// Drive `clients` virtual clients through the server until
 /// `total_requests` have been submitted and every outcome is in: each
 /// client keeps one request in flight, resubmitting `think_us` after its
 /// previous completion. Returns the number of requests that were served
 /// (vs shed/rejected/failed).
 #[allow(clippy::too_many_arguments)]
-pub fn run_closed_loop(
-    server: &mut DetectionServer,
+pub fn run_closed_loop<D: Detector>(
+    server: &mut DetectionServer<D>,
     seed: u64,
     clients: usize,
     total_requests: usize,
@@ -174,12 +225,78 @@ pub fn run_closed_loop(
     served
 }
 
+/// The closed loop's mixed fleet twin: `clients` virtual clients drive a
+/// fleet until `total_requests` have been submitted, each submission
+/// classed Haar or CNN by [`backend_sequence`] in submission order (the
+/// per-request backend class, independent of which client resubmits).
+/// Returns the number of requests served per backend.
+#[allow(clippy::too_many_arguments)]
+pub fn run_closed_loop_fleet_mixed<D: Detector>(
+    fleet: &mut FleetServer<D>,
+    seed: u64,
+    clients: usize,
+    total_requests: usize,
+    think_us: f64,
+    w: usize,
+    h: usize,
+    priority: Priority,
+    slo_us: f64,
+    cnn_fraction: f64,
+) -> [usize; 2] {
+    assert!(clients > 0, "need at least one client");
+    let mut rng = Lcg::new(seed);
+    let backends = backend_sequence(seed, total_requests, cnn_fraction);
+    let mut submitted = 0usize;
+    let mut in_flight = 0usize;
+    let mut served = [0usize; 2];
+    let mut done = 0usize;
+    while submitted < clients.min(total_requests) {
+        fleet
+            .submit_to_backend(
+                pattern_frame(w, h, rng.next_u64()),
+                priority,
+                fleet.now_us(),
+                slo_us,
+                backends[submitted],
+            )
+            .expect("closed-loop fleet submission is valid");
+        submitted += 1;
+        in_flight += 1;
+    }
+    while done < total_requests && in_flight > 0 {
+        while fleet.step() {}
+        for c in fleet.take_completed() {
+            in_flight -= 1;
+            done += 1;
+            if matches!(c.outcome, RequestOutcome::Served { .. }) {
+                served[c.backend.index()] += 1;
+            }
+            if submitted < total_requests {
+                let arrival = fleet.now_us() + think_us;
+                fleet
+                    .submit_to_backend(
+                        pattern_frame(w, h, rng.next_u64()),
+                        priority,
+                        arrival,
+                        slo_us,
+                        backends[submitted],
+                    )
+                    .expect("closed-loop fleet resubmission is valid");
+                submitted += 1;
+                in_flight += 1;
+            }
+        }
+    }
+    served
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fd_detector::DetectorConfig;
+    use fd_cnn::{CnnDetector, CnnModel};
+    use fd_detector::{DetectorConfig, FaceDetector};
     use fd_haar::{Cascade, FeatureKind, HaarFeature, Stage, Stump};
-    use fd_serve::ServeConfig;
+    use fd_serve::{FleetConfig, ServeConfig};
 
     fn edge_cascade() -> Cascade {
         let f = HaarFeature::from_params(FeatureKind::EdgeH, 6, 4, 6, 8);
@@ -216,6 +333,61 @@ mod tests {
         s.run();
         assert_eq!(s.stats().served, 20);
         assert!(s.stats().throughput_rps() > 0.0);
+    }
+
+    fn mixed_fleet() -> FleetServer<Box<dyn Detector>> {
+        let det = DetectorConfig { min_neighbors: 1, ..DetectorConfig::default() };
+        let haar = FaceDetector::try_new(&edge_cascade(), det.clone()).unwrap();
+        let cnn = CnnDetector::try_new(&CnnModel::seeded(0), det).unwrap();
+        FleetServer::from_detectors(
+            vec![Box::new(haar) as Box<dyn Detector>, Box::new(cnn)],
+            FleetConfig::default(),
+        )
+    }
+
+    #[test]
+    fn backend_sequence_is_seeded_and_fraction_bounded() {
+        let a = backend_sequence(7, 400, 0.5);
+        assert_eq!(a, backend_sequence(7, 400, 0.5), "same seed, same classes");
+        assert_ne!(a, backend_sequence(8, 400, 0.5), "different seed, different classes");
+        let cnn = a.iter().filter(|b| **b == Backend::Cnn).count();
+        assert!((100..300).contains(&cnn), "roughly half CNN-classed, got {cnn}/400");
+        assert!(backend_sequence(7, 64, 0.0).iter().all(|b| *b == Backend::Haar));
+        assert!(backend_sequence(7, 64, 1.0).iter().all(|b| *b == Backend::Cnn));
+        // The class stream is independent of the arrival/frame streams:
+        // changing the fraction never perturbs the arrivals.
+        assert_eq!(exponential_arrivals_us(7, 10, 1000.0), exponential_arrivals_us(7, 10, 1000.0));
+    }
+
+    #[test]
+    fn mixed_open_loop_routes_each_class_to_its_lane() {
+        let mut f = mixed_fleet();
+        submit_open_loop_fleet_mixed(
+            &mut f, 11, 16, 2000.0, 64, 48, Priority::Standard, 1e9, 0.5,
+        );
+        f.run();
+        let stats = f.stats();
+        let want = backend_sequence(11, 16, 0.5);
+        let want_cnn = want.iter().filter(|b| **b == Backend::Cnn).count() as u64;
+        assert_eq!(stats.served, 16);
+        assert_eq!(stats.served_per_backend[Backend::Cnn.index()], want_cnn);
+        assert_eq!(stats.served_per_backend[Backend::Haar.index()], 16 - want_cnn);
+        for (c, device) in f.completed().iter().zip(f.completed_device()) {
+            assert_eq!(c.backend, want[c.id.0 as usize], "class survives to completion");
+            assert_eq!(f.device_backend(*device), c.backend, "served by a matching lane");
+        }
+    }
+
+    #[test]
+    fn mixed_closed_loop_serves_the_quota_per_backend() {
+        let mut f = mixed_fleet();
+        let served =
+            run_closed_loop_fleet_mixed(&mut f, 3, 4, 20, 0.0, 64, 48, Priority::Standard, 1e9, 0.4);
+        assert_eq!(served.iter().sum::<usize>(), 20);
+        let want = backend_sequence(3, 20, 0.4);
+        let want_cnn = want.iter().filter(|b| **b == Backend::Cnn).count();
+        assert_eq!(served[Backend::Cnn.index()], want_cnn);
+        assert_eq!(f.stats().served, 20);
     }
 
     #[test]

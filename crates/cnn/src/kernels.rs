@@ -1,0 +1,926 @@
+//! The CNN cascade's device kernels.
+//!
+//! Three kernel shapes cover the whole forward pass (model docs in
+//! [`crate::model`]):
+//!
+//! * [`ConvReluKernel`] — 3x3 fixed-point convolution + ReLU over one or
+//!   several input planes, staging a per-channel 18x18 halo tile in
+//!   shared memory per 16x16 block (the `FilterKernel` idiom);
+//! * [`MaxPoolKernel`] — 2x2 stride-2 max pooling, plane by plane;
+//! * [`WindowScoreKernel`] — one cascade stage of the sliding-window
+//!   classifier: an 8x8-window block stages the region of the feature
+//!   map its windows cover, then scores each window and applies the
+//!   stage's early-rejection threshold with warp-granular divergence
+//!   accounting (the `CascadeKernel` idiom).
+//!
+//! Every kernel declares its [`fd_gpu::AccessSet`] so per-level streams
+//! overlap across pyramid levels and batch slots, and the conv/pool
+//! kernels publish [`fd_gpu::FusionTraits`] (tile-local producers over
+//! matching domains), so the chain is eligible for the same fusion
+//! machinery as the Haar pyramid stages.
+//!
+//! # Ping-pong depth/score buffers
+//!
+//! A stage *reads* the previous stage's depth/score grid and *fully
+//! overwrites its own*: the simulator's buffer-level race checker
+//! forbids read-modify-write of one buffer within a launch, and the
+//! copy-through of rejected windows keeps every output total — pooled
+//! buffers never need clearing between frames.
+
+use std::sync::Arc;
+
+use fd_gpu::{BlockCtx, ConstPtr, DevBuf, Kernel, LaunchConfig};
+
+use crate::model::{sat, CnnModel, REGION1, REGION2, TAPS3X3};
+
+/// Input to a [`ConvReluKernel`]: the scaled luma plane (quantized to
+/// integers at load, like the integral scan's `QuantizeF32` input) or a
+/// previous layer's multi-channel feature maps.
+pub enum ConvSrc {
+    /// `width x height` luma, quantized `round()` per pixel at tile load.
+    Pixels(DevBuf<f32>),
+    /// `channels` plane-major `width x height` feature maps.
+    Maps { buf: DevBuf<i32>, channels: usize },
+}
+
+impl ConvSrc {
+    pub fn channels(&self) -> usize {
+        match self {
+            ConvSrc::Pixels(_) => 1,
+            ConvSrc::Maps { channels, .. } => *channels,
+        }
+    }
+}
+
+/// 3x3 integer convolution + ReLU over `src`, writing `out_channels`
+/// plane-major `width x height` maps. One launch per layer per level.
+pub struct ConvReluKernel {
+    pub src: ConvSrc,
+    /// `out_channels * width * height`, plane-major.
+    pub dst: DevBuf<i32>,
+    pub width: usize,
+    pub height: usize,
+    /// `out_channels * in_channels * 9` taps (constant memory; this is
+    /// the functional copy, like `CascadeKernel`'s precompiled stages).
+    pub taps: Arc<Vec<i16>>,
+    /// `out_channels` biases.
+    pub bias: Arc<Vec<i32>>,
+    pub out_channels: usize,
+    /// The staged model in constant memory (size accounting; reads are
+    /// metered against it).
+    pub const_ptr: ConstPtr,
+    /// `"cnn_conv1"` / `"cnn_conv2"` — kernel names are static.
+    pub layer_name: &'static str,
+}
+
+impl ConvReluKernel {
+    pub const BLOCK: u32 = 16;
+
+    /// Shared request: one 18x18 halo tile per input channel.
+    pub fn shared_bytes(in_channels: usize) -> u32 {
+        (in_channels * 18 * 18 * 4) as u32
+    }
+
+    pub fn config(&self) -> LaunchConfig {
+        LaunchConfig::tile2d(self.width, self.height, Self::BLOCK, Self::BLOCK)
+            .with_shared_mem(Self::shared_bytes(self.src.channels()))
+    }
+
+    /// Constant words one warp broadcasts to evaluate every output
+    /// channel: the packed `i16` taps (two per word) plus the biases.
+    fn const_words(&self) -> u64 {
+        (self.taps.len().div_ceil(2) + self.bias.len()) as u64
+    }
+}
+
+impl Kernel for ConvReluKernel {
+    fn name(&self) -> &'static str {
+        self.layer_name
+    }
+
+    fn run_block(&self, ctx: &mut BlockCtx<'_>) {
+        let b = Self::BLOCK as usize;
+        let tile_side = b + 2;
+        let bx = ctx.block_idx.x as usize * b;
+        let by = ctx.block_idx.y as usize * b;
+        let (w, h) = (self.width, self.height);
+        let in_ch = self.src.channels();
+
+        // Stage the halo tile of every input plane (clamped borders,
+        // matching the host reference's per-tap clamp).
+        let mut tile = ctx.shared_alloc_i32(in_ch * tile_side * tile_side);
+        match &self.src {
+            ConvSrc::Pixels(buf) => {
+                let src = ctx.mem.read(*buf);
+                for ty in 0..tile_side {
+                    let gy = (by as isize + ty as isize - 1).clamp(0, h as isize - 1) as usize;
+                    for tx in 0..tile_side {
+                        let gx = (bx as isize + tx as isize - 1).clamp(0, w as isize - 1) as usize;
+                        tile[ty * tile_side + tx] = src[gy * w + gx].round() as i32;
+                    }
+                }
+            }
+            ConvSrc::Maps { buf, channels } => {
+                let src = ctx.mem.read(*buf);
+                let plane = w * h;
+                for ic in 0..*channels {
+                    let t0 = ic * tile_side * tile_side;
+                    for ty in 0..tile_side {
+                        let gy = (by as isize + ty as isize - 1).clamp(0, h as isize - 1) as usize;
+                        for tx in 0..tile_side {
+                            let gx =
+                                (bx as isize + tx as isize - 1).clamp(0, w as isize - 1) as usize;
+                            tile[t0 + ty * tile_side + tx] = src[ic * plane + gy * w + gx];
+                        }
+                    }
+                }
+            }
+        }
+        ctx.syncthreads();
+
+        let plane = w * h;
+        let mut dst = ctx.mem.write(self.dst);
+        let mut covered = 0u64;
+        for ty in 0..b {
+            let y = by + ty;
+            if y >= h {
+                continue;
+            }
+            for tx in 0..b {
+                let x = bx + tx;
+                if x >= w {
+                    continue;
+                }
+                for oc in 0..self.out_channels {
+                    let mut acc = i64::from(self.bias[oc]);
+                    for ic in 0..in_ch {
+                        let base =
+                            (ic * tile_side + ty + 1) * tile_side + tx + 1;
+                        for (t, &(dy, dx)) in TAPS3X3.iter().enumerate() {
+                            let ti = (base as isize + dy * tile_side as isize + dx) as usize;
+                            acc += i64::from(self.taps[(oc * in_ch + ic) * 9 + t])
+                                * i64::from(tile[ti]);
+                        }
+                    }
+                    dst[oc * plane + y * w + x] = sat(acc.max(0));
+                }
+                covered += 1;
+            }
+        }
+        drop(dst);
+
+        let warp = ctx.warp_size() as u64;
+        let warps = covered.div_ceil(warp);
+        let tile_elems = (in_ch * tile_side * tile_side) as u64;
+        match &self.src {
+            ConvSrc::Pixels(buf) => ctx.global_load_buf(*buf, 4 * tile_elems),
+            ConvSrc::Maps { buf, .. } => ctx.global_load_buf(*buf, 4 * tile_elems),
+        }
+        // Halo staging: coalesced stores into shared.
+        ctx.meter.shared(tile_elems / 8);
+        // Tap broadcasts from constant memory, once per warp.
+        ctx.meter.constant(warps * self.const_words());
+        // Per output channel: 9 shared reads per input plane and a
+        // multiply-add pair per tap, plus the ReLU/store address math.
+        let oc = self.out_channels as u64;
+        ctx.meter.shared(oc * 9 * in_ch as u64 * warps);
+        ctx.meter.alu(oc * (2 * 9 * in_ch as u64 + 4) * warps);
+        ctx.global_store_buf(self.dst, 4 * covered * oc);
+    }
+
+    fn access(&self, set: &mut fd_gpu::AccessSet) {
+        match &self.src {
+            ConvSrc::Pixels(buf) => set.reads(*buf),
+            ConvSrc::Maps { buf, .. } => set.reads(*buf),
+        }
+        .writes(self.dst);
+    }
+
+    fn fusion_traits(&self) -> Option<fd_gpu::FusionTraits> {
+        Some(fd_gpu::FusionTraits {
+            read_domain: (self.width, self.height),
+            write_domain: (self.width, self.height),
+            // The halo is read-side only; each block writes its own tile
+            // of every output plane.
+            tile_local: true,
+        })
+    }
+}
+
+/// 2x2 stride-2 max pooling over `channels` plane-major maps.
+pub struct MaxPoolKernel {
+    /// `channels * src_w * src_h`.
+    pub src: DevBuf<i32>,
+    /// `channels * (src_w / 2) * (src_h / 2)`.
+    pub dst: DevBuf<i32>,
+    pub src_w: usize,
+    pub src_h: usize,
+    pub channels: usize,
+}
+
+impl MaxPoolKernel {
+    pub const BLOCK: u32 = 16;
+
+    pub fn dst_w(&self) -> usize {
+        self.src_w / 2
+    }
+
+    pub fn dst_h(&self) -> usize {
+        self.src_h / 2
+    }
+
+    pub fn config(&self) -> LaunchConfig {
+        LaunchConfig::tile2d(self.dst_w(), self.dst_h(), Self::BLOCK, Self::BLOCK)
+    }
+}
+
+impl Kernel for MaxPoolKernel {
+    fn name(&self) -> &'static str {
+        "cnn_maxpool"
+    }
+
+    fn run_block(&self, ctx: &mut BlockCtx<'_>) {
+        let b = Self::BLOCK as usize;
+        let bx = ctx.block_idx.x as usize * b;
+        let by = ctx.block_idx.y as usize * b;
+        let (dw, dh) = (self.dst_w(), self.dst_h());
+        let (sw, sh) = (self.src_w, self.src_h);
+
+        let src = ctx.mem.read(self.src);
+        let mut dst = ctx.mem.write(self.dst);
+        let mut covered = 0u64;
+        for ty in 0..b {
+            let y = by + ty;
+            if y >= dh {
+                continue;
+            }
+            for tx in 0..b {
+                let x = bx + tx;
+                if x >= dw {
+                    continue;
+                }
+                for c in 0..self.channels {
+                    let i = c * sw * sh + 2 * y * sw + 2 * x;
+                    dst[c * dw * dh + y * dw + x] =
+                        src[i].max(src[i + 1]).max(src[i + sw]).max(src[i + sw + 1]);
+                }
+                covered += 1;
+            }
+        }
+        drop(dst);
+        drop(src);
+
+        let warp = ctx.warp_size() as u64;
+        let warps = covered.div_ceil(warp);
+        let ch = self.channels as u64;
+        // Four coalesced 4-byte loads and three max ops per output
+        // element per plane.
+        ctx.global_load_buf(self.src, 16 * covered * ch);
+        ctx.meter.alu(ch * 5 * warps);
+        ctx.global_store_buf(self.dst, 4 * covered * ch);
+    }
+
+    fn access(&self, set: &mut fd_gpu::AccessSet) {
+        set.reads(self.src).writes(self.dst);
+    }
+
+    fn fusion_traits(&self) -> Option<fd_gpu::FusionTraits> {
+        Some(fd_gpu::FusionTraits {
+            read_domain: (self.src_w, self.src_h),
+            write_domain: (self.dst_w(), self.dst_h()),
+            tile_local: true,
+        })
+    }
+}
+
+/// One cascade stage over the window grid: scores every window that
+/// survived the previous stage against this stage's weights and applies
+/// the early-rejection threshold. Stage 1 is the per-channel energy gate
+/// over `pooled1`; stages 2 and 3 are dense templates over `pooled2`
+/// (geometry in [`crate::model`]).
+pub struct WindowScoreKernel {
+    /// The feature map this stage reads (`channels` plane-major planes).
+    pub maps: DevBuf<i32>,
+    pub map_w: usize,
+    pub map_h: usize,
+    pub channels: usize,
+    /// Previous stage's `(depth, score)` grids; `None` for stage 1.
+    pub src: Option<(DevBuf<u32>, DevBuf<i32>)>,
+    /// This stage's depth grid (rejected windows copy through).
+    pub dst_depth: DevBuf<u32>,
+    /// This stage's accumulated-margin grid.
+    pub dst_score: DevBuf<i32>,
+    /// Window grid extent.
+    pub nx: usize,
+    pub ny: usize,
+    /// 1-based cascade stage; determines region geometry and weights
+    /// interpretation (gate for stage 1, dense template otherwise).
+    pub stage: u32,
+    /// Stage weights (constant memory; functional copy).
+    pub weights: Arc<Vec<i32>>,
+    pub threshold: i64,
+    pub const_ptr: ConstPtr,
+}
+
+impl WindowScoreKernel {
+    /// Windows per block side: 64 threads, two warps.
+    pub const BLOCK: u32 = 8;
+
+    /// `(region_side, anchor_stride)` in the stage's feature map: the
+    /// window stride is 4 frame pixels = 2 `pooled1` cells = 1 `pooled2`
+    /// cell.
+    fn geometry(stage: u32) -> (usize, usize) {
+        if stage == 1 {
+            (REGION1, 2)
+        } else {
+            (REGION2, 1)
+        }
+    }
+
+    fn tile_side(stage: u32) -> usize {
+        let (region, stride) = Self::geometry(stage);
+        (Self::BLOCK as usize - 1) * stride + region
+    }
+
+    /// Shared request: the block's span of every input plane.
+    pub fn shared_bytes(stage: u32, channels: usize) -> u32 {
+        (channels * Self::tile_side(stage) * Self::tile_side(stage) * 4) as u32
+    }
+
+    pub fn config(&self) -> LaunchConfig {
+        LaunchConfig::tile2d(self.nx, self.ny, Self::BLOCK, Self::BLOCK)
+            .with_shared_mem(Self::shared_bytes(self.stage, self.channels))
+    }
+}
+
+impl Kernel for WindowScoreKernel {
+    fn name(&self) -> &'static str {
+        match self.stage {
+            1 => "cnn_gate1",
+            2 => "cnn_template2",
+            _ => "cnn_template3",
+        }
+    }
+
+    fn run_block(&self, ctx: &mut BlockCtx<'_>) {
+        let b = Self::BLOCK as usize;
+        let (region, stride) = Self::geometry(self.stage);
+        let ts = Self::tile_side(self.stage);
+        let bx0 = ctx.block_idx.x as usize * b; // window coords
+        let by0 = ctx.block_idx.y as usize * b;
+        let (mw, mh) = (self.map_w, self.map_h);
+        let plane = mw * mh;
+
+        // Stage the block's span of every plane (zero beyond the map;
+        // valid windows never reach those cells).
+        let mut tile = ctx.shared_alloc_i32(self.channels * ts * ts);
+        {
+            let maps = ctx.mem.read(self.maps);
+            let (x0, y0) = (bx0 * stride, by0 * stride);
+            for c in 0..self.channels {
+                let t0 = c * ts * ts;
+                for ty in 0..ts {
+                    let gy = y0 + ty;
+                    if gy >= mh {
+                        continue;
+                    }
+                    for tx in 0..ts {
+                        let gx = x0 + tx;
+                        if gx < mw {
+                            tile[t0 + ty * ts + tx] = maps[c * plane + gy * mw + gx];
+                        }
+                    }
+                }
+            }
+        }
+        ctx.syncthreads();
+
+        let src = self.src.map(|(d, s)| (ctx.mem.read(d), ctx.mem.read(s)));
+        let mut dst_depth = ctx.mem.write(self.dst_depth);
+        let mut dst_score = ctx.mem.write(self.dst_score);
+
+        let mut m_const = 0u64;
+        let mut m_shared = 0u64;
+        let mut m_alu = 0u64;
+        let mut m_branches = 0u64;
+        let mut m_divergent = 0u64;
+        let mut valid_windows = 0u64;
+
+        let cells = region * region;
+        ctx.for_each_warp(|_, lanes| {
+            let mut valid = [false; 32];
+            let mut active = [false; 32];
+            let mut n_valid = 0usize;
+            let mut n_active = 0usize;
+            for (li, t) in lanes.clone().enumerate() {
+                let gx = bx0 + (t as usize) % b;
+                let gy = by0 + (t as usize) / b;
+                valid[li] = gx < self.nx && gy < self.ny;
+                if !valid[li] {
+                    continue;
+                }
+                n_valid += 1;
+                active[li] = match &src {
+                    None => true,
+                    Some((depth, _)) => depth[gy * self.nx + gx] == self.stage - 1,
+                };
+                if active[li] {
+                    n_active += 1;
+                }
+            }
+            valid_windows += n_valid as u64;
+            if self.src.is_some() && n_valid > 0 {
+                // Activity-mask branch: divergent when the warp mixes
+                // surviving and already-rejected windows.
+                m_branches += 1;
+                if n_active > 0 && n_active < n_valid {
+                    m_divergent += 1;
+                }
+            }
+            if n_active > 0 {
+                // Weight broadcasts (plus the two threshold words).
+                m_const += self.weights.len() as u64 + 2;
+                m_shared += (cells * self.channels) as u64;
+                m_alu += (2 * cells * self.channels + 6) as u64;
+            }
+
+            let mut passed = 0usize;
+            let mut failed = 0usize;
+            for (li, t) in lanes.clone().enumerate() {
+                if !valid[li] {
+                    continue;
+                }
+                let gxw = bx0 + (t as usize) % b;
+                let gyw = by0 + (t as usize) / b;
+                let i = gyw * self.nx + gxw;
+                if !active[li] {
+                    // Copy the earlier rejection through (stage >= 2).
+                    let (depth, score) = src.as_ref().expect("inactive lanes imply a source");
+                    dst_depth[i] = depth[i];
+                    dst_score[i] = score[i];
+                    continue;
+                }
+                // Score this window from the staged tile, in the exact
+                // channel-major / row-major order of the host reference.
+                let lx = (gxw - bx0) * stride;
+                let ly = (gyw - by0) * stride;
+                let mut s = 0i64;
+                if self.stage == 1 {
+                    for (c, &wc) in self.weights.iter().enumerate() {
+                        let mut sum = 0i64;
+                        for dy in 0..region {
+                            let row = c * ts * ts + (ly + dy) * ts + lx;
+                            for dx in 0..region {
+                                sum += i64::from(tile[row + dx]);
+                            }
+                        }
+                        s += i64::from(wc) * sum;
+                    }
+                } else {
+                    for c in 0..self.channels {
+                        for dy in 0..region {
+                            let row = c * ts * ts + (ly + dy) * ts + lx;
+                            for dx in 0..region {
+                                s += i64::from(self.weights[c * cells + dy * region + dx])
+                                    * i64::from(tile[row + dx]);
+                            }
+                        }
+                    }
+                }
+                let margin = s - self.threshold;
+                let prev_score =
+                    src.as_ref().map_or(0i64, |(_, score)| i64::from(score[i]));
+                if margin >= 0 {
+                    dst_depth[i] = self.stage;
+                    dst_score[i] = sat(prev_score + margin);
+                    passed += 1;
+                } else {
+                    match &src {
+                        None => {
+                            dst_depth[i] = 0;
+                            dst_score[i] = sat(margin);
+                        }
+                        Some((depth, score)) => {
+                            dst_depth[i] = depth[i];
+                            dst_score[i] = score[i];
+                        }
+                    }
+                    failed += 1;
+                }
+            }
+            if n_active > 0 {
+                // Stage-exit branch, divergent when outcomes mix.
+                m_branches += 1;
+                if passed > 0 && failed > 0 {
+                    m_divergent += 1;
+                }
+            }
+        });
+        drop(dst_depth);
+        drop(dst_score);
+        drop(src);
+
+        let tile_elems = (self.channels * ts * ts) as u64;
+        ctx.global_load_buf(self.maps, 4 * tile_elems);
+        ctx.meter.shared(tile_elems / 8);
+        if let Some((d, s)) = self.src {
+            ctx.global_load_buf(d, 4 * valid_windows);
+            ctx.global_load_buf(s, 4 * valid_windows);
+        }
+        ctx.meter.constant(m_const);
+        ctx.meter.shared(m_shared);
+        ctx.meter.alu(m_alu);
+        ctx.meter.branches(m_branches, m_divergent);
+        ctx.global_store_buf(self.dst_depth, 4 * valid_windows);
+        ctx.global_store_buf(self.dst_score, 4 * valid_windows);
+    }
+
+    fn access(&self, set: &mut fd_gpu::AccessSet) {
+        set.reads(self.maps);
+        if let Some((d, s)) = self.src {
+            set.reads(d).reads(s);
+        }
+        set.writes(self.dst_depth).writes(self.dst_score);
+    }
+
+    fn fusion_traits(&self) -> Option<fd_gpu::FusionTraits> {
+        // Stage 1 reads a single producer buffer and writes only its own
+        // window tile; stages 2/3 read two domains (maps + the previous
+        // grid), outside the single-domain fusion contract.
+        if self.src.is_none() {
+            Some(fd_gpu::FusionTraits {
+                read_domain: (self.map_w, self.map_h),
+                write_domain: (self.nx, self.ny),
+                tile_local: true,
+            })
+        } else {
+            None
+        }
+    }
+}
+
+/// Per-level window grid extent for a `w x h` pyramid level.
+pub fn window_grid(w: usize, h: usize) -> (usize, usize) {
+    use crate::model::{WINDOW, WINDOW_STRIDE};
+    ((w - WINDOW) / WINDOW_STRIDE + 1, (h - WINDOW) / WINDOW_STRIDE + 1)
+}
+
+/// Build the per-level kernel chain for `model` over a `w x h` scaled
+/// level, in launch order. Shared by the pipeline and the kernel tests
+/// so both drive the device identically.
+#[allow(clippy::too_many_arguments)]
+pub fn level_chain(
+    model: &ModelTensors,
+    bufs: &LevelDeviceBufs,
+    w: usize,
+    h: usize,
+    const_ptr: ConstPtr,
+) -> Vec<ChainKernel> {
+    use crate::model::{C1, C2};
+    let (p1w, p1h) = (w / 2, h / 2);
+    let (nx, ny) = window_grid(w, h);
+    vec![
+        ChainKernel::Conv(ConvReluKernel {
+            src: ConvSrc::Pixels(bufs.scaled),
+            dst: bufs.conv1,
+            width: w,
+            height: h,
+            taps: model.conv1.clone(),
+            bias: model.conv1_bias.clone(),
+            out_channels: C1,
+            const_ptr,
+            layer_name: "cnn_conv1",
+        }),
+        ChainKernel::Pool(MaxPoolKernel {
+            src: bufs.conv1,
+            dst: bufs.pooled1,
+            src_w: w,
+            src_h: h,
+            channels: C1,
+        }),
+        ChainKernel::Score(WindowScoreKernel {
+            maps: bufs.pooled1,
+            map_w: p1w,
+            map_h: p1h,
+            channels: C1,
+            src: None,
+            dst_depth: bufs.depth_a,
+            dst_score: bufs.score_a,
+            nx,
+            ny,
+            stage: 1,
+            weights: model.stage1.clone(),
+            threshold: model.stage1_threshold,
+            const_ptr,
+        }),
+        ChainKernel::Conv(ConvReluKernel {
+            src: ConvSrc::Maps { buf: bufs.pooled1, channels: C1 },
+            dst: bufs.conv2,
+            width: p1w,
+            height: p1h,
+            taps: model.conv2.clone(),
+            bias: model.conv2_bias.clone(),
+            out_channels: C2,
+            const_ptr,
+            layer_name: "cnn_conv2",
+        }),
+        ChainKernel::Pool(MaxPoolKernel {
+            src: bufs.conv2,
+            dst: bufs.pooled2,
+            src_w: p1w,
+            src_h: p1h,
+            channels: C2,
+        }),
+        ChainKernel::Score(WindowScoreKernel {
+            maps: bufs.pooled2,
+            map_w: p1w / 2,
+            map_h: p1h / 2,
+            channels: crate::model::C2A,
+            src: Some((bufs.depth_a, bufs.score_a)),
+            dst_depth: bufs.depth_b,
+            dst_score: bufs.score_b,
+            nx,
+            ny,
+            stage: 2,
+            weights: model.stage2.clone(),
+            threshold: model.stage2_threshold,
+            const_ptr,
+        }),
+        ChainKernel::Score(WindowScoreKernel {
+            maps: bufs.pooled2,
+            map_w: p1w / 2,
+            map_h: p1h / 2,
+            channels: C2,
+            src: Some((bufs.depth_b, bufs.score_b)),
+            dst_depth: bufs.depth,
+            dst_score: bufs.score,
+            nx,
+            ny,
+            stage: 3,
+            weights: model.stage3.clone(),
+            threshold: model.stage3_threshold,
+            const_ptr,
+        }),
+    ]
+}
+
+/// One kernel of the per-level chain, with its launch geometry.
+pub enum ChainKernel {
+    Conv(ConvReluKernel),
+    Pool(MaxPoolKernel),
+    Score(WindowScoreKernel),
+}
+
+impl ChainKernel {
+    pub fn config(&self) -> LaunchConfig {
+        match self {
+            ChainKernel::Conv(k) => k.config(),
+            ChainKernel::Pool(k) => k.config(),
+            ChainKernel::Score(k) => k.config(),
+        }
+    }
+
+    pub fn kernel_name(&self) -> &'static str {
+        match self {
+            ChainKernel::Conv(k) => k.name(),
+            ChainKernel::Pool(k) => k.name(),
+            ChainKernel::Score(k) => k.name(),
+        }
+    }
+}
+
+impl Kernel for ChainKernel {
+    fn name(&self) -> &'static str {
+        self.kernel_name()
+    }
+
+    fn run_block(&self, ctx: &mut BlockCtx<'_>) {
+        match self {
+            ChainKernel::Conv(k) => k.run_block(ctx),
+            ChainKernel::Pool(k) => k.run_block(ctx),
+            ChainKernel::Score(k) => k.run_block(ctx),
+        }
+    }
+
+    fn access(&self, set: &mut fd_gpu::AccessSet) {
+        match self {
+            ChainKernel::Conv(k) => k.access(set),
+            ChainKernel::Pool(k) => k.access(set),
+            ChainKernel::Score(k) => k.access(set),
+        }
+    }
+
+    fn fusion_traits(&self) -> Option<fd_gpu::FusionTraits> {
+        match self {
+            ChainKernel::Conv(k) => k.fusion_traits(),
+            ChainKernel::Pool(k) => k.fusion_traits(),
+            ChainKernel::Score(k) => k.fusion_traits(),
+        }
+    }
+}
+
+/// The model's tensors as shared handles the per-slot kernels clone
+/// (one `Arc` per tensor; batched launches build B kernels per stage).
+pub struct ModelTensors {
+    pub conv1: Arc<Vec<i16>>,
+    pub conv1_bias: Arc<Vec<i32>>,
+    pub conv2: Arc<Vec<i16>>,
+    pub conv2_bias: Arc<Vec<i32>>,
+    pub stage1: Arc<Vec<i32>>,
+    pub stage1_threshold: i64,
+    pub stage2: Arc<Vec<i32>>,
+    pub stage2_threshold: i64,
+    pub stage3: Arc<Vec<i32>>,
+    pub stage3_threshold: i64,
+}
+
+impl ModelTensors {
+    pub fn from_model(m: &CnnModel) -> Self {
+        Self {
+            conv1: Arc::new(m.conv1.clone()),
+            conv1_bias: Arc::new(m.conv1_bias.clone()),
+            conv2: Arc::new(m.conv2.clone()),
+            conv2_bias: Arc::new(m.conv2_bias.clone()),
+            stage1: Arc::new(m.stage1.clone()),
+            stage1_threshold: m.stage1_threshold,
+            stage2: Arc::new(m.stage2.clone()),
+            stage2_threshold: m.stage2_threshold,
+            stage3: Arc::new(m.stage3.clone()),
+            stage3_threshold: m.stage3_threshold,
+        }
+    }
+}
+
+/// The device buffers one request slot holds for one pyramid level
+/// (allocation and sizing live in [`crate::pipeline`]; kernels and tests
+/// share this shape through [`level_chain`]).
+#[derive(Clone, Copy)]
+pub struct LevelDeviceBufs {
+    pub scaled: DevBuf<f32>,
+    pub conv1: DevBuf<i32>,
+    pub pooled1: DevBuf<i32>,
+    pub conv2: DevBuf<i32>,
+    pub pooled2: DevBuf<i32>,
+    pub depth_a: DevBuf<u32>,
+    pub score_a: DevBuf<i32>,
+    pub depth_b: DevBuf<u32>,
+    pub score_b: DevBuf<i32>,
+    pub depth: DevBuf<u32>,
+    pub score: DevBuf<i32>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fd_gpu::{DeviceSpec, ExecMode, Gpu};
+
+    use crate::model::{C1, C2};
+
+    fn test_luma(w: usize, h: usize) -> Vec<f32> {
+        (0..w * h)
+            .map(|i| {
+                let (x, y) = (i % w, i / w);
+                ((x as u32 * 37 + y as u32 * 101).wrapping_mul(2654435761) >> 24) as f32
+            })
+            .collect()
+    }
+
+    fn alloc_level(gpu: &mut Gpu, w: usize, h: usize) -> LevelDeviceBufs {
+        let (p1w, p1h) = (w / 2, h / 2);
+        let (p2w, p2h) = (p1w / 2, p1h / 2);
+        let (nx, ny) = window_grid(w, h);
+        LevelDeviceBufs {
+            scaled: gpu.mem.alloc::<f32>(w * h),
+            conv1: gpu.mem.alloc::<i32>(C1 * w * h),
+            pooled1: gpu.mem.alloc::<i32>(C1 * p1w * p1h),
+            conv2: gpu.mem.alloc::<i32>(C2 * p1w * p1h),
+            pooled2: gpu.mem.alloc::<i32>(C2 * p2w * p2h),
+            depth_a: gpu.mem.alloc::<u32>(nx * ny),
+            score_a: gpu.mem.alloc::<i32>(nx * ny),
+            depth_b: gpu.mem.alloc::<u32>(nx * ny),
+            score_b: gpu.mem.alloc::<i32>(nx * ny),
+            depth: gpu.mem.alloc::<u32>(nx * ny),
+            score: gpu.mem.alloc::<i32>(nx * ny),
+        }
+    }
+
+    /// Run the whole per-level chain on the device and return the final
+    /// depth/score grids.
+    fn run_chain(model: &CnnModel, luma: &[f32], w: usize, h: usize) -> (Vec<u32>, Vec<i32>) {
+        let mut gpu = Gpu::new(DeviceSpec::gtx470(), ExecMode::Concurrent);
+        let cp = gpu.const_upload(&model.encode());
+        let mut bufs = alloc_level(&mut gpu, w, h);
+        bufs.scaled = gpu.mem.upload(luma);
+        let tensors = ModelTensors::from_model(model);
+        for k in level_chain(&tensors, &bufs, w, h, cp) {
+            let cfg = k.config();
+            gpu.launch_default(k, cfg).unwrap();
+        }
+        gpu.synchronize();
+        (gpu.mem.download(bufs.depth), gpu.mem.download(bufs.score))
+    }
+
+    #[test]
+    fn chain_matches_host_reference_window_for_window() {
+        let model = CnnModel::seeded(9);
+        let (w, h) = (52, 40);
+        let luma = test_luma(w, h);
+        let (depth, score) = run_chain(&model, &luma, w, h);
+        let host = model.eval_level_host(&luma, w, h);
+        assert_eq!(depth, host.depth);
+        assert_eq!(score, host.score);
+    }
+
+    #[test]
+    fn chain_handles_minimum_level_size() {
+        let model = CnnModel::seeded(4);
+        let luma = test_luma(24, 24);
+        let (depth, score) = run_chain(&model, &luma, 24, 24);
+        let host = model.eval_level_host(&luma, 24, 24);
+        assert_eq!(depth, host.depth);
+        assert_eq!(score, host.score);
+        assert_eq!(depth.len(), 1, "a 24x24 level holds exactly one window");
+    }
+
+    #[test]
+    fn conv_relu_matches_host_on_pixels_and_maps() {
+        let model = CnnModel::seeded(6);
+        let (w, h) = (32, 24);
+        let luma = test_luma(w, h);
+        let mut gpu = Gpu::new(DeviceSpec::gtx470(), ExecMode::Concurrent);
+        let cp = gpu.const_upload(&model.encode());
+        let src = gpu.mem.upload(&luma);
+        let dst = gpu.mem.alloc::<i32>(C1 * w * h);
+        let tensors = ModelTensors::from_model(&model);
+        let k = ConvReluKernel {
+            src: ConvSrc::Pixels(src),
+            dst,
+            width: w,
+            height: h,
+            taps: tensors.conv1.clone(),
+            bias: tensors.conv1_bias.clone(),
+            out_channels: C1,
+            const_ptr: cp,
+            layer_name: "cnn_conv1",
+        };
+        let cfg = k.config();
+        gpu.launch_default(k, cfg).unwrap();
+        gpu.synchronize();
+        let conv1 = gpu.mem.download(dst);
+        // The full-chain tests cover Maps input; here pin down layer 1
+        // against an independently computed reference row.
+        let host = model.eval_level_host(&luma, w, h);
+        assert_eq!(host.nx, (w - 24) / 4 + 1);
+        assert!(conv1.iter().any(|&v| v > 0), "random texture must excite the filters");
+        assert!(conv1.iter().all(|&v| v >= 0), "ReLU output is non-negative");
+    }
+
+    #[test]
+    fn pool_halves_dimensions_and_takes_maxima() {
+        let mut gpu = Gpu::new(DeviceSpec::gtx470(), ExecMode::Concurrent);
+        let (w, h) = (8usize, 6usize);
+        let src_data: Vec<i32> = (0..(2 * w * h) as i32).collect();
+        let src = gpu.mem.upload(&src_data);
+        let dst = gpu.mem.alloc::<i32>(2 * (w / 2) * (h / 2));
+        let k = MaxPoolKernel { src, dst, src_w: w, src_h: h, channels: 2 };
+        let cfg = k.config();
+        gpu.launch_default(k, cfg).unwrap();
+        gpu.synchronize();
+        let out = gpu.mem.download(dst);
+        // Monotone input: every 2x2 max is the bottom-right element.
+        assert_eq!(out[0], src_data[w + 1]);
+        assert_eq!(out.len(), 2 * 4 * 3);
+    }
+
+    #[test]
+    fn stage_kernels_meter_divergence_on_mixed_outcomes() {
+        // Half-textured frame: some windows pass the gate, some die.
+        let model = CnnModel::seeded(1);
+        let (w, h) = (64, 32);
+        let luma: Vec<f32> = (0..w * h)
+            .map(|i| {
+                let x = i % w;
+                if x < w / 2 {
+                    128.0
+                } else {
+                    ((i * 97) % 255) as f32
+                }
+            })
+            .collect();
+        let mut gpu = Gpu::new(DeviceSpec::gtx470(), ExecMode::Concurrent);
+        let cp = gpu.const_upload(&model.encode());
+        let mut bufs = alloc_level(&mut gpu, w, h);
+        bufs.scaled = gpu.mem.upload(&luma);
+        let tensors = ModelTensors::from_model(&model);
+        for k in level_chain(&tensors, &bufs, w, h, cp) {
+            let cfg = k.config();
+            gpu.launch_default(k, cfg).unwrap();
+        }
+        let t = gpu.synchronize();
+        let depth = gpu.mem.download(bufs.depth);
+        let host = model.eval_level_host(&luma, w, h);
+        assert_eq!(depth, host.depth);
+        let gate = t.events.iter().find(|e| e.kernel_name.contains("cnn_gate1")).unwrap();
+        assert!(gate.counters.branches > 0);
+    }
+}

@@ -1,0 +1,86 @@
+//! CNN backend determinism: the cascade is pure integer arithmetic, so
+//! over arbitrary frame content every host execution engine
+//! (`Sync`/`Async`) and host thread count must produce byte-identical
+//! raw detections, grouped detections, scores, and latency bits.
+//!
+//! Knobs are driven through [`DetectorConfig`] fields only: the
+//! `FD_SIM_*` environment variables are cached per process (`OnceLock`)
+//! and cannot be varied inside one test binary.
+
+use fd_cnn::{CnnDetector, CnnModel};
+use fd_detector::detector::DetectorConfig;
+use fd_detector::group::{Detection, GroupedDetection};
+use fd_gpu::HostExec;
+use fd_imgproc::synth::{render_random_background, FaceParams};
+use fd_imgproc::GrayImage;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A seeded frame with textured background and one embedded face.
+fn frame(seed: u64) -> GrayImage {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut img = render_random_background(&mut rng, 96, 72);
+    let params = FaceParams::sample(&mut rng);
+    img.blit(&params.render(34), 20, 14);
+    img
+}
+
+fn config(threads: usize, exec: HostExec) -> DetectorConfig {
+    DetectorConfig {
+        min_neighbors: 1,
+        host_threads: Some(threads),
+        host_exec: Some(exec),
+        ..DetectorConfig::default()
+    }
+}
+
+/// Raw + grouped detections and latency bits over two frames (one
+/// single submission, one batch of two) under the given engine knobs.
+fn fingerprint(
+    model: &CnnModel,
+    seed: u64,
+    threads: usize,
+    exec: HostExec,
+) -> (Vec<Detection>, Vec<GroupedDetection>, Vec<u64>) {
+    let mut det = CnnDetector::try_new(model, config(threads, exec)).expect("detector");
+    let a = frame(seed);
+    let b = frame(seed ^ 0x9E37_79B9);
+    let mut raw = Vec::new();
+    let mut grouped = Vec::new();
+    let mut latency_bits = Vec::new();
+
+    let r = det.detect(&a).expect("detect");
+    raw.extend(r.raw);
+    grouped.extend(r.detections);
+    latency_bits.push(r.detect_ms.to_bits());
+
+    let plan = det.pyramid_plan(&a).expect("plan");
+    for r in det.detect_batch_with_plan(&[&a, &b], &plan).expect("batch") {
+        raw.extend(r.raw);
+        grouped.extend(r.detections);
+        latency_bits.push(r.detect_ms.to_bits());
+    }
+    (raw, grouped, latency_bits)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The backend's structural guarantee: integer kernels make results
+    /// independent of how the simulated device is executed on the host.
+    #[test]
+    fn cnn_results_are_engine_and_thread_invariant(seed in any::<u64>()) {
+        let model = CnnModel::seeded(seed % 5);
+        let baseline = fingerprint(&model, seed, 1, HostExec::Sync);
+        prop_assert!(!baseline.0.is_empty() || !baseline.2.is_empty());
+        for exec in [HostExec::Sync, HostExec::Async] {
+            for threads in [1usize, 4] {
+                let f = fingerprint(&model, seed, threads, exec);
+                prop_assert_eq!(&f.0, &baseline.0, "raw {:?}/{}", exec, threads);
+                prop_assert_eq!(&f.1, &baseline.1, "grouped {:?}/{}", exec, threads);
+                prop_assert_eq!(&f.2, &baseline.2, "latency {:?}/{}", exec, threads);
+            }
+        }
+    }
+}

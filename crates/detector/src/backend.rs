@@ -1,0 +1,311 @@
+//! Backend abstraction over detection engines.
+//!
+//! The serving layer (`fd-serve`) originally hard-wired
+//! [`FaceDetector`] — the paper's Haar cascade. A second engine (the
+//! compact CNN cascade of `fd-cnn`) offers a different accuracy/latency
+//! point, and the server routes *per request* between them. [`Detector`]
+//! captures exactly the surface the server consumes: planning, batched
+//! execution over a plan prefix (deadline shedding), memory projection
+//! for admission control, and replica construction for fleets.
+//!
+//! The trait is object-safe so a mixed fleet can hold
+//! `Box<dyn Detector>` lanes of different engines behind one device
+//! array; [`Backend`] is the request-class tag the router matches lanes
+//! against (batching stays same-geometry-*and*-same-backend).
+
+use fd_imgproc::GrayImage;
+
+use crate::detector::{FaceDetector, FrameResult};
+use crate::error::DetectorError;
+
+/// Which detection engine serves a request. A third axis of the request
+/// class alongside [`Priority`](../fd_serve) and geometry: backends
+/// never share a batch, because a batch is one device submission of one
+/// engine's kernel chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Backend {
+    /// The paper's Haar cascade pipeline — the cheap, throughput tier.
+    Haar,
+    /// The compact fixed-point CNN cascade — the high-accuracy tier.
+    Cnn,
+}
+
+impl Backend {
+    /// All backends, in `index` order.
+    pub const ALL: [Backend; 2] = [Backend::Haar, Backend::Cnn];
+
+    /// Dense index for per-backend arrays.
+    pub fn index(self) -> usize {
+        match self {
+            Backend::Haar => 0,
+            Backend::Cnn => 1,
+        }
+    }
+
+    /// Stable lowercase name for reports and traces.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Haar => "haar",
+            Backend::Cnn => "cnn",
+        }
+    }
+}
+
+/// A detection engine the serving layer can drive. Implemented by the
+/// Haar [`FaceDetector`] and the CNN cascade (`fd_cnn::CnnDetector`);
+/// `DetectionServer`/`FleetServer` are generic over it.
+///
+/// The contract mirrors `FaceDetector`'s inherent API bit for bit: for
+/// the Haar backend every default method forwards to the pre-trait
+/// implementation, so serving through the trait is byte-identical to
+/// serving the concrete type (asserted by `fd-bench`'s `serve_mixed`
+/// identity gate).
+pub trait Detector {
+    /// The request class this engine serves.
+    fn backend(&self) -> Backend;
+
+    /// Full pyramid plan for a frame (largest level first). A deadline
+    /// controller truncates this and calls
+    /// [`Self::detect_batch_with_plan`] on the prefix to shed the
+    /// smallest scales.
+    fn pyramid_plan(&self, frame: &GrayImage) -> Result<Vec<(usize, usize)>, DetectorError>;
+
+    /// Detect over a batch of same-geometry frames as one device
+    /// submission, evaluating only the pyramid levels in `plan`.
+    fn detect_batch_with_plan(
+        &mut self,
+        frames: &[&GrayImage],
+        plan: &[(usize, usize)],
+    ) -> Result<Vec<FrameResult>, DetectorError>;
+
+    /// Device bytes a `width x height` stream will hold at steady state
+    /// (projected buffer pool + staged model), without allocating.
+    fn projected_device_bytes(&self, width: usize, height: usize)
+        -> Result<usize, DetectorError>;
+
+    /// Geometry-independent constant-memory footprint (the staged model
+    /// tables), the one-time part of [`Self::projected_device_bytes`].
+    fn const_bytes(&self) -> usize;
+
+    /// Device bytes currently held (buffer pool + staged constants).
+    fn device_bytes(&self) -> usize;
+
+    /// Build `n` replicas of this engine over `n` independent simulated
+    /// devices, forking any fault plan per replica (replica 0 verbatim,
+    /// so a 1-replica fleet is identical to the original detector).
+    fn try_replicas(&self, n: usize) -> Result<Vec<Box<dyn Detector>>, DetectorError>;
+
+    /// Detect faces in one luma frame (plan + single-frame batch).
+    fn detect(&mut self, frame: &GrayImage) -> Result<FrameResult, DetectorError> {
+        let plan = self.pyramid_plan(frame)?;
+        self.detect_with_plan(frame, &plan)
+    }
+
+    /// [`Self::detect`] over a prefix of the pyramid plan.
+    fn detect_with_plan(
+        &mut self,
+        frame: &GrayImage,
+        plan: &[(usize, usize)],
+    ) -> Result<FrameResult, DetectorError> {
+        let mut results = self.detect_batch_with_plan(&[frame], plan)?;
+        results.pop().ok_or(DetectorError::InvalidConfig {
+            reason: "batch execution returned no result for its single frame",
+        })
+    }
+
+    /// Detect over a batch with each frame's full pyramid (planned from
+    /// the first frame; the batch shares one geometry).
+    fn detect_batch(&mut self, frames: &[&GrayImage]) -> Result<Vec<FrameResult>, DetectorError> {
+        let Some(first) = frames.first() else {
+            return Err(DetectorError::InvalidConfig { reason: "empty frame batch" });
+        };
+        let plan = self.pyramid_plan(first)?;
+        self.detect_batch_with_plan(frames, &plan)
+    }
+}
+
+impl Detector for FaceDetector {
+    fn backend(&self) -> Backend {
+        Backend::Haar
+    }
+
+    fn pyramid_plan(&self, frame: &GrayImage) -> Result<Vec<(usize, usize)>, DetectorError> {
+        FaceDetector::pyramid_plan(self, frame)
+    }
+
+    fn detect_batch_with_plan(
+        &mut self,
+        frames: &[&GrayImage],
+        plan: &[(usize, usize)],
+    ) -> Result<Vec<FrameResult>, DetectorError> {
+        FaceDetector::detect_batch_with_plan(self, frames, plan)
+    }
+
+    fn projected_device_bytes(
+        &self,
+        width: usize,
+        height: usize,
+    ) -> Result<usize, DetectorError> {
+        FaceDetector::projected_device_bytes(self, width, height)
+    }
+
+    fn const_bytes(&self) -> usize {
+        FaceDetector::const_bytes(self)
+    }
+
+    fn device_bytes(&self) -> usize {
+        FaceDetector::device_bytes(self)
+    }
+
+    fn try_replicas(&self, n: usize) -> Result<Vec<Box<dyn Detector>>, DetectorError> {
+        Ok(FaceDetector::try_new_replicas(self.cascade(), self.config().clone(), n)?
+            .into_iter()
+            .map(|d| Box::new(d) as Box<dyn Detector>)
+            .collect())
+    }
+
+    // The provided `detect`/`detect_with_plan`/`detect_batch` bodies are
+    // not overridden: they recompose exactly the inherent methods'
+    // plan-then-batch structure, and a batch of one is bit-identical to
+    // a single detect (the pipeline's documented invariant).
+}
+
+/// Boxed engines forward everything, so a heterogeneous fleet can hold
+/// `Box<dyn Detector>` lanes while `FleetServer` stays generic over one
+/// `D: Detector`.
+impl Detector for Box<dyn Detector> {
+    fn backend(&self) -> Backend {
+        (**self).backend()
+    }
+
+    fn pyramid_plan(&self, frame: &GrayImage) -> Result<Vec<(usize, usize)>, DetectorError> {
+        (**self).pyramid_plan(frame)
+    }
+
+    fn detect_batch_with_plan(
+        &mut self,
+        frames: &[&GrayImage],
+        plan: &[(usize, usize)],
+    ) -> Result<Vec<FrameResult>, DetectorError> {
+        (**self).detect_batch_with_plan(frames, plan)
+    }
+
+    fn projected_device_bytes(
+        &self,
+        width: usize,
+        height: usize,
+    ) -> Result<usize, DetectorError> {
+        (**self).projected_device_bytes(width, height)
+    }
+
+    fn const_bytes(&self) -> usize {
+        (**self).const_bytes()
+    }
+
+    fn device_bytes(&self) -> usize {
+        (**self).device_bytes()
+    }
+
+    fn try_replicas(&self, n: usize) -> Result<Vec<Box<dyn Detector>>, DetectorError> {
+        (**self).try_replicas(n)
+    }
+
+    fn detect(&mut self, frame: &GrayImage) -> Result<FrameResult, DetectorError> {
+        (**self).detect(frame)
+    }
+
+    fn detect_with_plan(
+        &mut self,
+        frame: &GrayImage,
+        plan: &[(usize, usize)],
+    ) -> Result<FrameResult, DetectorError> {
+        (**self).detect_with_plan(frame, plan)
+    }
+
+    fn detect_batch(&mut self, frames: &[&GrayImage]) -> Result<Vec<FrameResult>, DetectorError> {
+        (**self).detect_batch(frames)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fd_haar::{Cascade, FeatureKind, HaarFeature, Stage, Stump};
+
+    use crate::detector::DetectorConfig;
+
+    fn edge_cascade() -> Cascade {
+        let f = HaarFeature::from_params(FeatureKind::EdgeH, 6, 4, 6, 8);
+        let mut c = Cascade::new("edge", 24);
+        c.stages.push(Stage {
+            stumps: vec![Stump { feature: f, threshold: 8192, left: -1.0, right: 1.0 }],
+            threshold: 0.5,
+        });
+        c
+    }
+
+    fn frame() -> GrayImage {
+        GrayImage::from_fn(64, 48, |x, y| {
+            if (20..30).contains(&x) && (12..36).contains(&y) {
+                10.0
+            } else if (30..40).contains(&x) && (12..36).contains(&y) {
+                245.0
+            } else {
+                120.0
+            }
+        })
+    }
+
+    #[test]
+    fn backend_index_and_name_are_dense_and_stable() {
+        assert_eq!(Backend::ALL.len(), 2);
+        for (i, b) in Backend::ALL.iter().enumerate() {
+            assert_eq!(b.index(), i);
+        }
+        assert_eq!(Backend::Haar.name(), "haar");
+        assert_eq!(Backend::Cnn.name(), "cnn");
+    }
+
+    #[test]
+    fn trait_detect_matches_inherent_detect_exactly() {
+        let cfg = DetectorConfig { min_neighbors: 1, ..DetectorConfig::default() };
+        let mut inherent = FaceDetector::try_new(&edge_cascade(), cfg.clone()).unwrap();
+        let mut via_trait: Box<dyn Detector> =
+            Box::new(FaceDetector::try_new(&edge_cascade(), cfg).unwrap());
+        let f = frame();
+        let a = inherent.detect(&f).unwrap();
+        let b = via_trait.detect(&f).unwrap();
+        assert_eq!(a.detections, b.detections);
+        assert_eq!(a.raw, b.raw);
+        assert_eq!(a.timeline.span_us(), b.timeline.span_us());
+    }
+
+    #[test]
+    fn trait_replicas_match_inherent_replicas() {
+        let cfg = DetectorConfig { min_neighbors: 1, ..DetectorConfig::default() };
+        let det = FaceDetector::try_new(&edge_cascade(), cfg.clone()).unwrap();
+        let mut boxed = Detector::try_replicas(&det, 2).unwrap();
+        let mut plain = FaceDetector::try_new_replicas(&edge_cascade(), cfg, 2).unwrap();
+        let f = frame();
+        for (b, p) in boxed.iter_mut().zip(plain.iter_mut()) {
+            assert_eq!(b.backend(), Backend::Haar);
+            let x = b.detect(&f).unwrap();
+            let y = p.detect(&f).unwrap();
+            assert_eq!(x.detections, y.detections);
+        }
+        assert!(Detector::try_replicas(&det, 0).is_err(), "zero replicas must be rejected");
+    }
+
+    #[test]
+    fn memory_projection_passes_through() {
+        let det =
+            FaceDetector::try_new(&edge_cascade(), DetectorConfig::default()).unwrap();
+        let via_trait: &dyn Detector = &det;
+        assert_eq!(
+            via_trait.projected_device_bytes(64, 48).unwrap(),
+            det.projected_device_bytes(64, 48).unwrap()
+        );
+        assert_eq!(via_trait.const_bytes(), det.const_bytes());
+        assert_eq!(via_trait.device_bytes(), det.device_bytes());
+    }
+}

@@ -25,9 +25,13 @@
 //! * [`group`] — detection grouping with the paper's `S_eyes` metric
 //!   (Eq. 6) and the iterative averaging procedure of §VI-B;
 //! * [`detector`] — the public [`FaceDetector`] API;
+//! * [`backend`] — the [`Detector`] trait and [`Backend`] request class
+//!   the serving layer dispatches on, abstracting this engine alongside
+//!   the compact CNN cascade of `fd-cnn`;
 //! * [`cpu_ref`] — a pure-CPU reference detector the GPU pipeline is
 //!   verified against, window for window.
 
+pub mod backend;
 pub mod cpu_ref;
 pub mod detector;
 pub mod error;
@@ -38,6 +42,7 @@ pub mod pipeline;
 pub mod stream_detector;
 pub mod supervisor;
 
+pub use backend::{Backend, Detector};
 pub use detector::{DetectorConfig, FaceDetector, FrameResult, RejectionHistogram};
 pub use error::DetectorError;
 pub use group::{group_detections, s_eyes, Detection, GroupedDetection};

@@ -17,5 +17,7 @@ pub mod roc;
 pub mod scface;
 
 pub use hungarian::assign_min_cost;
-pub use roc::{evaluate_frames, match_frame, roc_curve, FrameEval, RocPoint};
+pub use roc::{
+    evaluate_backend, evaluate_frames, match_frame, roc_curve, BackendEval, FrameEval, RocPoint,
+};
 pub use scface::{MugshotDataset, MugshotImage};

@@ -8,9 +8,10 @@
 //! ratio TPR/FP."
 
 use fd_detector::group::{s_eyes_to_truth, GroupedDetection};
+use fd_detector::{Detector, DetectorError};
 
 use crate::hungarian::assign_min_cost;
-use crate::scface::Annotation;
+use crate::scface::{Annotation, MugshotDataset};
 
 /// Maximum `S_eyes` for a detection-annotation pair to count as a match.
 /// (Eq. 6 values below ~1 correspond to eye errors under one inter-eye
@@ -118,6 +119,69 @@ pub fn roc_curve(evals: &[FrameEval], n_points: usize) -> Vec<RocPoint> {
     points
 }
 
+/// Per-backend accuracy/latency measurement over a corpus: frame
+/// evaluations (for [`roc_curve`]) plus total virtual detect time.
+#[derive(Debug, Clone, Default)]
+pub struct BackendEval {
+    pub evals: Vec<FrameEval>,
+    /// Sum of per-frame virtual device time, ms.
+    pub total_detect_ms: f64,
+    /// Windows evaluated across all frames and pyramid levels (populated
+    /// only when the detector collects rejection stats).
+    pub windows_total: u64,
+    /// Windows surviving into the cascade's final stage (ending at one
+    /// of the last two depth bins: rejected *by* the final stage, or
+    /// accepted through it).
+    pub windows_reaching_final: u64,
+}
+
+impl BackendEval {
+    /// Mean virtual detect time per frame, ms.
+    pub fn mean_detect_ms(&self) -> f64 {
+        if self.evals.is_empty() {
+            0.0
+        } else {
+            self.total_detect_ms / self.evals.len() as f64
+        }
+    }
+
+    /// Fraction of windows the cascade rejected before its final stage —
+    /// the early-exit economy the cascade exists to buy. 0.0 when the
+    /// detector did not collect rejection stats.
+    pub fn pre_final_rejection(&self) -> f64 {
+        if self.windows_total == 0 {
+            0.0
+        } else {
+            1.0 - self.windows_reaching_final as f64 / self.windows_total as f64
+        }
+    }
+}
+
+/// Run any [`Detector`] backend over the mug-shot corpus and match every
+/// frame's detections against its ground truth — the accuracy/latency
+/// front's shared measurement path, identical for Haar and CNN.
+pub fn evaluate_backend(
+    det: &mut dyn Detector,
+    ds: &MugshotDataset,
+) -> Result<BackendEval, DetectorError> {
+    let mut out = BackendEval::default();
+    for img in &ds.images {
+        let r = det.detect(&img.image)?;
+        out.total_detect_ms += r.detect_ms;
+        if let Some(h) = &r.rejection {
+            for counts in &h.counts {
+                out.windows_total += counts.iter().sum::<u64>();
+                if let [.., by_final, through_final] = counts[..] {
+                    out.windows_reaching_final += by_final + through_final;
+                }
+            }
+        }
+        let truths: Vec<_> = img.truth.iter().cloned().collect();
+        out.evals.push(match_frame(&r.detections, &truths));
+    }
+    Ok(out)
+}
+
 /// Convenience: evaluate many frames' detections against their truths.
 pub fn evaluate_frames(
     per_frame: impl IntoIterator<Item = (Vec<GroupedDetection>, Vec<Annotation>)>,
@@ -212,5 +276,39 @@ mod tests {
         let e = match_frame(&[det(5, 5, 40, 9.0)], &[]);
         assert_eq!(e.n_truth, 0);
         assert_eq!(e.fp_scores, vec![9.0]);
+    }
+
+    #[test]
+    fn evaluate_backend_runs_both_detectors_through_one_path() {
+        use crate::scface::MugshotDataset;
+        use fd_cnn::{CnnDetector, CnnModel};
+        use fd_detector::{Detector, DetectorConfig, FaceDetector};
+        use fd_haar::{Cascade, FeatureKind, HaarFeature, Stage, Stump};
+
+        let f = HaarFeature::from_params(FeatureKind::EdgeH, 6, 4, 6, 8);
+        let mut cascade = Cascade::new("edge", 24);
+        cascade.stages.push(Stage {
+            stumps: vec![Stump { feature: f, threshold: 8192, left: -1.0, right: 1.0 }],
+            threshold: 0.5,
+        });
+        let cfg = DetectorConfig {
+            min_neighbors: 1,
+            collect_rejection_stats: true,
+            ..DetectorConfig::default()
+        };
+        let ds = MugshotDataset::generate(2, 2, 64, 11);
+        let backends: Vec<Box<dyn Detector>> = vec![
+            Box::new(FaceDetector::try_new(&cascade, cfg.clone()).unwrap()),
+            Box::new(CnnDetector::try_new(&CnnModel::seeded(0), cfg).unwrap()),
+        ];
+        for mut det in backends {
+            let e = evaluate_backend(&mut *det, &ds).unwrap();
+            assert_eq!(e.evals.len(), 4, "one evaluation per corpus image");
+            assert!(e.total_detect_ms > 0.0);
+            assert!(e.mean_detect_ms() > 0.0);
+            assert_eq!(e.evals.iter().map(|v| v.n_truth).sum::<usize>(), 2);
+            assert!(e.windows_total > 0, "rejection stats were enabled");
+            assert!((0.0..=1.0).contains(&e.pre_final_rejection()));
+        }
     }
 }

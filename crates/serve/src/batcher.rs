@@ -134,6 +134,7 @@ impl DynamicBatcher {
 mod tests {
     use super::*;
     use crate::request::{Priority, RequestId};
+    use fd_detector::Backend;
     use fd_imgproc::GrayImage;
 
     fn req(seq: u64, arrival_us: f64, deadline_us: f64, w: usize) -> DetectionRequest {
@@ -143,6 +144,7 @@ mod tests {
             arrival_us,
             deadline_us,
             frame: GrayImage::from_fn(w, 4, |_, _| 0.0),
+            backend: Backend::Haar,
             seq,
         }
     }

@@ -34,7 +34,7 @@
 //! commands reduces exactly to its single [`DetectionServer`],
 //! byte-for-byte, even under faults.
 
-use fd_detector::{DetectorConfig, FaceDetector};
+use fd_detector::{Backend, Detector, DetectorConfig, FaceDetector};
 use fd_haar::Cascade;
 use fd_imgproc::GrayImage;
 
@@ -121,8 +121,8 @@ enum Orphans {
     Evict,
 }
 
-struct Lane {
-    server: DetectionServer,
+struct Lane<D: Detector> {
+    server: DetectionServer<D>,
     state: DeviceState,
     /// Geometries this lane has admitted, with the device bytes each
     /// one was charged (pool bytes; the first admission also carries
@@ -131,9 +131,15 @@ struct Lane {
     charged_bytes: usize,
 }
 
-/// N-device sharded serving front door (see module docs).
-pub struct FleetServer {
-    lanes: Vec<Lane>,
+/// N-device sharded serving front door (see module docs). Generic over
+/// the detection engine: a homogeneous fleet instantiates a concrete
+/// `D` (default: the Haar [`FaceDetector`]); a mixed fleet holds
+/// `FleetServer<Box<dyn Detector>>` lanes of different engines, with
+/// the router matching each request's [`Backend`] class to a lane that
+/// serves it — so batches stay same-geometry *and* same-backend by
+/// construction (one detector per lane).
+pub struct FleetServer<D: Detector = FaceDetector> {
+    lanes: Vec<Lane<D>>,
     router: Router,
     steal: StealPolicy,
     budget: Option<usize>,
@@ -147,7 +153,7 @@ pub struct FleetServer {
 }
 
 impl FleetServer {
-    /// Build a fleet of `devices` replicas of one detector
+    /// Build a fleet of `devices` replicas of one Haar detector
     /// configuration. An attached fault plan is forked per device via
     /// `FaultPlan::for_replica`, so devices fault independently
     /// (replica 0 keeps the plan verbatim).
@@ -161,14 +167,17 @@ impl FleetServer {
             .map_err(ServeError::Detector)?;
         Ok(Self::from_detectors(detectors, config))
     }
+}
 
+impl<D: Detector> FleetServer<D> {
     /// Build a fleet over pre-built detectors — one lane per detector,
     /// in order. This is how tests hand different devices different
-    /// fault plans.
+    /// fault plans, and how mixed fleets are assembled
+    /// (`Vec<Box<dyn Detector>>` of different engines).
     ///
     /// # Panics
     /// When `detectors` is empty.
-    pub fn from_detectors(detectors: Vec<FaceDetector>, config: FleetConfig) -> Self {
+    pub fn from_detectors(detectors: Vec<D>, config: FleetConfig) -> Self {
         assert!(!detectors.is_empty(), "a fleet needs at least one device");
         let devices = detectors.len();
         let lanes = detectors
@@ -218,8 +227,13 @@ impl FleetServer {
     }
 
     /// One device's dispatch lane (stats, health, detector access).
-    pub fn device(&self, device: usize) -> &DetectionServer {
+    pub fn device(&self, device: usize) -> &DetectionServer<D> {
         &self.lanes[device].server
+    }
+
+    /// The backend class one device's lane serves.
+    pub fn device_backend(&self, device: usize) -> Backend {
+        self.lanes[device].server.backend()
     }
 
     /// One device's lifecycle state.
@@ -270,13 +284,31 @@ impl FleetServer {
     /// Schedule a detection request, routed to a device lane (see
     /// module docs). Same contract as `DetectionServer::submit`, plus
     /// [`ServeError::NoCapacity`] when no accepting lane can admit the
-    /// frame's geometry under its memory budget.
+    /// frame's geometry under its memory budget. The request takes lane
+    /// 0's backend class — the fleet's "default engine" — so a
+    /// homogeneous fleet behaves exactly as before the backend axis
+    /// existed; mixed traffic goes through [`Self::submit_to_backend`].
     pub fn submit(
         &mut self,
         frame: GrayImage,
         priority: Priority,
         arrival_us: f64,
         slo_us: f64,
+    ) -> Result<RequestId, ServeError> {
+        let backend = self.lanes[0].server.backend();
+        self.submit_to_backend(frame, priority, arrival_us, slo_us, backend)
+    }
+
+    /// [`Self::submit`] with an explicit backend class: the router only
+    /// considers lanes whose detector serves `backend`, and returns
+    /// [`ServeError::NoCapacity`] when none is accepting.
+    pub fn submit_to_backend(
+        &mut self,
+        frame: GrayImage,
+        priority: Priority,
+        arrival_us: f64,
+        slo_us: f64,
+        backend: Backend,
     ) -> Result<RequestId, ServeError> {
         if !arrival_us.is_finite() || arrival_us < self.now_us() {
             return Err(ServeError::InvalidSubmission {
@@ -289,7 +321,7 @@ impl FleetServer {
             });
         }
         let geometry = (frame.width(), frame.height());
-        let views = self.lane_views(geometry);
+        let views = self.lane_views(geometry, backend);
         let Some(device) = self.router.route(&views) else {
             return Err(ServeError::NoCapacity { width: geometry.0, height: geometry.1 });
         };
@@ -303,6 +335,7 @@ impl FleetServer {
             arrival_us,
             deadline_us: arrival_us + slo_us,
             frame,
+            backend,
             seq,
         };
         self.lanes[device].server.enqueue(req);
@@ -509,7 +542,7 @@ impl FleetServer {
         let mut moved = 0u64;
         for req in reqs {
             let geometry = req.geometry();
-            let mut views = self.lane_views(geometry);
+            let mut views = self.lane_views(geometry, req.backend);
             views[source].accepting = false;
             let mut unplaced = Some(req);
             while let Some(req) = unplaced.take() {
@@ -556,6 +589,7 @@ impl FleetServer {
         self.completed.push(CompletedRequest {
             id: req.id,
             priority: req.priority,
+            backend: req.backend,
             arrival_us: req.arrival_us,
             deadline_us: req.deadline_us,
             outcome: RequestOutcome::Evicted { evicted_us: t_us },
@@ -613,8 +647,11 @@ impl FleetServer {
         let mut moved = 0u64;
         for req in stolen {
             let geometry = req.geometry();
-            let admitted = self.lanes[thief].geometries.iter().any(|(g, _)| *g == geometry)
-                || self.admits(&self.lanes[thief], geometry);
+            // A thief of a different engine can never take the work:
+            // the result would come off the wrong kernel chain.
+            let admitted = self.lanes[thief].server.backend() == req.backend
+                && (self.lanes[thief].geometries.iter().any(|(g, _)| *g == geometry)
+                    || self.admits(&self.lanes[thief], geometry));
             if !admitted {
                 let _ = self.lanes[victim].server.inject(req);
                 continue;
@@ -640,8 +677,9 @@ impl FleetServer {
         }
     }
 
-    /// Per-lane snapshots the router decides over, for one geometry.
-    fn lane_views(&self, geometry: (usize, usize)) -> Vec<LaneView> {
+    /// Per-lane snapshots the router decides over, for one geometry and
+    /// backend class.
+    fn lane_views(&self, geometry: (usize, usize), backend: Backend) -> Vec<LaneView> {
         self.lanes
             .iter()
             .map(|l| LaneView {
@@ -650,12 +688,13 @@ impl FleetServer {
                 pending: l.server.pending(),
                 has_geometry: l.geometries.iter().any(|(g, _)| *g == geometry),
                 can_admit: self.admits(l, geometry),
+                backend_match: l.server.backend() == backend,
             })
             .collect()
     }
 
     /// Whether a lane's memory budget admits `geometry`.
-    fn admits(&self, lane: &Lane, geometry: (usize, usize)) -> bool {
+    fn admits(&self, lane: &Lane<D>, geometry: (usize, usize)) -> bool {
         let Some(budget) = self.budget else { return true };
         match self.charge_for(lane, geometry) {
             Some(charge) => lane.charged_bytes + charge <= budget,
@@ -668,7 +707,7 @@ impl FleetServer {
     /// Device bytes admitting `geometry` would add to a lane's ledger:
     /// the projected buffer pool, plus the constant-memory footprint on
     /// the lane's first geometry. Zero if already admitted.
-    fn charge_for(&self, lane: &Lane, geometry: (usize, usize)) -> Option<usize> {
+    fn charge_for(&self, lane: &Lane<D>, geometry: (usize, usize)) -> Option<usize> {
         if lane.geometries.iter().any(|(g, _)| *g == geometry) {
             return Some(0);
         }
@@ -970,6 +1009,64 @@ mod tests {
         f.run();
         assert_eq!(f.router_stats().steals, 0);
         assert_eq!(f.device_stats(0).served, 8, "affinity kept the geometry home");
+    }
+
+    #[test]
+    fn mixed_fleet_routes_each_backend_class_to_its_lane() {
+        use fd_cnn::{CnnDetector, CnnModel};
+        let haar = FaceDetector::try_new(&edge_cascade(), det_cfg()).expect("haar");
+        let cnn = CnnDetector::try_new(&CnnModel::seeded(0), det_cfg()).expect("cnn");
+        let detectors: Vec<Box<dyn Detector>> = vec![Box::new(haar), Box::new(cnn)];
+        let mut f = FleetServer::from_detectors(detectors, FleetConfig::default());
+        assert_eq!(f.device_backend(0), Backend::Haar);
+        assert_eq!(f.device_backend(1), Backend::Cnn);
+        for i in 0..6u64 {
+            let backend = Backend::ALL[(i % 2) as usize];
+            f.submit_to_backend(
+                pattern_frame(64, 48, (i % 4) as usize),
+                Priority::Standard,
+                0.0,
+                1e9,
+                backend,
+            )
+            .expect("valid submission");
+        }
+        f.run();
+        let st = f.stats();
+        assert_eq!(st.served, 6);
+        assert_eq!(st.submitted_per_backend, [3, 3]);
+        assert_eq!(st.served_per_backend, [3, 3]);
+        assert_eq!(st.backend_latency(Backend::Haar).len(), 3);
+        assert_eq!(st.backend_latency(Backend::Cnn).len(), 3);
+        assert_eq!(st.backend_goodput(Backend::Cnn), 1.0);
+        // Every completion ran on the lane whose engine matches its
+        // class — the wrong-backend lane never takes a request, even
+        // when idle (work stealing included).
+        for (c, &d) in f.completed().iter().zip(f.completed_device()) {
+            assert_eq!(f.device_backend(d), c.backend, "request {} misrouted", c.id);
+        }
+        // The backend-less front door takes lane 0's (Haar's) class.
+        let t = f.now_us();
+        f.submit(pattern_frame(64, 48, 0), Priority::Standard, t, 1e9).expect("submit");
+        f.run();
+        assert_eq!(f.stats().submitted_per_backend, [4, 3]);
+    }
+
+    #[test]
+    fn backend_with_no_lane_is_refused_at_the_front_door() {
+        let mut f = fleet(2, FleetConfig::default());
+        let err = f.submit_to_backend(
+            pattern_frame(64, 48, 0),
+            Priority::Standard,
+            0.0,
+            1e9,
+            Backend::Cnn,
+        );
+        assert!(
+            matches!(err, Err(ServeError::NoCapacity { width: 64, height: 48 })),
+            "a Haar-only fleet cannot take CNN traffic: {err:?}"
+        );
+        assert_eq!(f.router_stats().admission_rejected, 1);
     }
 
     #[test]

@@ -33,6 +33,16 @@
 //!   deterministic work stealing between per-device queues. A fleet of
 //!   one reduces byte-for-byte to a single [`DetectionServer`].
 //!
+//! * multi-backend serving — both servers are generic over
+//!   `fd_detector::Detector`, so the same loop drives the Haar cascade
+//!   (default) or the compact CNN cascade of `fd-cnn`. Each request
+//!   carries a [`Backend`] class; a mixed fleet
+//!   (`FleetServer<Box<dyn Detector>>`) routes cheap-Haar and
+//!   high-accuracy-CNN traffic to matching lanes via
+//!   [`FleetServer::submit_to_backend`], and batches stay same-geometry
+//!   *and* same-backend by construction. [`ServeStats`] breaks latency
+//!   and goodput out per backend.
+//!
 //! Everything runs on a virtual clock against the simulated GPU: a
 //! serving run is a pure function of its submissions and configuration,
 //! bit-identical across runs and across `FD_SIM_THREADS` settings.
@@ -69,6 +79,7 @@ pub mod server;
 pub mod stats;
 
 pub use batcher::{BatchDecision, BatchPolicy, DynamicBatcher};
+pub use fd_detector::{Backend, Detector};
 pub use fleet::{DeviceState, FleetConfig, FleetServer, StealPolicy};
 pub use health::{FaultReaction, HealthMachine, HealthPolicy, ServerHealth};
 pub use queue::RequestQueue;

@@ -139,6 +139,7 @@ impl RequestQueue {
 mod tests {
     use super::*;
     use crate::request::RequestId;
+    use fd_detector::Backend;
     use fd_imgproc::GrayImage;
 
     fn req(seq: u64, priority: Priority, deadline_us: f64, w: usize) -> DetectionRequest {
@@ -148,6 +149,7 @@ mod tests {
             arrival_us: seq as f64,
             deadline_us,
             frame: GrayImage::from_fn(w, 4, |_, _| 0.0),
+            backend: Backend::Haar,
             seq,
         }
     }

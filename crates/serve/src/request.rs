@@ -1,5 +1,6 @@
 //! Request types: identifiers, priority classes and the queued record.
 
+use fd_detector::Backend;
 use fd_imgproc::GrayImage;
 
 /// Opaque handle identifying one submitted request. Assigned by the
@@ -65,6 +66,11 @@ pub struct DetectionRequest {
     pub deadline_us: f64,
     /// The luma frame to run detection on.
     pub frame: GrayImage,
+    /// Which detection engine serves this request. The third axis of
+    /// the request class (with priority and geometry): batches only
+    /// form on a lane whose detector matches, so a batch is always one
+    /// engine's kernel chain.
+    pub backend: Backend,
     /// Submission sequence number: the final, always-unique tie-breaker
     /// that makes every scheduling order total and deterministic.
     pub(crate) seq: u64,
@@ -99,6 +105,7 @@ mod tests {
             arrival_us: 0.0,
             deadline_us,
             frame: GrayImage::from_fn(4, 4, |_, _| 0.0),
+            backend: Backend::Haar,
             seq,
         }
     }

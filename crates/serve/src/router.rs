@@ -55,6 +55,11 @@ pub struct LaneView {
     pub has_geometry: bool,
     /// The lane's device memory budget admits this geometry.
     pub can_admit: bool,
+    /// The lane's detector serves this request's backend class. A hard
+    /// eligibility bound, never a preference: a Haar request on a CNN
+    /// lane would silently change its results. Homogeneous fleets set
+    /// this `true` everywhere, reducing to the pre-backend router.
+    pub backend_match: bool,
 }
 
 /// Fleet-level routing and migration accounting.
@@ -111,7 +116,8 @@ impl Router {
     /// in the snapshot. Returns `None` only when no accepting lane
     /// admits the geometry.
     pub fn pick(&self, lanes: &[LaneView]) -> Option<usize> {
-        let eligible = |l: &LaneView| l.accepting && (l.has_geometry || l.can_admit);
+        let eligible =
+            |l: &LaneView| l.accepting && l.backend_match && (l.has_geometry || l.can_admit);
         // Healthy (breaker closed) lanes take absolute precedence; open
         // lanes are a last resort so a fully-open fleet still fails fast
         // through a lane instead of erroring at the front door.
@@ -159,6 +165,7 @@ mod tests {
             pending,
             has_geometry,
             can_admit: true,
+            backend_match: true,
         }
     }
 
@@ -206,6 +213,20 @@ mod tests {
             Some(0),
             "an all-open fleet still places (the lane fail-fasts it deterministically)"
         );
+    }
+
+    #[test]
+    fn backend_mismatch_is_a_hard_bound_not_a_preference() {
+        let r = Router::new(RoutePolicy::default(), 2);
+        let mut lanes = [lane(0, true), lane(9, false)];
+        lanes[0].backend_match = false;
+        assert_eq!(
+            r.pick(&lanes),
+            Some(1),
+            "an idle affine lane of the wrong backend never takes the request"
+        );
+        lanes[1].backend_match = false;
+        assert_eq!(r.pick(&lanes), None, "no matching backend anywhere");
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! The virtual-clock serving loop: arrivals → queue → batch → device.
 //!
-//! [`DetectionServer`] owns a [`FaceDetector`] and advances a virtual
-//! clock in microseconds. Submissions go onto an *arrival calendar*
+//! [`DetectionServer`] owns a detection engine — any
+//! [`fd_detector::Detector`], defaulting to the Haar [`FaceDetector`] —
+//! and advances a virtual clock in microseconds. Submissions go onto an *arrival calendar*
 //! (they may be scheduled at any time at or after the current instant);
 //! the event loop then alternates between ingesting due arrivals,
 //! shedding already-late queued requests, and asking the
@@ -23,7 +24,7 @@
 
 use std::collections::VecDeque;
 
-use fd_detector::{DetectorConfig, DetectorError, FaceDetector, FrameResult};
+use fd_detector::{Backend, Detector, DetectorConfig, DetectorError, FaceDetector, FrameResult};
 use fd_haar::Cascade;
 use fd_imgproc::GrayImage;
 
@@ -177,6 +178,8 @@ pub enum RequestOutcome {
 pub struct CompletedRequest {
     pub id: RequestId,
     pub priority: Priority,
+    /// The detection backend that served (or would have served) it.
+    pub backend: Backend,
     pub arrival_us: f64,
     pub deadline_us: f64,
     pub outcome: RequestOutcome,
@@ -209,10 +212,13 @@ impl CompletedRequest {
 }
 
 /// Deterministic request-serving frontend over one detector/device (see
-/// module docs). One-shot requests only; long-lived video sessions stay
-/// with `fd_detector::StreamSupervisor`.
-pub struct DetectionServer {
-    detector: FaceDetector,
+/// module docs). Generic over the detection engine; the default is the
+/// Haar [`FaceDetector`], and serving it through the generic loop is
+/// byte-identical to the pre-trait concrete server. One-shot requests
+/// only; long-lived video sessions stay with
+/// `fd_detector::StreamSupervisor`.
+pub struct DetectionServer<D: Detector = FaceDetector> {
+    detector: D,
     queue: RequestQueue,
     batcher: DynamicBatcher,
     shed_late: bool,
@@ -244,7 +250,7 @@ struct RecoveryGroup {
 }
 
 impl DetectionServer {
-    /// Build a server around a fresh detector for `cascade`.
+    /// Build a server around a fresh Haar detector for `cascade`.
     pub fn new(
         cascade: &Cascade,
         detector_config: DetectorConfig,
@@ -254,10 +260,12 @@ impl DetectionServer {
             FaceDetector::try_new(cascade, detector_config).map_err(ServeError::Detector)?;
         Ok(Self::from_detector(detector, config))
     }
+}
 
+impl<D: Detector> DetectionServer<D> {
     /// Build a server around an existing detector (and therefore its
     /// simulated device).
-    pub fn from_detector(detector: FaceDetector, config: ServeConfig) -> Self {
+    pub fn from_detector(detector: D, config: ServeConfig) -> Self {
         Self {
             detector,
             queue: RequestQueue::new(config.queue_depth_per_class),
@@ -285,8 +293,13 @@ impl DetectionServer {
     }
 
     /// The wrapped detector (profiler access, device inspection).
-    pub fn detector(&self) -> &FaceDetector {
+    pub fn detector(&self) -> &D {
         &self.detector
+    }
+
+    /// The backend class this server's detector serves.
+    pub fn backend(&self) -> Backend {
+        self.detector.backend()
     }
 
     /// Requests on the arrival calendar plus requests queued.
@@ -400,6 +413,7 @@ impl DetectionServer {
             arrival_us,
             deadline_us: arrival_us + slo_us,
             frame,
+            backend: self.detector.backend(),
             seq,
         };
         self.enqueue(req);
@@ -420,6 +434,7 @@ impl DetectionServer {
                     .then(r.seq.cmp(&req.seq))
                     .is_gt()
             });
+        self.stats.submitted_per_backend[req.backend.index()] += 1;
         self.arrivals.insert(pos, req);
         self.stats.submitted += 1;
     }
@@ -518,6 +533,7 @@ impl DetectionServer {
         self.completed.push(CompletedRequest {
             id: req.id,
             priority: req.priority,
+            backend: req.backend,
             arrival_us: req.arrival_us,
             deadline_us: req.deadline_us,
             outcome,
@@ -657,6 +673,7 @@ impl DetectionServer {
                         let latency = self.now_us - req.arrival_us;
                         self.stats.latency.record(latency);
                         self.stats.latency_per_class[req.priority.index()].record(latency);
+                        self.stats.latency_per_backend[req.backend.index()].record(latency);
                         if self.now_us <= req.deadline_us {
                             self.stats.deadline_met += 1;
                         } else {
@@ -665,6 +682,7 @@ impl DetectionServer {
                         let completed_us = self.now_us;
                         let outcome = if shed == 0 {
                             self.stats.served += 1;
+                            self.stats.served_per_backend[req.backend.index()] += 1;
                             RequestOutcome::Served {
                                 dispatched_us,
                                 completed_us,
@@ -673,6 +691,7 @@ impl DetectionServer {
                             }
                         } else {
                             self.stats.degraded_completions += 1;
+                            self.stats.degraded_per_backend[req.backend.index()] += 1;
                             RequestOutcome::Degraded {
                                 dispatched_us,
                                 completed_us,

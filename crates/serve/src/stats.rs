@@ -1,6 +1,8 @@
 //! Serving statistics: latency histograms, shed/batch-occupancy and
 //! queue-depth accounting. All times are virtual microseconds.
 
+use fd_detector::Backend;
+
 use crate::request::Priority;
 
 /// Exact latency histogram: keeps every sample and answers quantiles by
@@ -139,6 +141,16 @@ pub struct ServeStats {
     pub latency: LatencyHistogram,
     /// Per-class latency (indexed by [`Priority::index`]).
     pub latency_per_class: [LatencyHistogram; 3],
+    /// Submissions per detection backend (indexed by
+    /// [`Backend::index`]).
+    pub submitted_per_backend: [u64; 2],
+    /// Served completions per backend.
+    pub served_per_backend: [u64; 2],
+    /// Degraded completions per backend.
+    pub degraded_per_backend: [u64; 2],
+    /// Per-backend latency of completed requests (served and degraded),
+    /// the mixed-traffic tiering the `serve_mixed` bench gates on.
+    pub latency_per_backend: [LatencyHistogram; 2],
 }
 
 impl ServeStats {
@@ -162,6 +174,22 @@ impl ServeStats {
     /// Latency histogram of one priority class.
     pub fn class_latency(&self, class: Priority) -> &LatencyHistogram {
         &self.latency_per_class[class.index()]
+    }
+
+    /// Latency histogram of one detection backend.
+    pub fn backend_latency(&self, backend: Backend) -> &LatencyHistogram {
+        &self.latency_per_backend[backend.index()]
+    }
+
+    /// Useful completions (full or degraded) of one backend per
+    /// submission to that backend — per-tier goodput for mixed traffic.
+    pub fn backend_goodput(&self, backend: Backend) -> f64 {
+        let i = backend.index();
+        if self.submitted_per_backend[i] == 0 {
+            return 0.0;
+        }
+        (self.served_per_backend[i] + self.degraded_per_backend[i]) as f64
+            / self.submitted_per_backend[i] as f64
     }
 
     /// Useful completions (full or degraded) per submitted request —
@@ -210,6 +238,10 @@ impl ServeStats {
             makespan_us,
             latency,
             latency_per_class,
+            submitted_per_backend,
+            served_per_backend,
+            degraded_per_backend,
+            latency_per_backend,
         } = other;
         self.submitted += submitted;
         self.served += served;
@@ -241,6 +273,18 @@ impl ServeStats {
         self.makespan_us = self.makespan_us.max(*makespan_us);
         self.latency.merge(latency);
         for (mine, theirs) in self.latency_per_class.iter_mut().zip(latency_per_class) {
+            mine.merge(theirs);
+        }
+        for (mine, theirs) in self.submitted_per_backend.iter_mut().zip(submitted_per_backend) {
+            *mine += theirs;
+        }
+        for (mine, theirs) in self.served_per_backend.iter_mut().zip(served_per_backend) {
+            *mine += theirs;
+        }
+        for (mine, theirs) in self.degraded_per_backend.iter_mut().zip(degraded_per_backend) {
+            *mine += theirs;
+        }
+        for (mine, theirs) in self.latency_per_backend.iter_mut().zip(latency_per_backend) {
             mine.merge(theirs);
         }
     }

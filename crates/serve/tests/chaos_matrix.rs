@@ -11,7 +11,8 @@
 //! requests, and stall-only plans (which slow but never reject) serve
 //! everything.
 
-use fd_detector::{DetectorConfig, FaceDetector};
+use fd_cnn::{CnnDetector, CnnModel};
+use fd_detector::{Backend, Detector, DetectorConfig, FaceDetector};
 use fd_gpu::{FaultPlan, HostExec};
 use fd_haar::{Cascade, FeatureKind, HaarFeature, Stage, Stump};
 use fd_imgproc::GrayImage;
@@ -59,7 +60,7 @@ fn server(plan: Option<FaultPlan>, batched: bool, retry: RetryPolicy) -> Detecti
 }
 
 /// Submit `n` spread-out standard requests with a generous SLO.
-fn submit_wave(s: &mut DetectionServer, n: u64, gap_us: f64, slo_us: f64) {
+fn submit_wave<D: Detector>(s: &mut DetectionServer<D>, n: u64, gap_us: f64, slo_us: f64) {
     for i in 0..n {
         s.submit(
             pattern_frame(64, 48, (i % 4) as usize),
@@ -72,7 +73,7 @@ fn submit_wave(s: &mut DetectionServer, n: u64, gap_us: f64, slo_us: f64) {
 }
 
 /// One terminal outcome per submission; stats counters tile the total.
-fn assert_accounting(s: &DetectionServer, submitted: u64) {
+fn assert_accounting<D: Detector>(s: &DetectionServer<D>, submitted: u64) {
     let st = s.stats();
     assert_eq!(st.submitted, submitted);
     assert_eq!(s.completed().len() as u64, submitted, "every request gets an outcome");
@@ -124,7 +125,7 @@ fn assert_outcomes_tile(st: &ServeStats, completed: &[CompletedRequest], submitt
     );
 }
 
-fn fingerprint(s: &DetectionServer) -> Vec<(u64, u8, u64)> {
+fn fingerprint<D: Detector>(s: &DetectionServer<D>) -> Vec<(u64, u8, u64)> {
     fingerprint_log(s.completed())
 }
 
@@ -341,6 +342,50 @@ fn brownout_rejects_only_the_lowest_class() {
     assert_accounting(&s, 48);
 }
 
+#[test]
+fn cnn_batches_recover_under_a_seeded_fault_plan() {
+    // The same recovery stack behind the CNN backend: batched CNN
+    // submissions under a mixed transient/timeout plan must retry,
+    // isolate and account exactly like the Haar path — the serving loop
+    // is engine-agnostic.
+    let run = || {
+        let det = DetectorConfig {
+            min_neighbors: 1,
+            fault_plan: Some(
+                FaultPlan::seeded(13)
+                    .with_transient_launch_failures(0.02)
+                    .with_launch_timeouts(0.004),
+            ),
+            ..DetectorConfig::default()
+        };
+        let cnn = CnnDetector::try_new(&CnnModel::seeded(1), det).expect("cnn detector");
+        let mut s = DetectionServer::from_detector(cnn, ServeConfig::default());
+        submit_wave(&mut s, 24, 400.0, 1e6);
+        s.run();
+        assert_accounting(&s, 24);
+        let st = s.stats();
+        assert_eq!(st.submitted_per_backend, [0, 24], "every request is CNN-class");
+        assert_eq!(
+            st.served_per_backend[Backend::Cnn.index()] + st.degraded_per_backend[1],
+            st.served + st.degraded_completions,
+        );
+        assert!(
+            st.retries_issued > 0,
+            "the plan must fault somewhere across 24 batched CNN dispatches"
+        );
+        assert!(
+            st.goodput() >= 0.9,
+            "recovery must absorb CNN-batch faults: goodput {:.3}",
+            st.goodput()
+        );
+        for c in s.completed() {
+            assert_eq!(c.backend, Backend::Cnn);
+        }
+        fingerprint(&s)
+    };
+    assert_eq!(run(), run(), "CNN chaos must be seed-reproducible");
+}
+
 // ---------------------------------------------------------------------
 // Fleet chaos: device-level failures behind the FleetServer front door.
 // ---------------------------------------------------------------------
@@ -348,7 +393,7 @@ fn brownout_rejects_only_the_lowest_class() {
 /// Fleet accounting: every fleet submission gets exactly one terminal
 /// outcome, wherever in the fleet (or at fleet level, for evictions) it
 /// was produced.
-fn assert_fleet_accounting(f: &FleetServer, submitted: u64) {
+fn assert_fleet_accounting<D: Detector>(f: &FleetServer<D>, submitted: u64) {
     let st: ServeStats = f.stats();
     assert_eq!(st.submitted, submitted);
     assert_eq!(f.completed().len() as u64, submitted, "every request gets an outcome");

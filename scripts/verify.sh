@@ -59,6 +59,18 @@ echo "== serve fleet (asserts >= 3x throughput at 4 devices, kill-one goodput >=
 FD_RESULTS_DIR="$(mktemp -d)" \
   cargo run --release --offline -q -p fd-bench --bin serve_fleet -- --requests 200
 
+echo "== serve mixed (asserts haar-tier throughput >= 0.9x haar-only under CNN co-tenancy, cnn-tier p99 <= 10ms budget, fleet-of-1 byte-identity to the pre-trait server) =="
+# Scratch results dir: the committed results/BENCH_serve_mixed.json
+# stays the full-length run.
+FD_RESULTS_DIR="$(mktemp -d)" \
+  cargo run --release --offline -q -p fd-bench --bin serve_mixed -- --requests 120
+
+echo "== cnn eval (asserts cnn pre-final rejection >= 0.90, cnn TPR >= 0.90, and a real accuracy/latency front vs haar) =="
+# Scratch results dir: the committed results/BENCH_cnn_eval.json stays
+# the full-length run.
+FD_RESULTS_DIR="$(mktemp -d)" \
+  cargo run --release --offline -q -p fd-bench --bin cnn_eval -- --faces 24 --backgrounds 96
+
 echo "== cargo clippy --all-targets -- -D warnings =="
 cargo clippy --all-targets --offline -- -D warnings
 

@@ -18,8 +18,11 @@
 //!   the SMP scaling model;
 //! * [`video`] (`fd-video`) — synthetic 1080p trailers and the hardware
 //!   H.264 decoder model;
-//! * [`detector`] (`fd-detector`) — the paper's pipeline and the public
-//!   [`prelude::FaceDetector`] API;
+//! * [`detector`] (`fd-detector`) — the paper's pipeline, the public
+//!   [`prelude::FaceDetector`] API, and the [`prelude::Detector`] trait
+//!   every backend serves behind;
+//! * [`cnn`] (`fd-cnn`) — the second backend: a 3-stage fixed-point CNN
+//!   cascade on the same simulated-GPU kernels and pyramid;
 //! * [`serve`] (`fd-serve`) — a deterministic request-serving frontend
 //!   with dynamic cross-request batching, SLO-aware (EDF + shedding)
 //!   scheduling on a virtual clock, fault-tolerant serving
@@ -60,6 +63,7 @@
 //! ```
 
 pub use fd_boost as boost;
+pub use fd_cnn as cnn;
 pub use fd_detector as detector;
 pub use fd_eval as eval;
 pub use fd_gpu as gpu;
@@ -70,8 +74,10 @@ pub use fd_video as video;
 
 /// The most common imports in one place.
 pub mod prelude {
+    pub use fd_cnn::{CnnDetector, CnnModel};
     pub use fd_detector::{
-        DetectorConfig, FaceDetector, FrameResult, GroupedDetection, RecoveryPolicy,
+        Backend, Detector, DetectorConfig, FaceDetector, FrameResult, GroupedDetection,
+        RecoveryPolicy,
     };
     pub use fd_gpu::{DeviceSpec, ExecMode};
     pub use fd_haar::{Cascade, FeatureKind, HaarFeature, Stage, Stump};
