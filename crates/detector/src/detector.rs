@@ -47,6 +47,11 @@ pub struct DetectorConfig {
     /// and keep chain-internal intermediates off the global traffic
     /// ledger.
     pub fusion: Option<bool>,
+    /// Autotune launch shapes through the scheduler's occupancy model
+    /// (see [`fd_gpu::tune`]). `None` defers to `FD_SIM_AUTOTUNE`, then
+    /// to off (the fixed-shape baseline). Detections are byte-identical
+    /// either way; only block shapes and timing change.
+    pub autotune: Option<bool>,
 }
 
 impl Default for DetectorConfig {
@@ -62,6 +67,7 @@ impl Default for DetectorConfig {
             host_exec: None,
             fault_plan: None,
             fusion: None,
+            autotune: None,
         }
     }
 }
@@ -141,6 +147,9 @@ impl FaceDetector {
         if let Some(fusion) = config.fusion {
             pipeline.set_fusion(fusion);
         }
+        if let Some(autotune) = config.autotune {
+            pipeline.set_autotune(autotune);
+        }
         Ok(Self { pipeline, config })
     }
 
@@ -153,6 +162,17 @@ impl FaceDetector {
     pub fn set_fusion(&mut self, fusion: bool) {
         self.config.fusion = Some(fusion);
         self.pipeline.set_fusion(fusion);
+    }
+
+    /// Whether launch shapes are autotuned.
+    pub fn autotune(&self) -> bool {
+        self.pipeline.autotune()
+    }
+
+    /// Enable or disable launch-shape autotuning (takes effect next frame).
+    pub fn set_autotune(&mut self, autotune: bool) {
+        self.config.autotune = Some(autotune);
+        self.pipeline.set_autotune(autotune);
     }
 
     /// The active configuration.

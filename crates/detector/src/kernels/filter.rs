@@ -19,10 +19,22 @@ impl FilterKernel {
     pub const BLOCK: u32 = 16;
     /// Shared-memory request: the (16+2)^2 halo tile.
     pub const SHARED_BYTES: u32 = 18 * 18 * 4;
+    /// Autotunable tilings, default first: every variant keeps 256
+    /// threads (the fused-chain contract) and only redistributes them, so
+    /// each pixel is still computed independently from clamped source
+    /// reads — outputs are byte-identical, only the halo overhead and
+    /// residency change.
+    pub const BLOCKS: [(u32, u32); 3] = [(16, 16), (32, 8), (8, 32)];
 
     pub fn config(&self) -> LaunchConfig {
         LaunchConfig::tile2d(self.width, self.height, Self::BLOCK, Self::BLOCK)
             .with_shared_mem(Self::SHARED_BYTES)
+    }
+
+    /// Launch geometry for an alternate tiling from [`Self::BLOCKS`].
+    pub fn config_for(&self, (bw, bh): (u32, u32)) -> LaunchConfig {
+        LaunchConfig::tile2d(self.width, self.height, bw, bh)
+            .with_shared_mem((bw + 2) * (bh + 2) * 4)
     }
 }
 
@@ -32,21 +44,26 @@ impl Kernel for FilterKernel {
     }
 
     fn run_block(&self, ctx: &mut BlockCtx<'_>) {
-        let b = Self::BLOCK as usize;
-        let bx = ctx.block_idx.x as usize * b;
-        let by = ctx.block_idx.y as usize * b;
+        // Block shape comes from the launch config (the autotuner may
+        // re-tile); each output pixel only reads its clamped 3x3 source
+        // neighbourhood, so any tiling computes identical bytes.
+        let bw = ctx.block_dim.x as usize;
+        let bh = ctx.block_dim.y as usize;
+        let bx = ctx.block_idx.x as usize * bw;
+        let by = ctx.block_idx.y as usize * bh;
         let (w, h) = (self.width, self.height);
 
-        // Stage the 18x18 halo tile (clamped at image borders).
-        let tile_side = b + 2;
-        let mut tile = ctx.shared_alloc_f32(tile_side * tile_side);
+        // Stage the (bw+2)x(bh+2) halo tile (clamped at image borders).
+        let tile_w = bw + 2;
+        let tile_h = bh + 2;
+        let mut tile = ctx.shared_alloc_f32(tile_w * tile_h);
         {
             let src = ctx.mem.read(self.src);
-            for ty in 0..tile_side {
+            for ty in 0..tile_h {
                 let gy = (by as isize + ty as isize - 1).clamp(0, h as isize - 1) as usize;
-                for tx in 0..tile_side {
+                for tx in 0..tile_w {
                     let gx = (bx as isize + tx as isize - 1).clamp(0, w as isize - 1) as usize;
-                    tile[ty * tile_side + tx] = src[gy * w + gx];
+                    tile[ty * tile_w + tx] = src[gy * w + gx];
                 }
             }
         }
@@ -54,18 +71,18 @@ impl Kernel for FilterKernel {
 
         let mut dst = ctx.mem.write(self.dst);
         let mut covered = 0u64;
-        for ty in 0..b {
+        for ty in 0..bh {
             let y = by + ty;
             if y >= h {
                 continue;
             }
-            for tx in 0..b {
+            for tx in 0..bw {
                 let x = bx + tx;
                 if x >= w {
                     continue;
                 }
                 // Separable binomial: rows then columns over the tile.
-                let t = |dx: usize, dy: usize| tile[(ty + dy) * tile_side + (tx + dx)];
+                let t = |dx: usize, dy: usize| tile[(ty + dy) * tile_w + (tx + dx)];
                 let row = |dy: usize| 0.25 * t(0, dy) + 0.5 * t(1, dy) + 0.25 * t(2, dy);
                 dst[y * w + x] = 0.25 * row(0) + 0.5 * row(1) + 0.25 * row(2);
                 covered += 1;
@@ -77,8 +94,8 @@ impl Kernel for FilterKernel {
         let warps = covered.div_ceil(warp);
         // Halo load: one coalesced read per tile element. Buffer-tagged
         // so a fused launch credits fusion-local traffic to on-chip rates.
-        ctx.global_load_buf(self.src, (tile_side * tile_side * 4) as u64);
-        ctx.meter.shared((tile_side * tile_side) as u64 / 8);
+        ctx.global_load_buf(self.src, (tile_w * tile_h * 4) as u64);
+        ctx.meter.shared((tile_w * tile_h) as u64 / 8);
         // Compute: 9 shared reads + ~10 FLOPs per pixel.
         ctx.meter.shared(9 * warps);
         ctx.meter.alu(10 * warps);
@@ -93,10 +110,31 @@ impl Kernel for FilterKernel {
         Some(fd_gpu::FusionTraits {
             read_domain: (self.width, self.height),
             write_domain: (self.width, self.height),
-            // Each block writes only its own 16x16 tile (the halo is
+            // Each block writes only its own tile (the halo is
             // read-side), so consumers may follow in the same launch.
             tile_local: true,
         })
+    }
+
+    fn shape_family(&self) -> Option<fd_gpu::ShapeFamily> {
+        let shapes = Self::BLOCKS
+            .iter()
+            .map(|&(bw, bh)| {
+                let cfg = self.config_for((bw, bh));
+                let halo = ((bw + 2) * (bh + 2)) as f64;
+                fd_gpu::ShapeCandidate {
+                    grid: cfg.grid,
+                    block: cfg.block,
+                    shared_mem_bytes: cfg.shared_mem_bytes,
+                    registers_per_thread: self.registers_per_thread(),
+                    // 9 shared taps + ~10 FLOPs per pixel, any shape.
+                    issue_per_thread: 19.0,
+                    // Halo bytes amortized per covered pixel + the store.
+                    mem_bytes_per_thread: 4.0 * halo / (bw * bh) as f64 + 4.0,
+                }
+            })
+            .collect();
+        Some(fd_gpu::ShapeFamily { kernel: self.name(), shapes })
     }
 }
 

@@ -22,10 +22,19 @@ pub struct ScaleKernel {
 
 impl ScaleKernel {
     pub const BLOCK: u32 = 16;
+    /// Autotunable tilings, default first: 256 threads each (the
+    /// fused-chain contract), pure gather through the texture unit, so
+    /// any tiling produces byte-identical output.
+    pub const BLOCKS: [(u32, u32); 2] = [(16, 16), (32, 8)];
 
     /// Launch geometry for this kernel.
     pub fn config(&self) -> LaunchConfig {
         LaunchConfig::tile2d(self.dst_w, self.dst_h, Self::BLOCK, Self::BLOCK)
+    }
+
+    /// Launch geometry for an alternate tiling from [`Self::BLOCKS`].
+    pub fn config_for(&self, (bw, bh): (u32, u32)) -> LaunchConfig {
+        LaunchConfig::tile2d(self.dst_w, self.dst_h, bw, bh)
     }
 }
 
@@ -35,19 +44,23 @@ impl Kernel for ScaleKernel {
     }
 
     fn run_block(&self, ctx: &mut BlockCtx<'_>) {
-        let bx = ctx.block_idx.x as usize * Self::BLOCK as usize;
-        let by = ctx.block_idx.y as usize * Self::BLOCK as usize;
+        // Block shape comes from the launch config (the autotuner may
+        // re-tile); each output pixel is an independent texture gather.
+        let bw = ctx.block_dim.x as usize;
+        let bh = ctx.block_dim.y as usize;
+        let bx = ctx.block_idx.x as usize * bw;
+        let by = ctx.block_idx.y as usize * bh;
         let sx = self.src_w as f32 / self.dst_w as f32;
         let sy = self.src_h as f32 / self.dst_h as f32;
 
         let mut dst = ctx.mem.write(self.dst);
         let mut covered = 0u64;
-        for ty in 0..Self::BLOCK as usize {
+        for ty in 0..bh {
             let y = by + ty;
             if y >= self.dst_h {
                 continue;
             }
-            for tx in 0..Self::BLOCK as usize {
+            for tx in 0..bw {
                 let x = bx + tx;
                 if x >= self.dst_w {
                     continue;
@@ -81,9 +94,29 @@ impl Kernel for ScaleKernel {
             // domain is never matched against a producer).
             read_domain: (self.dst_w, self.dst_h),
             write_domain: (self.dst_w, self.dst_h),
-            // Each block writes exactly its own 16x16 output tile.
+            // Each block writes exactly its own output tile.
             tile_local: true,
         })
+    }
+
+    fn shape_family(&self) -> Option<fd_gpu::ShapeFamily> {
+        let shapes = Self::BLOCKS
+            .iter()
+            .map(|&shape| {
+                let cfg = self.config_for(shape);
+                fd_gpu::ShapeCandidate {
+                    grid: cfg.grid,
+                    block: cfg.block,
+                    shared_mem_bytes: cfg.shared_mem_bytes,
+                    registers_per_thread: self.registers_per_thread(),
+                    // ~6 address ops per pixel; the tex unit does the blend.
+                    issue_per_thread: 6.0,
+                    // One 4 B fetch through tex + one 4 B store.
+                    mem_bytes_per_thread: 8.0,
+                }
+            })
+            .collect();
+        Some(fd_gpu::ShapeFamily { kernel: self.name(), shapes })
     }
 }
 

@@ -33,11 +33,22 @@ pub struct ScanRowsKernel {
 
 impl ScanRowsKernel {
     pub const THREADS: u32 = 256;
+    /// Autotunable block widths, default first (all powers of two — the
+    /// block scan's sweep depth is `log2(threads)`). The sequential-scan
+    /// functional body is thread-count independent, so outputs are
+    /// byte-identical across the family.
+    pub const THREAD_OPTIONS: [u32; 3] = [256, 128, 512];
 
     pub fn config(&self) -> LaunchConfig {
         // grid.y indexes rows; one block per row.
         LaunchConfig::new((1u32, self.height as u32), (Self::THREADS, 1u32))
             .with_shared_mem(2 * Self::THREADS * 4)
+    }
+
+    /// Launch geometry for an alternate width from [`Self::THREAD_OPTIONS`].
+    pub fn config_for(&self, threads: u32) -> LaunchConfig {
+        LaunchConfig::new((1u32, self.height as u32), (threads, 1u32))
+            .with_shared_mem(2 * threads * 4)
     }
 }
 
@@ -52,10 +63,13 @@ impl Kernel for ScanRowsKernel {
             return;
         }
         let w = self.width;
-        // Functional: compute the inclusive scan of the row. The shared
-        // allocation asserts the launch requested the scratch the real
-        // block scan needs.
-        let _scratch = ctx.shared_alloc_u32(2 * Self::THREADS as usize);
+        // Block width comes from the launch config (the autotuner may
+        // re-tile); the sequential row scan below is identical for any
+        // width, only the work model changes. The shared allocation
+        // asserts the launch requested the scratch the real block scan
+        // needs at this width.
+        let threads = ctx.block_dim.x;
+        let _scratch = ctx.shared_alloc_u32(2 * threads as usize);
 
         {
             let mut out = ctx.mem.write(self.output);
@@ -80,14 +94,15 @@ impl Kernel for ScanRowsKernel {
             }
         }
 
-        // Work model: the row is processed in ceil(w / THREADS) segments;
-        // each segment does an up-sweep + down-sweep over THREADS elements
-        // in shared memory (~2*THREADS shared accesses, 2*log2(THREADS)
-        // warp instruction steps per warp) plus the carry add.
-        let t = Self::THREADS as u64;
-        let warps = t / ctx.warp_size() as u64;
+        // Work model: the row is processed in ceil(w / threads) segments;
+        // each segment does an up-sweep + down-sweep over `threads`
+        // elements in shared memory (~2*threads shared accesses,
+        // 2*log2(threads) warp instruction steps per warp) plus the
+        // carry add.
+        let t = threads as u64;
+        let warps = t.div_ceil(ctx.warp_size() as u64);
         let segments = (w as u64).div_ceil(t);
-        let log_t = 8u64; // log2(256)
+        let log_t = t.ilog2() as u64;
         // Buffer-tagged traffic: credited to on-chip rates when the scan
         // runs fused behind its producer.
         match self.input {
@@ -117,6 +132,27 @@ impl Kernel for ScanRowsKernel {
             // One block owns one row of the output.
             tile_local: true,
         })
+    }
+
+    fn shape_family(&self) -> Option<fd_gpu::ShapeFamily> {
+        let shapes = Self::THREAD_OPTIONS
+            .iter()
+            .map(|&t| {
+                let cfg = self.config_for(t);
+                let segments = (self.width as f64 / t as f64).ceil().max(1.0);
+                fd_gpu::ShapeCandidate {
+                    grid: cfg.grid,
+                    block: cfg.block,
+                    shared_mem_bytes: cfg.shared_mem_bytes,
+                    registers_per_thread: self.registers_per_thread(),
+                    // Sweep depth per segment: 2*log2(t) steps.
+                    issue_per_thread: segments * 2.0 * (t as f64).log2() / 32.0,
+                    // The whole row in and out, split across the block.
+                    mem_bytes_per_thread: 8.0 * self.width as f64 / t as f64,
+                }
+            })
+            .collect();
+        Some(fd_gpu::ShapeFamily { kernel: self.name(), shapes })
     }
 }
 

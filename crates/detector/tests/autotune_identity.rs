@@ -1,0 +1,125 @@
+//! Autotune identity integration tests: launch-shape autotuning is a
+//! *timing and residency* optimisation, never a semantic one. Over
+//! randomly seeded video frames, an autotuned pipeline must report
+//! exactly the detections of the fixed-shape baseline — in both fusion
+//! modes — and within each autotune mode every host execution engine
+//! (`Sync`/`Async`) and thread count must produce byte-identical
+//! results. Autotuning changes *which blocks the device runs*, so its
+//! simulated time may differ from the baseline, but nothing host-side
+//! may leak into either mode's output.
+//!
+//! Knobs are driven through [`DetectorConfig`] fields only: the
+//! `FD_SIM_*` environment variables are cached per process (`OnceLock`)
+//! and cannot be varied inside one test binary.
+
+use fd_detector::{Detection, DetectorConfig, FaceDetector};
+use fd_gpu::HostExec;
+use fd_haar::{Cascade, FeatureKind, HaarFeature, Stage, Stump};
+use fd_video::{HwDecoder, Trailer, TrailerSpec};
+use proptest::prelude::*;
+
+fn cascade() -> Cascade {
+    let f = HaarFeature::from_params(FeatureKind::EdgeH, 6, 4, 6, 8);
+    let mut c = Cascade::new("t", 24);
+    for _ in 0..3 {
+        c.stages.push(Stage {
+            stumps: vec![Stump { feature: f, threshold: 8192, left: -1.0, right: 1.0 }],
+            threshold: 0.5,
+        });
+    }
+    c
+}
+
+fn trailer(seed: u64, n_frames: usize) -> Trailer {
+    Trailer::generate(TrailerSpec {
+        width: 160,
+        height: 120,
+        n_frames,
+        seed,
+        face_size: (26.0, 60.0),
+        ..TrailerSpec::default()
+    })
+}
+
+fn config(autotune: bool, fusion: bool, threads: usize, exec: HostExec) -> DetectorConfig {
+    DetectorConfig {
+        min_neighbors: 1,
+        autotune: Some(autotune),
+        fusion: Some(fusion),
+        host_threads: Some(threads),
+        host_exec: Some(exec),
+        ..DetectorConfig::default()
+    }
+}
+
+/// Raw detections and per-frame latency bits over a seeded trailer.
+fn detect_fingerprint(
+    seed: u64,
+    autotune: bool,
+    fusion: bool,
+    threads: usize,
+    exec: HostExec,
+) -> (Vec<Detection>, Vec<u64>) {
+    let frames: Vec<_> = HwDecoder::new(trailer(seed, 3)).collect();
+    let mut det = FaceDetector::try_new(&cascade(), config(autotune, fusion, threads, exec))
+        .expect("detector");
+    let mut raw = Vec::new();
+    let mut latency_bits = Vec::new();
+    for f in &frames {
+        let r = det.detect(&f.luma).expect("detect");
+        raw.extend(r.raw);
+        latency_bits.push(r.detect_ms.to_bits());
+    }
+    (raw, latency_bits)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The tentpole guarantee: over arbitrary frame content, autotuning
+    /// never changes a single detection — with fusion off or on — and
+    /// within each autotune mode the detections *and* latency bits are
+    /// invariant across host engines and thread counts.
+    #[test]
+    fn autotuned_detections_match_fixed_shapes_across_engines(seed in any::<u64>()) {
+        for fusion in [false, true] {
+            let fixed = detect_fingerprint(seed, false, fusion, 1, HostExec::Sync);
+            let tuned = detect_fingerprint(seed, true, fusion, 1, HostExec::Sync);
+            prop_assert_eq!(&fixed.0, &tuned.0, "autotune changed detections (fusion={})", fusion);
+            for exec in [HostExec::Sync, HostExec::Async] {
+                for threads in [1usize, 4] {
+                    let f = detect_fingerprint(seed, false, fusion, threads, exec);
+                    prop_assert_eq!(&f.0, &fixed.0, "fixed/{:?}/{}", exec, threads);
+                    prop_assert_eq!(&f.1, &fixed.1, "fixed/{:?}/{}", exec, threads);
+                    let t = detect_fingerprint(seed, true, fusion, threads, exec);
+                    prop_assert_eq!(&t.0, &tuned.0, "tuned/{:?}/{}", exec, threads);
+                    prop_assert_eq!(&t.1, &tuned.1, "tuned/{:?}/{}", exec, threads);
+                }
+            }
+        }
+    }
+}
+
+/// Non-property smoke check that the config knob actually reaches the
+/// pipeline and re-tiles at least one launch (a regression here would
+/// make the proptest vacuous: both sides would run the same shapes).
+#[test]
+fn autotune_knob_reaches_the_pipeline_and_retiles_launches() {
+    let frames: Vec<_> = HwDecoder::new(trailer(11, 1)).collect();
+    let run = |autotune: bool| {
+        let mut det =
+            FaceDetector::try_new(&cascade(), config(autotune, false, 1, HostExec::Sync)).unwrap();
+        assert_eq!(det.autotune(), autotune);
+        let r = det.detect(&frames[0].luma).unwrap();
+        // Fingerprint each launch's geometry: block count + residency.
+        r.timeline
+            .events
+            .iter()
+            .map(|e| (e.kernel_name, e.blocks, e.occupancy.resident_warps))
+            .collect::<Vec<_>>()
+    };
+    let fixed = run(false);
+    let tuned = run(true);
+    assert_eq!(fixed.len(), tuned.len(), "same launch count either way");
+    assert_ne!(fixed, tuned, "autotune must re-tile at least one launch");
+}

@@ -96,6 +96,20 @@ impl<K: Kernel> Kernel for BatchedKernel<K> {
     fn batch_parts(&self) -> usize {
         self.parts.len()
     }
+
+    fn registers_per_thread(&self) -> u32 {
+        // Homogeneous parts compile identically; the batch's register
+        // pressure is any single part's.
+        self.parts[0].registers_per_thread()
+    }
+
+    fn shape_family(&self) -> Option<crate::tune::ShapeFamily> {
+        // Every part retiles the same way (same type, same geometry), so
+        // the batch inherits the part family; `grid.z` re-stacking is the
+        // caller's job ([`crate::Gpu::launch_batched`] consumes per-part
+        // configs).
+        self.parts[0].shape_family()
+    }
 }
 
 #[cfg(test)]

@@ -26,6 +26,16 @@ pub struct DeviceSpec {
     pub shared_mem_per_sm: u32,
     /// Shared memory addressable by a single block, bytes.
     pub max_shared_mem_per_block: u32,
+    /// Register file size per SM, in 32-bit registers. Together with a
+    /// kernel's declared per-thread register usage this bounds block
+    /// residency exactly like shared memory does: a block consumes
+    /// `registers_per_thread * threads_per_block` registers for its whole
+    /// lifetime.
+    pub registers_per_sm: u32,
+    /// Most registers the compiler may assign to one thread. Declared
+    /// usage above this is clamped (the `-maxrregcount` effect: real
+    /// toolchains spill to local memory instead of failing the launch).
+    pub max_registers_per_thread: u32,
     /// Constant memory size, bytes.
     pub const_mem_bytes: u32,
     /// Shader ("hot") clock in GHz; cycle costs are expressed in this clock.
@@ -69,6 +79,8 @@ impl DeviceSpec {
             max_threads_per_block: 1024,
             shared_mem_per_sm: 48 * 1024,
             max_shared_mem_per_block: 48 * 1024,
+            registers_per_sm: 32 * 1024,
+            max_registers_per_thread: 63,
             const_mem_bytes: 64 * 1024,
             clock_ghz: 1.215,
             dram_bandwidth_gbps: 133.9,
@@ -111,6 +123,8 @@ mod tests {
         assert_eq!(d.warp_size, 32);
         assert_eq!(d.max_warps_per_sm, 48);
         assert_eq!(d.max_threads_per_sm, 1536);
+        assert_eq!(d.registers_per_sm, 32768);
+        assert_eq!(d.max_registers_per_thread, 63);
         assert!(d.concurrent_kernels);
     }
 

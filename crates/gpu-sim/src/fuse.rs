@@ -396,6 +396,14 @@ impl Kernel for FusedKernel {
     fn phase_boundaries(&self) -> Vec<u64> {
         self.block_bases[1..].to_vec()
     }
+
+    /// A fused block must hold every stage's live state, so the chain's
+    /// register footprint is the *maximum* over its stages — the honest
+    /// resource cost of fusion the occupancy model charges (fused
+    /// kernels can bound residency where their constituents would not).
+    fn registers_per_thread(&self) -> u32 {
+        self.stages.iter().map(|s| s.kernel.registers_per_thread()).max().unwrap_or(16)
+    }
 }
 
 #[cfg(test)]

@@ -554,6 +554,11 @@ impl Gpu {
             shared_mem_bytes: cfg.shared_mem_bytes,
             threads_per_block: threads,
             warps_per_block: cfg.warps_per_block(self.spec.warp_size),
+            // Clamp the declaration like `-maxrregcount` would: above-cap
+            // usage spills rather than failing the launch.
+            registers_per_thread: kernel
+                .registers_per_thread()
+                .min(self.spec.max_registers_per_thread),
             block_costs: Vec::new(),
             counters: KernelCounters::default(),
             wait_events,

@@ -108,6 +108,29 @@ pub trait Kernel: Send + Sync {
     fn batch_parts(&self) -> usize {
         1
     }
+
+    /// Registers each thread of this kernel holds for its block's
+    /// lifetime — the per-kernel resource pressure the block scheduler
+    /// admits against the SM's register file (see
+    /// [`crate::sched::launch_occupancy`]). The default of 16 is a
+    /// modest compiled-kernel footprint that never bounds residency
+    /// before the warp/thread caps do on the sm_20 budget, so kernels
+    /// that do not override this keep their pre-register-model timing.
+    /// Declared values above
+    /// [`crate::DeviceSpec::max_registers_per_thread`] are clamped at
+    /// launch (the `-maxrregcount` spill behaviour, not an error).
+    fn registers_per_thread(&self) -> u32 {
+        16
+    }
+
+    /// The functionally-equivalent launch shapes this kernel supports
+    /// for its current geometry (see [`crate::tune`]). `None` — the
+    /// default — marks the shape fixed: the autotuner leaves the kernel
+    /// alone. Kernels returning a family guarantee byte-identical
+    /// outputs across every candidate; only timing may differ.
+    fn shape_family(&self) -> Option<crate::tune::ShapeFamily> {
+        None
+    }
 }
 
 /// Execution context for one thread block: geometry, memory spaces and the

@@ -101,6 +101,7 @@ pub mod pcie;
 pub mod profiler;
 pub mod sched;
 pub mod stream;
+pub mod tune;
 
 mod gpu;
 mod graph;
@@ -124,5 +125,11 @@ pub use memory::{
 pub use meter::{KernelCounters, Meter};
 pub use pcie::PcieModel;
 pub use profiler::{HostSpan, KernelProfile, Profiler, TraceEvent};
-pub use sched::{BlockCost, ExecMode, LaunchRecord, Timeline};
+pub use sched::{
+    launch_occupancy, BlockCost, ExecMode, LaunchOccupancy, LaunchRecord, OccupancyLimit, Timeline,
+};
 pub use stream::{EventId, StreamId};
+pub use tune::{
+    env_autotune_default, score_shape, GeomClass, ShapeCache, ShapeCandidate, ShapeFamily,
+    AUTOTUNE_ENV_VAR,
+};

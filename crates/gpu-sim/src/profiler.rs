@@ -8,6 +8,7 @@
 use std::collections::BTreeMap;
 
 use crate::meter::KernelCounters;
+use crate::sched::LaunchOccupancy;
 use crate::stream::StreamId;
 
 /// One row of an execution trace: a kernel launch with its timestamps.
@@ -23,6 +24,9 @@ pub struct TraceEvent {
     /// includes profiling overhead in serial mode). A fused launch pays
     /// this once where its constituents would have paid it k times.
     pub overhead_us: f64,
+    /// Theoretical residency of this launch's blocks and the budget that
+    /// bounded it (see [`crate::sched::launch_occupancy`]).
+    pub occupancy: LaunchOccupancy,
     pub counters: KernelCounters,
 }
 
@@ -80,6 +84,10 @@ pub struct KernelProfile {
     pub blocks: u64,
     pub total_time_us: f64,
     pub counters: KernelCounters,
+    /// Launch counts per occupancy-limiting factor (stable labels from
+    /// [`crate::sched::OccupancyLimit::as_str`]): which residency budget
+    /// bounded this kernel's block residency, and how often.
+    pub limits: BTreeMap<&'static str, u64>,
 }
 
 impl KernelProfile {
@@ -131,6 +139,7 @@ impl Profiler {
             p.blocks += e.blocks;
             p.total_time_us += e.duration_us();
             p.counters.add(&e.counters);
+            *p.limits.entry(e.occupancy.limit.as_str()).or_insert(0) += 1;
             self.traces.push(e.clone());
         }
     }
@@ -224,7 +233,11 @@ impl Profiler {
     /// preceded — when the launch paid a non-zero overhead — by its own
     /// `"cat":"overhead"` slice spanning `[t_start - overhead, t_start]`,
     /// so launch cost shows up as a distinct ribbon in the viewer rather
-    /// than silently padding the gap between kernels.
+    /// than silently padding the gap between kernels, and followed by a
+    /// `"cat":"occupancy"` slice over the kernel's interval that nests
+    /// under it in the viewer, naming the residency budget that bounded
+    /// the launch (warps vs registers vs smem vs threads vs blocks) and
+    /// the block/warp residency that budget allowed.
     fn push_device_event(out: &mut String, first: &mut bool, e: &TraceEvent) {
         if e.overhead_us > 0.0 {
             if !*first {
@@ -254,6 +267,20 @@ impl Profiler {
             e.stream.index(),
             e.launch_idx,
             e.blocks,
+        ));
+        out.push(',');
+        out.push_str(&format!(
+            "\n  {{\"name\":\"occupancy {}\",\"cat\":\"occupancy\",\"ph\":\"X\",\"ts\":{:.3},\
+             \"dur\":{:.3},\"pid\":0,\"tid\":{},\"args\":{{\"launch\":{},\"limit\":\"{}\",\
+             \"blocks_per_sm\":{},\"resident_warps\":{}}}}}",
+            e.kernel_name,
+            e.t_start_us,
+            e.duration_us(),
+            e.stream.index(),
+            e.launch_idx,
+            e.occupancy.limit.as_str(),
+            e.occupancy.blocks_per_sm,
+            e.occupancy.resident_warps,
         ));
     }
 
@@ -304,6 +331,11 @@ mod tests {
             t_end_us: t1,
             blocks: 1,
             overhead_us: 0.0,
+            occupancy: LaunchOccupancy {
+                limit: crate::sched::OccupancyLimit::Warps,
+                blocks_per_sm: 2,
+                resident_warps: 36,
+            },
             counters: KernelCounters {
                 global_bytes_read: read,
                 branches: 100,
@@ -321,6 +353,7 @@ mod tests {
         assert_eq!(k.launches, 2);
         assert_eq!(k.total_time_us, 30.0);
         assert_eq!(k.counters.global_bytes_read, 4000);
+        assert_eq!(k.limits["warps"], 2, "limiting factor tallied per launch");
     }
 
     #[test]
@@ -353,12 +386,15 @@ mod tests {
         p.absorb(&[ev("scale", 3, 1.0, 2.5, 0), ev("cascade", 1, 2.5, 10.0, 64)]);
         let s = p.render_chrome_trace();
 
-        // Shape: one JSON array, one object per trace row, comma-separated.
+        // Shape: one JSON array, a kernel slice plus a nested occupancy
+        // slice per trace row, comma-separated.
         assert!(s.starts_with('['));
         assert!(s.trim_end().ends_with(']'));
-        assert_eq!(s.matches("\"name\"").count(), p.traces().len());
-        assert_eq!(s.matches("\"ph\":\"X\"").count(), p.traces().len());
-        assert_eq!(s.matches("},").count(), p.traces().len() - 1, "comma-separated");
+        assert_eq!(s.matches("\"name\"").count(), 2 * p.traces().len());
+        assert_eq!(s.matches("\"ph\":\"X\"").count(), 2 * p.traces().len());
+        assert_eq!(s.matches("\"cat\":\"kernel\"").count(), p.traces().len());
+        assert_eq!(s.matches("\"cat\":\"occupancy\"").count(), p.traces().len());
+        assert_eq!(s.matches("},").count(), 2 * p.traces().len() - 1, "comma-separated");
         assert_eq!(s.matches('{').count(), s.matches('}').count());
         assert_eq!(s.matches('[').count(), s.matches(']').count());
         assert_eq!(s.matches('"').count() % 2, 0, "quotes must balance");
@@ -370,6 +406,9 @@ mod tests {
         assert!(s.contains("\"tid\":3"));
         assert!(s.contains("\"name\":\"cascade\""));
         assert!(s.contains("\"dur\":7.500"));
+        // The occupancy ribbon names the limiting budget per launch.
+        assert!(s.contains("\"name\":\"occupancy cascade\""));
+        assert!(s.contains("\"limit\":\"warps\",\"blocks_per_sm\":2,\"resident_warps\":36"));
     }
 
     #[test]
@@ -387,11 +426,13 @@ mod tests {
         let s = p.render_chrome_trace();
 
         // One extra slice for the launch that paid overhead, none for the
-        // one that did not; the JSON stays well-formed.
+        // one that did not; every kernel slice drags its occupancy
+        // ribbon; the JSON stays well-formed.
         assert_eq!(s.matches("\"cat\":\"overhead\"").count(), 1);
         assert_eq!(s.matches("\"cat\":\"kernel\"").count(), 2);
-        assert_eq!(s.matches("\"name\"").count(), 3);
-        assert_eq!(s.matches("},").count(), 2, "comma-separated");
+        assert_eq!(s.matches("\"cat\":\"occupancy\"").count(), 2);
+        assert_eq!(s.matches("\"name\"").count(), 5);
+        assert_eq!(s.matches("},").count(), 4, "comma-separated");
         assert_eq!(s.matches('{').count(), s.matches('}').count());
         assert_eq!(s.matches('"').count() % 2, 0, "quotes must balance");
 

@@ -4,7 +4,8 @@
 //! The scheduler consumes [`LaunchRecord`]s (produced by the functional
 //! phase) and simulates the device's block dispatcher:
 //!
-//! * every SM has residency limits (blocks, warps, threads, shared memory);
+//! * every SM has residency limits (blocks, warps, threads, shared memory,
+//!   registers);
 //! * launches in the same stream execute in order;
 //! * [`ExecMode::Serial`] additionally drains each launch before the next
 //!   one starts (profiler-style serialization, the paper's baseline);
@@ -47,6 +48,112 @@ pub struct BlockCost {
     pub mem_bytes: u64,
 }
 
+/// Which per-SM residency budget bounds a launch's block residency.
+///
+/// The scheduler admits a block only when every budget has room; the
+/// *limiting factor* is the budget whose theoretical bound
+/// (`budget / per-block demand`) is smallest. Ties resolve toward the
+/// scarcer, less elastic budget — registers and shared memory are fixed
+/// allocations a compiler or tiling change could relax, warps/threads
+/// only shrink with the block, and the 8-block cap almost never binds
+/// alone — so the reported factor is the one worth attacking first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OccupancyLimit {
+    Registers,
+    SharedMem,
+    Warps,
+    Threads,
+    Blocks,
+}
+
+impl OccupancyLimit {
+    /// Every factor, in tie-break (reporting) order.
+    pub const ALL: [OccupancyLimit; 5] = [
+        OccupancyLimit::Registers,
+        OccupancyLimit::SharedMem,
+        OccupancyLimit::Warps,
+        OccupancyLimit::Threads,
+        OccupancyLimit::Blocks,
+    ];
+
+    /// Stable lower-case label for traces and JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            OccupancyLimit::Registers => "registers",
+            OccupancyLimit::SharedMem => "smem",
+            OccupancyLimit::Warps => "warps",
+            OccupancyLimit::Threads => "threads",
+            OccupancyLimit::Blocks => "blocks",
+        }
+    }
+}
+
+/// Theoretical per-SM residency of one launch's blocks: how many fit an
+/// empty SM, and which budget ran out first.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LaunchOccupancy {
+    /// The budget that bound `blocks_per_sm` (see [`OccupancyLimit`]).
+    pub limit: OccupancyLimit,
+    /// Blocks of this launch an empty SM can hold. Zero means the launch
+    /// can never place a block (validation rejects such launches).
+    pub blocks_per_sm: u32,
+    /// Warps resident at that bound (`blocks_per_sm * warps_per_block`).
+    pub resident_warps: u32,
+}
+
+impl LaunchOccupancy {
+    /// Theoretical warp occupancy (0..=1) at the bound.
+    pub fn warp_fraction(&self, spec: &DeviceSpec) -> f64 {
+        if spec.max_warps_per_sm == 0 {
+            return 0.0;
+        }
+        self.resident_warps as f64 / spec.max_warps_per_sm as f64
+    }
+}
+
+/// Computes the residency bound of a block demanding
+/// `(threads_per_block, warps_per_block, shared_mem_bytes,
+/// registers_per_thread)` against every per-SM budget of `spec`, and
+/// reports the scarcest budget (ties per [`OccupancyLimit`] order).
+pub fn launch_occupancy(
+    spec: &DeviceSpec,
+    threads_per_block: u32,
+    warps_per_block: u32,
+    shared_mem_bytes: u32,
+    registers_per_thread: u32,
+) -> LaunchOccupancy {
+    let per_budget = |limit: OccupancyLimit| -> u32 {
+        let bound = |budget: u32, demand: u32| -> u32 {
+            // Zero demand (e.g. no smem) never binds.
+            budget.checked_div(demand).unwrap_or(u32::MAX)
+        };
+        match limit {
+            OccupancyLimit::Blocks => spec.max_blocks_per_sm,
+            OccupancyLimit::Warps => bound(spec.max_warps_per_sm, warps_per_block),
+            OccupancyLimit::Threads => bound(spec.max_threads_per_sm, threads_per_block),
+            OccupancyLimit::SharedMem => bound(spec.shared_mem_per_sm, shared_mem_bytes),
+            OccupancyLimit::Registers => bound(
+                spec.registers_per_sm,
+                registers_per_thread.saturating_mul(threads_per_block),
+            ),
+        }
+    };
+    let mut limit = OccupancyLimit::ALL[0];
+    let mut blocks = per_budget(limit);
+    for &l in &OccupancyLimit::ALL[1..] {
+        let b = per_budget(l);
+        if b < blocks {
+            blocks = b;
+            limit = l;
+        }
+    }
+    LaunchOccupancy {
+        limit,
+        blocks_per_sm: blocks,
+        resident_warps: blocks.saturating_mul(warps_per_block),
+    }
+}
+
 /// A completed functional launch, ready for timing simulation.
 #[derive(Debug, Clone)]
 pub struct LaunchRecord {
@@ -57,6 +164,9 @@ pub struct LaunchRecord {
     pub shared_mem_bytes: u32,
     pub threads_per_block: u32,
     pub warps_per_block: u32,
+    /// Registers each thread holds for the block's lifetime (already
+    /// clamped to [`DeviceSpec::max_registers_per_thread`] at launch).
+    pub registers_per_thread: u32,
     /// Per-block costs, in functional block order.
     pub block_costs: Vec<BlockCost>,
     /// Work counters aggregated over all blocks.
@@ -111,6 +221,32 @@ impl Timeline {
     pub fn stream_rows(&self, stream: StreamId) -> Vec<&TraceEvent> {
         self.events.iter().filter(|e| e.stream == stream).collect()
     }
+
+    /// How many launches each residency budget bounded, keyed by the
+    /// factor's stable label — the aggregate view of the per-launch
+    /// [`TraceEvent::occupancy`] accounting.
+    pub fn limiting_factor_counts(&self) -> std::collections::BTreeMap<&'static str, u64> {
+        let mut counts = std::collections::BTreeMap::new();
+        for e in &self.events {
+            *counts.entry(e.occupancy.limit.as_str()).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Mean *theoretical* warp occupancy across launches (0..=1): what
+    /// the limiting budgets allow, as opposed to [`Self::sm_utilization`]
+    /// which reports what the schedule achieved.
+    pub fn mean_theoretical_occupancy(&self) -> f64 {
+        if self.events.is_empty() || self.warps_per_sm == 0 {
+            return 0.0;
+        }
+        let sum: f64 = self
+            .events
+            .iter()
+            .map(|e| e.occupancy.resident_warps.min(self.warps_per_sm) as f64)
+            .sum();
+        sum / (self.events.len() as f64 * self.warps_per_sm as f64)
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -119,6 +255,7 @@ struct SmState {
     warps: u32,
     threads: u32,
     shared: u32,
+    registers: u32,
     busy_us: f64,
     warp_us: f64,
 }
@@ -140,6 +277,7 @@ struct Completion {
     warps: u32,
     threads: u32,
     shared: u32,
+    registers: u32,
 }
 
 impl Eq for Completion {}
@@ -172,7 +310,15 @@ pub fn simulate(
 ) -> Timeline {
     let n = launches.len();
     let mut sms = vec![
-        SmState { blocks: 0, warps: 0, threads: 0, shared: 0, busy_us: 0.0, warp_us: 0.0 };
+        SmState {
+            blocks: 0,
+            warps: 0,
+            threads: 0,
+            shared: 0,
+            registers: 0,
+            busy_us: 0.0,
+            warp_us: 0.0
+        };
         spec.sm_count as usize
     ];
     let mut states: Vec<LaunchState> = (0..n)
@@ -195,6 +341,16 @@ pub fn simulate(
         for &e in &l.record_events {
             event_source.insert(e, i);
         }
+    }
+
+    // Precompute each launch's in-stream predecessor. The readiness loop
+    // below runs every event-loop round; scanning `(0..i).rev()` there
+    // made each round O(n^2) in the launch count. One forward pass with a
+    // per-stream "last seen" map yields the same predecessor indices.
+    let mut stream_pred: Vec<Option<usize>> = Vec::with_capacity(n);
+    let mut last_in_stream: std::collections::HashMap<StreamId, usize> = Default::default();
+    for (i, l) in launches.iter().enumerate() {
+        stream_pred.push(last_in_stream.insert(l.stream, i));
     }
 
     // Validate event graph up front (no forward waits => no deadlock).
@@ -244,8 +400,7 @@ pub fn simulate(
             let mut ready_at = 0.0f64;
             let mut ok = true;
             // Stream-order predecessor.
-            if let Some(prev) = (0..i).rev().find(|&j| launches[j].stream == launches[i].stream)
-            {
+            if let Some(prev) = stream_pred[i] {
                 match states[prev].end_us {
                     Some(t) => ready_at = ready_at.max(t),
                     None => ok = false,
@@ -320,10 +475,13 @@ pub fn simulate(
                     if reservation.is_some_and(|(holder, rs)| rs == s && holder != i) {
                         continue;
                     }
+                    let block_registers =
+                        l.registers_per_thread.saturating_mul(l.threads_per_block);
                     let fits = sm.blocks < spec.max_blocks_per_sm
                         && sm.warps + l.warps_per_block <= spec.max_warps_per_sm
                         && sm.threads + l.threads_per_block <= spec.max_threads_per_sm
-                        && sm.shared + l.shared_mem_bytes <= spec.shared_mem_per_sm;
+                        && sm.shared + l.shared_mem_bytes <= spec.shared_mem_per_sm
+                        && sm.registers + block_registers <= spec.registers_per_sm;
                     if fits {
                         let free = spec.max_warps_per_sm as i64 - sm.warps as i64;
                         if best.is_none() || free > best_free {
@@ -359,11 +517,13 @@ pub fn simulate(
                     reservation = None;
                 }
                 let bc = l.block_costs[states[i].next_block];
+                let block_registers = l.registers_per_thread.saturating_mul(l.threads_per_block);
                 let sm = &mut sms[s];
                 sm.blocks += 1;
                 sm.warps += l.warps_per_block;
                 sm.threads += l.threads_per_block;
                 sm.shared += l.shared_mem_bytes;
+                sm.registers += block_registers;
                 // The SM's DRAM share is split among its resident blocks
                 // (sm.blocks already includes this one), so co-resident
                 // streaming blocks cannot jointly exceed card bandwidth.
@@ -389,6 +549,7 @@ pub fn simulate(
                     warps: l.warps_per_block,
                     threads: l.threads_per_block,
                     shared: l.shared_mem_bytes,
+                    registers: block_registers,
                 }));
                 if states[i].next_block == 0 {
                     states[i].start_us = Some(now);
@@ -419,6 +580,7 @@ pub fn simulate(
                 sm.warps -= c.warps;
                 sm.threads -= c.threads;
                 sm.shared -= c.shared;
+                sm.registers -= c.registers;
                 states[c.launch].completed_blocks += 1;
                 if states[c.launch].completed_blocks == launches[c.launch].block_costs.len() {
                     states[c.launch].end_us = Some(now);
@@ -456,6 +618,13 @@ pub fn simulate(
             t_end_us: end,
             overhead_us: overheads[i],
             blocks: l.block_costs.len() as u64,
+            occupancy: launch_occupancy(
+                spec,
+                l.threads_per_block,
+                l.warps_per_block,
+                l.shared_mem_bytes,
+                l.registers_per_thread,
+            ),
             counters: l.counters,
         });
     }
@@ -486,6 +655,7 @@ mod tests {
             shared_mem_bytes: 0,
             threads_per_block: warps * 32,
             warps_per_block: warps,
+            registers_per_thread: 0,
             block_costs: vec![
                 BlockCost { issue_cycles: issue, mem_latency_cycles: 0.0, mem_bytes: 0 };
                 blocks
@@ -535,6 +705,74 @@ mod tests {
         let t = simulate(&sp, &CostModel::default(), ExecMode::Concurrent, &launches);
         // 3 blocks x 1215 cycles at 1.215GHz = 3us total, serialized.
         assert!((t.span_us() - 3.0).abs() < 1e-9, "span {}", t.span_us());
+    }
+
+    #[test]
+    fn register_pressure_limits_admission() {
+        // 1 SM with a raised per-thread cap: a 256-thread block at 128
+        // registers/thread burns the whole 32768-register file, so blocks
+        // serialize even though warps (6), threads (6), smem and the
+        // 8-block cap all allow more. Latency-bound blocks then cannot
+        // hide each other's stalls: 3 blocks take 3x a lone block's 1us,
+        // while without register pressure all three co-reside and the
+        // span collapses onto the slowest lone block.
+        let mut sp = DeviceSpec::single_sm();
+        sp.launch_overhead_us = 0.0;
+        sp.max_registers_per_thread = 128;
+        let mut l = record(0, 1, 3, 0.0, 8);
+        l.block_costs =
+            vec![BlockCost { issue_cycles: 0.0, mem_latency_cycles: 4860.0, mem_bytes: 0 }; 3];
+        l.registers_per_thread = 128;
+        let t = simulate(&sp, &CostModel::default(), ExecMode::Concurrent, &[l.clone()]);
+        assert!((t.span_us() - 3.0).abs() < 1e-9, "span {}", t.span_us());
+        assert_eq!(t.events[0].occupancy.limit, OccupancyLimit::Registers);
+        assert_eq!(t.events[0].occupancy.blocks_per_sm, 1);
+        // Without register pressure the same three blocks run in one wave.
+        l.registers_per_thread = 0;
+        let free = simulate(&sp, &CostModel::default(), ExecMode::Concurrent, &[l]);
+        assert!((free.span_us() - 1.0).abs() < 1e-9, "span {}", free.span_us());
+    }
+
+    #[test]
+    fn limiting_factor_reports_the_scarcest_budget() {
+        let sp = spec();
+        // Tiny 1-warp blocks, no smem, no registers: nothing binds
+        // before the 8-block cap.
+        let o = launch_occupancy(&sp, 32, 1, 0, 0);
+        assert_eq!(o.limit, OccupancyLimit::Blocks);
+        assert_eq!(o.blocks_per_sm, 8);
+        assert_eq!(o.resident_warps, 8);
+        // 18-warp cascade-like blocks: the warp file runs out first
+        // (floor(48/18) = 2 of the 8-block cap).
+        let o = launch_occupancy(&sp, 576, 18, 0, 0);
+        assert_eq!(o.limit, OccupancyLimit::Warps);
+        assert_eq!(o.blocks_per_sm, 2);
+        assert!((o.warp_fraction(&sp) - 0.75).abs() < 1e-12);
+        // Registers the strict scarcest: 384 threads x 22 regs = 8448 per
+        // block bounds at 3 while warps (12/block) would allow 4.
+        let o = launch_occupancy(&sp, 384, 12, 0, 22);
+        assert_eq!(o.limit, OccupancyLimit::Registers);
+        assert_eq!(o.blocks_per_sm, 3);
+        // Shared memory the scarcest: 20 KiB blocks fit twice by smem.
+        let o = launch_occupancy(&sp, 256, 8, 20 * 1024, 0);
+        assert_eq!(o.limit, OccupancyLimit::SharedMem);
+        assert_eq!(o.blocks_per_sm, 2);
+    }
+
+    #[test]
+    fn timeline_reports_occupancy_per_launch_and_in_aggregate() {
+        let mut wide = record(0, 1, 1, 1215.0, 18);
+        wide.registers_per_thread = 16;
+        let tiny = record(1, 2, 1, 1215.0, 1);
+        let t = simulate(&spec(), &CostModel::default(), ExecMode::Concurrent, &[wide, tiny]);
+        assert_eq!(t.events[0].occupancy.limit, OccupancyLimit::Warps);
+        assert_eq!(t.events[0].occupancy.resident_warps, 36);
+        assert_eq!(t.events[1].occupancy.limit, OccupancyLimit::Blocks);
+        let counts = t.limiting_factor_counts();
+        assert_eq!(counts["warps"], 1);
+        assert_eq!(counts["blocks"], 1);
+        // Mean theoretical occupancy: (36 + 8) / (2 * 48).
+        assert!((t.mean_theoretical_occupancy() - 44.0 / 96.0).abs() < 1e-12);
     }
 
     #[test]

@@ -35,6 +35,7 @@
 //! byte-for-byte, even under faults.
 
 use fd_detector::{Backend, Detector, DetectorConfig, FaceDetector};
+use fd_gpu::GeomClass;
 use fd_haar::Cascade;
 use fd_imgproc::GrayImage;
 
@@ -127,7 +128,7 @@ struct Lane<D: Detector> {
     /// Geometries this lane has admitted, with the device bytes each
     /// one was charged (pool bytes; the first admission also carries
     /// the constant-memory footprint).
-    geometries: Vec<((usize, usize), usize)>,
+    geometries: Vec<(GeomClass, usize)>,
     charged_bytes: usize,
 }
 
@@ -320,10 +321,13 @@ impl<D: Detector> FleetServer<D> {
                 reason: "SLO must be finite and positive",
             });
         }
-        let geometry = (frame.width(), frame.height());
+        let geometry = GeomClass::of(frame.width(), frame.height());
         let views = self.lane_views(geometry, backend);
         let Some(device) = self.router.route(&views) else {
-            return Err(ServeError::NoCapacity { width: geometry.0, height: geometry.1 });
+            return Err(ServeError::NoCapacity {
+                width: geometry.width as usize,
+                height: geometry.height as usize,
+            });
         };
         self.charge_geometry(device, geometry);
         let seq = self.next_seq;
@@ -679,7 +683,7 @@ impl<D: Detector> FleetServer<D> {
 
     /// Per-lane snapshots the router decides over, for one geometry and
     /// backend class.
-    fn lane_views(&self, geometry: (usize, usize), backend: Backend) -> Vec<LaneView> {
+    fn lane_views(&self, geometry: GeomClass, backend: Backend) -> Vec<LaneView> {
         self.lanes
             .iter()
             .map(|l| LaneView {
@@ -694,7 +698,7 @@ impl<D: Detector> FleetServer<D> {
     }
 
     /// Whether a lane's memory budget admits `geometry`.
-    fn admits(&self, lane: &Lane<D>, geometry: (usize, usize)) -> bool {
+    fn admits(&self, lane: &Lane<D>, geometry: GeomClass) -> bool {
         let Some(budget) = self.budget else { return true };
         match self.charge_for(lane, geometry) {
             Some(charge) => lane.charged_bytes + charge <= budget,
@@ -707,14 +711,14 @@ impl<D: Detector> FleetServer<D> {
     /// Device bytes admitting `geometry` would add to a lane's ledger:
     /// the projected buffer pool, plus the constant-memory footprint on
     /// the lane's first geometry. Zero if already admitted.
-    fn charge_for(&self, lane: &Lane<D>, geometry: (usize, usize)) -> Option<usize> {
+    fn charge_for(&self, lane: &Lane<D>, geometry: GeomClass) -> Option<usize> {
         if lane.geometries.iter().any(|(g, _)| *g == geometry) {
             return Some(0);
         }
         let projected = lane
             .server
             .detector()
-            .projected_device_bytes(geometry.0, geometry.1)
+            .projected_device_bytes(geometry.width as usize, geometry.height as usize)
             .ok()?;
         Some(if lane.geometries.is_empty() {
             projected
@@ -723,7 +727,7 @@ impl<D: Detector> FleetServer<D> {
         })
     }
 
-    fn charge_geometry(&mut self, device: usize, geometry: (usize, usize)) {
+    fn charge_geometry(&mut self, device: usize, geometry: GeomClass) {
         if self.lanes[device].geometries.iter().any(|(g, _)| *g == geometry) {
             return;
         }

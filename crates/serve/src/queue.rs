@@ -9,6 +9,8 @@
 
 use std::collections::VecDeque;
 
+use fd_gpu::GeomClass;
+
 use crate::request::{DetectionRequest, Priority};
 
 /// Bounded multi-class request queue with EDF selection.
@@ -63,7 +65,7 @@ impl RequestQueue {
 
     /// Queued requests whose frames share `geometry` (the only requests
     /// that can join a batch with the current EDF head).
-    pub fn count_geometry(&self, geometry: (usize, usize)) -> usize {
+    pub fn count_geometry(&self, geometry: GeomClass) -> usize {
         self.classes.iter().flatten().filter(|r| r.geometry() == geometry).count()
     }
 
@@ -79,7 +81,7 @@ impl RequestQueue {
 
     /// Remove and return up to `max` requests of `geometry` in EDF order
     /// (the batch the scheduler dispatches as one submission).
-    pub fn take_batch(&mut self, geometry: (usize, usize), max: usize) -> Vec<DetectionRequest> {
+    pub fn take_batch(&mut self, geometry: GeomClass, max: usize) -> Vec<DetectionRequest> {
         let mut batch = Vec::new();
         while batch.len() < max {
             let Some((class, idx)) = self
@@ -183,11 +185,11 @@ mod tests {
         q.offer(req(1, Priority::Standard, 100.0, 16)).unwrap(); // other geometry
         q.offer(req(2, Priority::Standard, 200.0, 8)).unwrap();
         q.offer(req(3, Priority::Standard, 50.0, 8)).unwrap();
-        let batch = q.take_batch((8, 4), 2);
+        let batch = q.take_batch(GeomClass::of(8, 4), 2);
         let ids: Vec<_> = batch.iter().map(|r| r.id.0).collect();
         assert_eq!(ids, [3, 2], "EDF order within the geometry");
         assert_eq!(q.len(), 2);
-        assert_eq!(q.count_geometry((16, 4)), 1);
+        assert_eq!(q.count_geometry(GeomClass::of(16, 4)), 1);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Request types: identifiers, priority classes and the queued record.
 
 use fd_detector::Backend;
+use fd_gpu::GeomClass;
 use fd_imgproc::GrayImage;
 
 /// Opaque handle identifying one submitted request. Assigned by the
@@ -77,9 +78,12 @@ pub struct DetectionRequest {
 }
 
 impl DetectionRequest {
-    /// Frame geometry; batches only form across equal geometries.
-    pub fn geometry(&self) -> (usize, usize) {
-        (self.frame.width(), self.frame.height())
+    /// Frame geometry class; batches only form across equal classes.
+    /// This is the simulator's tuning key ([`fd_gpu::GeomClass`]), so a
+    /// batch shares one autotuned launch shape per kernel by
+    /// construction.
+    pub fn geometry(&self) -> GeomClass {
+        GeomClass::of(self.frame.width(), self.frame.height())
     }
 
     /// Earliest-deadline-first total order: deadline, then priority

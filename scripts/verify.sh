@@ -32,6 +32,14 @@ echo "== kernel fusion (asserts >= 1.2x end-to-end speedup, >= 1.15x batched, bi
 FD_RESULTS_DIR="$(mktemp -d)" \
   cargo run --release --offline -q -p fd-bench --bin fusion -- --assert-min-speedup-pct 120 --assert-min-batched-pct 115
 
+echo "== occupancy autotune (asserts >= 1.1x autotuned batched speedup, byte-identical detections, live limiting-factor counters) =="
+# Scratch results dir: the committed results/BENCH_occupancy.json stays
+# the reference run. The bench itself asserts the detection byte-identity
+# across {autotune} x {fusion} x host engines/threads and fails on
+# degenerate occupancy accounting.
+FD_RESULTS_DIR="$(mktemp -d)" \
+  cargo run --release --offline -q -p fd-bench --bin occupancy -- --assert-min-batched-pct 110
+
 echo "== fault matrix (every fault kind x pipeline stage) =="
 cargo test -q --offline -p fd-detector --test fault_matrix
 

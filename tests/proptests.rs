@@ -130,6 +130,7 @@ proptest! {
                 shared_mem_bytes: 0,
                 threads_per_block: 256,
                 warps_per_block: 8,
+                registers_per_thread: 16,
                 block_costs: vec![
                     BlockCost { issue_cycles: cycles, mem_latency_cycles: 0.0, mem_bytes: 0 };
                     blocks
